@@ -1,0 +1,309 @@
+// Benchmarks mapping one-to-one onto the paper's tables and figures (see
+// DESIGN.md's experiment index) plus the ablation benches it calls out.
+// Absolute wall times here are Go-on-host numbers; the modelled embedded
+// platform numbers come from cmd/hdface-bench -exp fig7.
+package hdface_test
+
+import (
+	"io"
+	"testing"
+
+	"hdface"
+	"hdface/internal/cascade"
+	"hdface/internal/dataset"
+	"hdface/internal/detect"
+	"hdface/internal/experiments"
+	"hdface/internal/hdhog"
+	"hdface/internal/hdl"
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+	"hdface/internal/noise"
+	"hdface/internal/stoch"
+	"hdface/internal/track"
+)
+
+// benchImages renders a small balanced face/no-face batch.
+func benchImages(n, size int) ([]*imgproc.Image, []int) {
+	r := hv.NewRNG(1)
+	imgs := make([]*imgproc.Image, n)
+	labels := make([]int, n)
+	for i := range imgs {
+		if i%2 == 0 {
+			imgs[i] = dataset.RenderFace(size, size, dataset.Emotion(r.Intn(7)), r)
+			labels[i] = 1
+		} else {
+			imgs[i] = dataset.RenderNonFace(size, size, r)
+		}
+	}
+	return imgs, labels
+}
+
+// BenchmarkFig2StochasticOps measures the three primitives Figure 2 sweeps
+// at the paper's D = 4k.
+func BenchmarkFig2StochasticOps(b *testing.B) {
+	c := stoch.NewCodec(4096, 1)
+	va, vb := c.Construct(0.4), c.Construct(-0.6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Construct(0.3)
+		c.WeightedAvg(0.5, va, vb)
+		c.Mul(va, vb)
+	}
+}
+
+// BenchmarkTable1DatasetGen measures rendering one Table 1 style sample.
+func BenchmarkTable1DatasetGen(b *testing.B) {
+	r := hv.NewRNG(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dataset.RenderFace(48, 48, dataset.Happy, r)
+	}
+}
+
+// BenchmarkFig4TrainStoch measures the stochastic-HOG pipeline's Fit on a
+// small face/no-face batch — the HDFace column of Figure 4.
+func BenchmarkFig4TrainStoch(b *testing.B) {
+	imgs, labels := benchImages(8, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := hdface.New(hdface.Config{D: 2048, Seed: 3, Workers: 1})
+		if err := p.Fit(imgs, labels, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4TrainOrig measures the original-space configuration (HOG +
+// nonlinear encoder) — the comparison column of Figure 4.
+func BenchmarkFig4TrainOrig(b *testing.B) {
+	imgs, labels := benchImages(8, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := hdface.New(hdface.Config{D: 2048, Mode: hdface.ModeOrigHOG, Seed: 3, Workers: 1})
+		if err := p.Fit(imgs, labels, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5aFeatureByD measures hyperspace feature extraction across
+// the Figure 5a dimensionality sweep.
+func BenchmarkFig5aFeatureByD(b *testing.B) {
+	imgs, _ := benchImages(1, 32)
+	for _, d := range []int{1024, 4096, 10240} {
+		b.Run(itoa(d), func(b *testing.B) {
+			e := hdhog.New(stoch.NewCodec(d, 4), hdhog.Params{Stride: 1})
+			e.WarmIDs(32, 32)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.Feature(imgs[0])
+			}
+		})
+	}
+}
+
+// BenchmarkFig5bDNNEpoch prices one DNN training epoch per hidden size via
+// the real trainer (the Figure 5b x-axis).
+func BenchmarkFig5bDNNEpoch(b *testing.B) {
+	o := experiments.Options{Quick: true, Seed: 5, EmoTrain: 14, EmoTest: 7,
+		FaceTrain: 4, FaceTest: 2, DNNEpochs: 1}
+	for _, h := range []int{64, 256} {
+		b.Run(itoa(h), func(b *testing.B) {
+			oo := o
+			oo.DNNHidden = []int{h}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig5bData(oo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6Window measures classifying one sliding window — the unit
+// of Figure 6's detection sweep.
+func BenchmarkFig6Window(b *testing.B) {
+	imgs, labels := benchImages(8, 48)
+	p := hdface.New(hdface.Config{D: 2048, Seed: 6, Workers: 1})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		b.Fatal(err)
+	}
+	window := imgs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(window)
+	}
+}
+
+// BenchmarkFig7Model prices the Figure 7 hardware traces (the analytic
+// model itself, not the workload).
+func BenchmarkFig7Model(b *testing.B) {
+	o := experiments.Options{Quick: true, Seed: 7, EmoTrain: 14, EmoTest: 7,
+		FaceTrain: 4, FaceTest: 2, D: 1024, DNNEpochs: 1, Trials: 5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7Data(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2NoiseSweep measures one fault-injection evaluation: flip
+// bits in features and model, then re-evaluate (the Table 2 inner loop).
+func BenchmarkTable2NoiseSweep(b *testing.B) {
+	imgs, labels := benchImages(8, 32)
+	p := hdface.New(hdface.Config{D: 2048, Seed: 8, Workers: 1})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		b.Fatal(err)
+	}
+	feats := p.Features(imgs)
+	inj := noise.New(9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clones := make([]*hv.Vector, len(feats))
+		for j, f := range feats {
+			clones[j] = f.Clone()
+		}
+		inj.FlipVectors(clones, 0.04)
+		p.Model().Accuracy(clones, labels)
+	}
+}
+
+// BenchmarkAblationStride compares the paper's 3x3-cell gradient sampling
+// against per-pixel gradients (DESIGN.md ablation).
+func BenchmarkAblationStride(b *testing.B) {
+	imgs, _ := benchImages(1, 32)
+	for _, stride := range []int{1, 3} {
+		b.Run(itoa(stride), func(b *testing.B) {
+			e := hdhog.New(stoch.NewCodec(2048, 10), hdhog.Params{Stride: stride})
+			e.WarmIDs(32, 32)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.Feature(imgs[0])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBundle compares value-weighted ID bundling against pure
+// bind-and-bundle feature construction (DESIGN.md ablation).
+func BenchmarkAblationBundle(b *testing.B) {
+	imgs, _ := benchImages(1, 32)
+	for _, bind := range []bool{false, true} {
+		name := "weighted"
+		if bind {
+			name = "bind"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := hdhog.New(stoch.NewCodec(2048, 11), hdhog.Params{Stride: 3, BindBundle: bind})
+			e.WarmIDs(32, 32)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.Feature(imgs[0])
+			}
+		})
+	}
+}
+
+// BenchmarkMotivationHOGShare runs the Section 2 motivation experiment.
+func BenchmarkMotivationHOGShare(b *testing.B) {
+	o := experiments.Options{Quick: true, Seed: 12, EmoTrain: 14, EmoTest: 7,
+		FaceTrain: 4, FaceTest: 2, D: 1024, DNNEpochs: 1, Trials: 5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Motivation(io.Discard, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkCascadeVsHDFaceWindow compares per-window classification cost of
+// the HAAR cascade baseline against the HDFace pipeline.
+func BenchmarkCascadeVsHDFaceWindow(b *testing.B) {
+	imgs, labels := benchImages(16, 24)
+	det, err := cascade.Train(imgs, labels, 24, cascade.TrainOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := hdface.New(hdface.Config{D: 2048, WorkingSize: 24, Seed: 13, Workers: 1})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cascade", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det.Classify(imgs[i%len(imgs)])
+		}
+	})
+	b.Run("hdface", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Predict(imgs[i%len(imgs)])
+		}
+	})
+}
+
+// BenchmarkDetectRun measures a multi-scale sweep with a cheap scorer,
+// isolating the pyramid/NMS driver overhead.
+func BenchmarkDetectRun(b *testing.B) {
+	imgs, _ := benchImages(1, 96)
+	scorer := func(win *imgproc.Image) (bool, float64) {
+		m := win.Mean()
+		return m > 128, m
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		detect.Run(imgs[0], scorer, detect.Params{Win: 48, Stride: 24})
+	}
+}
+
+// BenchmarkTrackerStep measures one tracker frame with four detections.
+func BenchmarkTrackerStep(b *testing.B) {
+	r := hv.NewRNG(14)
+	protos := make([]*hv.Vector, 4)
+	for i := range protos {
+		protos[i] = hv.NewRand(r, 2048)
+	}
+	tk := track.New(track.Config{MaxDist: 1e9}, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var dets []track.Detection
+		for j, p := range protos {
+			v := p.Clone()
+			v.Xor(v, hv.NewRandBiased(r, 2048, 0.1))
+			dets = append(dets, track.Detection{Box: [4]int{j * 60, 0, j*60 + 48, 48}, Feature: v})
+		}
+		tk.Step(dets)
+	}
+}
+
+// BenchmarkHDLEval measures the gate-level evaluator on the Hamming unit —
+// the functional-verification path of the Verilog generator.
+func BenchmarkHDLEval(b *testing.B) {
+	m := hdl.HammingDistance(64)
+	in := map[string][]bool{"a": make([]bool, 64), "b": make([]bool, 64)}
+	for i := 0; i < 64; i += 2 {
+		in["a"][i] = true
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Eval(in, nil)
+	}
+}

@@ -1,0 +1,333 @@
+// Command hdface trains, evaluates and applies HDFace models.
+//
+//	hdface train  -dataset emotion -d 4096 -model emotion.hdc
+//	hdface eval   -dataset emotion -model emotion.hdc
+//	hdface detect -scene scene.pgm -model face.hdc -out overlay.pgm
+//	hdface scene  -out scene.pgm            # render a test scene
+//
+// Models are serialised HDC classifiers; datasets are generated
+// synthetically (see DESIGN.md for the substitution rationale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hdface"
+	"hdface/internal/dataset"
+	"hdface/internal/detect"
+	"hdface/internal/hdc"
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hdface:", err)
+	os.Exit(1)
+}
+
+func specFor(name string) (dataset.Spec, error) {
+	switch strings.ToLower(name) {
+	case "emotion":
+		return dataset.SpecEmotion, nil
+	case "face1":
+		return dataset.SpecFace1, nil
+	case "face2":
+		return dataset.SpecFace2, nil
+	}
+	return dataset.Spec{}, fmt.Errorf("unknown dataset %q (emotion, face1, face2)", name)
+}
+
+// buildPipeline assembles the pipeline used by train/eval/detect so the
+// three subcommands agree on configuration.
+func buildPipeline(d, workingSize int, mode string, seed uint64) (*hdface.Pipeline, error) {
+	var m hdface.Mode
+	switch strings.ToLower(mode) {
+	case "stoch", "":
+		m = hdface.ModeStochHOG
+	case "orig":
+		m = hdface.ModeOrigHOG
+	default:
+		return nil, fmt.Errorf("unknown mode %q (stoch, orig)", mode)
+	}
+	return hdface.New(hdface.Config{D: d, Mode: m, WorkingSize: workingSize, Seed: seed, Workers: 1}), nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	dsName := fs.String("dataset", "emotion", "dataset to generate (emotion, face1, face2)")
+	d := fs.Int("d", 4096, "hypervector dimensionality")
+	mode := fs.String("mode", "stoch", "feature mode (stoch, orig)")
+	trainN := fs.Int("n", 140, "training samples to render")
+	testN := fs.Int("test", 70, "test samples to render")
+	workingSize := fs.Int("size", 48, "working raster size")
+	seed := fs.Uint64("seed", 7, "random seed")
+	modelPath := fs.String("model", "model.hdc", "output model path")
+	featPath := fs.String("features", "", "train from a feature cache written by the features subcommand (skips rendering and extraction)")
+	k := fs.Int("k", 0, "class count when training from a feature cache (0 = infer from labels)")
+	fs.Parse(args)
+
+	if *featPath != "" {
+		return trainFromCache(*featPath, *modelPath, *k, *seed)
+	}
+
+	spec, err := specFor(*dsName)
+	if err != nil {
+		return err
+	}
+	if spec.ImageSize > 128 {
+		spec.ImageSize = 128 // render large-raster corpora at a tractable size
+	}
+	ds := dataset.Generate(spec, *trainN, *testN, *seed)
+	imgs := make([]*hdface.Image, len(ds.Train))
+	labels := make([]int, len(ds.Train))
+	for i, s := range ds.Train {
+		imgs[i], labels[i] = s.Image, s.Label
+	}
+	p, err := buildPipeline(*d, *workingSize, *mode, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training %s on %s (%d samples, D=%d, %s)\n",
+		*modelPath, ds.Name, len(imgs), *d, hdface.ModeStochHOG)
+	if err := p.Fit(imgs, labels, ds.NumClasses); err != nil {
+		return err
+	}
+	testImgs := make([]*hdface.Image, len(ds.Test))
+	testLabels := make([]int, len(ds.Test))
+	for i, s := range ds.Test {
+		testImgs[i], testLabels[i] = s.Image, s.Label
+	}
+	fmt.Printf("test accuracy: %.3f\n", p.Evaluate(testImgs, testLabels))
+
+	f, err := os.Create(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.Model().Save(f)
+}
+
+// trainFromCache trains a classifier directly on cached hypervector
+// features.
+func trainFromCache(featPath, modelPath string, k int, seed uint64) error {
+	f, err := os.Open(featPath)
+	if err != nil {
+		return err
+	}
+	feats, labels, err := hv.ReadSet(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if k == 0 {
+		for _, l := range labels {
+			if l+1 > k {
+				k = l + 1
+			}
+		}
+	}
+	if k < 2 {
+		return fmt.Errorf("inferred class count %d; pass -k", k)
+	}
+	model := hdc.Train(feats, labels, k, hdc.TrainOpts{Seed: seed})
+	model.Finalize(seed)
+	fmt.Printf("trained on %d cached features (D=%d, k=%d); train accuracy %.3f\n",
+		len(feats), model.D, k, model.Accuracy(feats, labels))
+	out, err := os.Create(modelPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return model.Save(out)
+}
+
+// cmdFeatures extracts hypervector features for a generated dataset and
+// writes them to a cache file, so repeated training runs skip the
+// (dominant) extraction cost.
+func cmdFeatures(args []string) error {
+	fs := flag.NewFlagSet("features", flag.ExitOnError)
+	dsName := fs.String("dataset", "emotion", "dataset to generate")
+	d := fs.Int("d", 4096, "hypervector dimensionality")
+	mode := fs.String("mode", "stoch", "feature mode (stoch, orig)")
+	n := fs.Int("n", 140, "samples to render")
+	workingSize := fs.Int("size", 48, "working raster size")
+	seed := fs.Uint64("seed", 7, "random seed")
+	out := fs.String("out", "features.hvf", "output cache path")
+	fs.Parse(args)
+
+	spec, err := specFor(*dsName)
+	if err != nil {
+		return err
+	}
+	if spec.ImageSize > 128 {
+		spec.ImageSize = 128
+	}
+	ds := dataset.Generate(spec, *n, 0, *seed)
+	imgs := make([]*hdface.Image, len(ds.Train))
+	labels := make([]int, len(ds.Train))
+	for i, s := range ds.Train {
+		imgs[i], labels[i] = s.Image, s.Label
+	}
+	p, err := buildPipeline(*d, *workingSize, *mode, *seed)
+	if err != nil {
+		return err
+	}
+	feats := p.Features(imgs)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := hv.WriteSet(f, feats, labels); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%d features (D=%d) cached to %s\n", len(feats), *d, *out)
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	dsName := fs.String("dataset", "emotion", "dataset to generate")
+	d := fs.Int("d", 4096, "hypervector dimensionality (must match training)")
+	mode := fs.String("mode", "stoch", "feature mode (must match training)")
+	testN := fs.Int("n", 70, "test samples")
+	workingSize := fs.Int("size", 48, "working raster size")
+	seed := fs.Uint64("seed", 7, "random seed (must match training for feature compatibility)")
+	modelPath := fs.String("model", "model.hdc", "model path")
+	fs.Parse(args)
+
+	spec, err := specFor(*dsName)
+	if err != nil {
+		return err
+	}
+	if spec.ImageSize > 128 {
+		spec.ImageSize = 128
+	}
+	ds := dataset.Generate(spec, 0, *testN, *seed+1)
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := hdc.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	p, err := buildPipeline(*d, *workingSize, *mode, *seed)
+	if err != nil {
+		return err
+	}
+	correct := 0
+	for _, s := range ds.Test {
+		if model.Predict(p.Feature(s.Image)) == s.Label {
+			correct++
+		}
+	}
+	fmt.Printf("accuracy on %d fresh %s samples: %.3f\n",
+		len(ds.Test), ds.Name, float64(correct)/float64(len(ds.Test)))
+	return nil
+}
+
+func cmdScene(args []string) error {
+	fs := flag.NewFlagSet("scene", flag.ExitOnError)
+	out := fs.String("out", "scene.pgm", "output PGM path")
+	w := fs.Int("w", 192, "scene width")
+	h := fs.Int("h", 144, "scene height")
+	faces := fs.Int("faces", 2, "faces to place")
+	seed := fs.Uint64("seed", 7, "random seed")
+	fs.Parse(args)
+	sc := dataset.GenerateScene(*w, *h, 48, *faces, *seed)
+	fmt.Printf("scene with %d faces at %v\n", len(sc.Faces), sc.Faces)
+	return sc.Image.SavePGM(*out)
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	scenePath := fs.String("scene", "scene.pgm", "input scene PGM")
+	modelPath := fs.String("model", "model.hdc", "binary face model (train with -dataset face2)")
+	out := fs.String("out", "overlay.pgm", "output overlay PGM")
+	d := fs.Int("d", 4096, "hypervector dimensionality (must match training)")
+	mode := fs.String("mode", "stoch", "feature mode (must match training)")
+	win := fs.Int("win", 48, "window size")
+	stride := fs.Int("stride", 24, "window stride")
+	scales := fs.String("scales", "1,1.5,2", "comma-separated pyramid scales")
+	nms := fs.Float64("nms", 0.3, "non-maximum suppression IoU threshold (negative disables)")
+	workingSize := fs.Int("size", 48, "working raster size")
+	seed := fs.Uint64("seed", 7, "random seed (must match training)")
+	fs.Parse(args)
+
+	img, err := imgproc.LoadPGM(*scenePath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := hdc.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if model.K != 2 {
+		return fmt.Errorf("detect needs a binary face model, got %d classes", model.K)
+	}
+	p, err := buildPipeline(*d, *workingSize, *mode, *seed)
+	if err != nil {
+		return err
+	}
+	var scaleList []float64
+	for _, tok := range strings.Split(*scales, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return fmt.Errorf("bad scale %q: %w", tok, err)
+		}
+		scaleList = append(scaleList, v)
+	}
+	scorer := func(window *imgproc.Image) (bool, float64) {
+		sc := model.Scores(p.Feature(window))
+		return sc[1] > sc[0], sc[1] - sc[0]
+	}
+	boxes := detect.Run(img, scorer, detect.Params{
+		Win: *win, Stride: *stride, Scales: scaleList, NMSIoU: *nms})
+	overlay := img.Clone()
+	for _, b := range boxes {
+		overlay.StrokeRect(b.X0, b.Y0, b.X1, b.Y1, 255)
+		fmt.Printf("  box (%d,%d)-(%d,%d) score %.3f scale %.2g\n",
+			b.X0, b.Y0, b.X1, b.Y1, b.Score, b.Scale)
+	}
+	fmt.Printf("%d detections; overlay written to %s\n", len(boxes), *out)
+	return overlay.SavePGM(*out)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: hdface <train|eval|detect|scene|features> [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "scene":
+		err = cmdScene(os.Args[2:])
+	case "features":
+		err = cmdFeatures(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fatal(err)
+	}
+}

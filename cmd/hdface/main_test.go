@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSpecFor(t *testing.T) {
+	for _, name := range []string{"emotion", "FACE1", "Face2"} {
+		if _, err := specFor(name); err != nil {
+			t.Fatalf("specFor(%q): %v", name, err)
+		}
+	}
+	if _, err := specFor("bogus"); err == nil {
+		t.Fatal("accepted unknown dataset")
+	}
+}
+
+func TestBuildPipeline(t *testing.T) {
+	if _, err := buildPipeline(512, 24, "stoch", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildPipeline(512, 24, "orig", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildPipeline(512, 24, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildPipeline(512, 24, "bogus", 1); err == nil {
+		t.Fatal("accepted unknown mode")
+	}
+}
+
+// TestTrainEvalDetectRoundTrip drives the full CLI workflow with tiny
+// parameters: train a face model, evaluate it, render a scene, detect.
+func TestTrainEvalDetectRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "face.hdc")
+	scene := filepath.Join(dir, "scene.pgm")
+	overlay := filepath.Join(dir, "overlay.pgm")
+
+	if err := cmdTrain([]string{
+		"-dataset", "face2", "-d", "512", "-n", "12", "-test", "6",
+		"-size", "24", "-model", model}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatal("model file missing")
+	}
+	if err := cmdEval([]string{
+		"-dataset", "face2", "-d", "512", "-n", "6", "-size", "24",
+		"-model", model}); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if err := cmdScene([]string{
+		"-out", scene, "-w", "96", "-h", "72", "-faces", "1"}); err != nil {
+		t.Fatalf("scene: %v", err)
+	}
+	if err := cmdDetect([]string{
+		"-scene", scene, "-model", model, "-out", overlay,
+		"-d", "512", "-win", "48", "-stride", "48", "-size", "24"}); err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	if _, err := os.Stat(overlay); err != nil {
+		t.Fatal("overlay missing")
+	}
+}
+
+func TestDetectRejectsMulticlassModel(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "emo.hdc")
+	if err := cmdTrain([]string{
+		"-dataset", "emotion", "-d", "512", "-n", "14", "-test", "7",
+		"-size", "24", "-model", model}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	scene := filepath.Join(dir, "scene.pgm")
+	if err := cmdScene([]string{"-out", scene, "-w", "48", "-h", "48", "-faces", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDetect([]string{
+		"-scene", scene, "-model", model, "-d", "512", "-size", "24",
+		"-out", filepath.Join(dir, "o.pgm")}); err == nil {
+		t.Fatal("detect accepted a 7-class model")
+	}
+}
+
+func TestFeatureCacheWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "emotion.hvf")
+	model := filepath.Join(dir, "emotion.hdc")
+	if err := cmdFeatures([]string{
+		"-dataset", "emotion", "-d", "512", "-n", "21", "-size", "24",
+		"-out", cache}); err != nil {
+		t.Fatalf("features: %v", err)
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatal("cache missing")
+	}
+	if err := cmdTrain([]string{
+		"-features", cache, "-model", model}); err != nil {
+		t.Fatalf("train from cache: %v", err)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatal("model missing")
+	}
+}
+
+func TestTrainFromCacheValidation(t *testing.T) {
+	if err := trainFromCache("/nonexistent.hvf", "/tmp/x.hdc", 0, 1); err == nil {
+		t.Fatal("missing cache accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: train an HDFace emotion classifier on a small synthetic
+// dataset and classify a few test images, printing per-class similarity
+// scores. Demonstrates the three-line public API: New, Fit, Predict.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdface"
+	"hdface/internal/dataset"
+)
+
+func main() {
+	// Render a small FER-style emotion dataset (48x48, 7 classes).
+	ds := dataset.Generate(dataset.SpecEmotion, 84, 21, 42)
+	trainImgs := make([]*hdface.Image, len(ds.Train))
+	trainLabels := make([]int, len(ds.Train))
+	for i, s := range ds.Train {
+		trainImgs[i], trainLabels[i] = s.Image, s.Label
+	}
+
+	// An HDFace pipeline: HOG computed entirely in hyperspace (stochastic
+	// arithmetic over binary hypervectors), feeding the adaptive HDC
+	// classifier. D=2048 keeps this example fast; the paper's sweet spot
+	// is D=4096.
+	p := hdface.New(hdface.Config{
+		D:    2048,
+		Mode: hdface.ModeStochHOG,
+		Seed: 1,
+	})
+	fmt.Printf("training %s (D=%d) on %d images...\n",
+		p.Config().Mode, p.Config().D, len(trainImgs))
+	if err := p.Fit(trainImgs, trainLabels, ds.NumClasses); err != nil {
+		log.Fatal(err)
+	}
+
+	correct := 0
+	for i, s := range ds.Test {
+		pred := p.Predict(s.Image)
+		if pred == s.Label {
+			correct++
+		}
+		if i < 5 {
+			scores := p.Scores(s.Image)
+			fmt.Printf("test %d: predicted %-9s truth %-9s (scores:", i,
+				ds.ClassNames[pred], ds.ClassNames[s.Label])
+			for c, sc := range scores {
+				fmt.Printf(" %s=%.3f", ds.ClassNames[c][:2], sc)
+			}
+			fmt.Println(")")
+		}
+	}
+	fmt.Printf("test accuracy: %.3f (%d/%d)\n",
+		float64(correct)/float64(len(ds.Test)), correct, len(ds.Test))
+
+	fmt.Printf("\na rendered %q sample:\n%s", ds.ClassNames[ds.Test[0].Label],
+		ds.Test[0].Image.ASCII(48))
+}

@@ -1,0 +1,3 @@
+module hdface
+
+go 1.22

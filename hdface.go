@@ -1,0 +1,395 @@
+// Package hdface is the public API of the HDFace reproduction: robust,
+// efficient face and emotion detection with hyperdimensional computing
+// (Imani et al., "Neural Computation for Robust and Holographic Face
+// Detection", DAC 2022).
+//
+// A Pipeline bundles a feature front-end and the adaptive HDC classifier.
+// Two front-ends correspond to the paper's configurations:
+//
+//   - ModeStochHOG ("HDFace+HoG+Learn"): HOG computed entirely in
+//     hyperspace with stochastic arithmetic over binary hypervectors; the
+//     extractor output is already a hypervector, so no encoder is needed
+//     and the whole pipeline inherits holographic noise tolerance.
+//   - ModeOrigHOG ("HDFace+Learn"): classical floating-point HOG on the
+//     original representation, mapped to hyperspace with a nonlinear
+//     random-projection encoder.
+//
+// Two further hyperspace front-ends generalise the framework to the other
+// extractor families the paper names: ModeStochHAAR (rectangle features)
+// and ModeStochConv (small-kernel convolution).
+//
+// Quickstart:
+//
+//	p := hdface.New(hdface.Config{D: 4096, Mode: hdface.ModeStochHOG})
+//	p.Fit(trainImages, trainLabels, numClasses)
+//	label := p.Predict(queryImage)
+package hdface
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hdface/internal/encoder"
+	"hdface/internal/haar"
+	"hdface/internal/hdc"
+	"hdface/internal/hdconv"
+	"hdface/internal/hdhog"
+	"hdface/internal/hog"
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+	"hdface/internal/stoch"
+)
+
+// Image is the grayscale raster type consumed by pipelines.
+type Image = imgproc.Image
+
+// Mode selects the feature front-end.
+type Mode int
+
+// Front-end modes.
+const (
+	// ModeStochHOG runs HOG in hyperspace (paper configuration 2).
+	ModeStochHOG Mode = iota
+	// ModeOrigHOG runs classical HOG plus a nonlinear encoder (paper
+	// configuration 1).
+	ModeOrigHOG
+	// ModeStochHAAR runs HAAR-like rectangle features in hyperspace — the
+	// second extractor family the paper's Section 2 names; rectangle
+	// means are pure stochastic weighted averages.
+	ModeStochHAAR
+	// ModeStochConv runs a small-kernel convolution bank in hyperspace —
+	// the third named family; responses are stochastic constant-weight
+	// dot products.
+	ModeStochConv
+)
+
+// String names the mode as the paper's Table 2 rows do.
+func (m Mode) String() string {
+	switch m {
+	case ModeStochHOG:
+		return "HDFace+HoG+Learn"
+	case ModeOrigHOG:
+		return "HDFace+Learn"
+	case ModeStochHAAR:
+		return "HDFace+HAAR+Learn"
+	case ModeStochConv:
+		return "HDFace+Conv+Learn"
+	}
+	return "unknown"
+}
+
+// Config configures a Pipeline.
+type Config struct {
+	// D is the hypervector dimensionality for both feature extraction and
+	// learning (default 4096, the paper's best-tradeoff configuration).
+	D int
+	// Mode selects the front-end (default ModeStochHOG).
+	Mode Mode
+	// WorkingSize, when nonzero, bilinearly resizes every image to
+	// WorkingSize x WorkingSize before feature extraction — how the
+	// large-raster FACE1/FACE2 datasets are made tractable.
+	WorkingSize int
+	// Workers bounds feature-extraction parallelism (default NumCPU).
+	Workers int
+	// Seed drives every random choice; identical configs with identical
+	// seeds produce identical models.
+	Seed uint64
+	// Train configures the HDC learner.
+	Train hdc.TrainOpts
+	// SqrtIterations overrides the stochastic square-root search depth.
+	SqrtIterations int
+	// Stride spaces the gradient sites of the hyperspace HOG. The default
+	// 1 evaluates per-pixel gradients like classical HOG; 3 reproduces
+	// the paper's one-gradient-per-3x3-cell variant at a ninth of the
+	// cost (see the ablation benches).
+	Stride int
+}
+
+func (c Config) withDefaults() Config {
+	if c.D == 0 {
+		c.D = 4096
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Stride == 0 {
+		c.Stride = 1
+	}
+	return c
+}
+
+// Pipeline is a feature front-end plus an HDC classifier.
+type Pipeline struct {
+	cfg     Config
+	codec   *stoch.Codec
+	hdExt   *hdhog.Extractor
+	haarExt *haar.HD
+	convExt *hdconv.HD
+	mu      sync.Mutex
+
+	// ModeOrigHOG state; the encoder is created on the first image, when
+	// the HOG feature length becomes known.
+	hogParams hog.Params
+	enc       *encoder.Projection
+
+	model *hdc.Model
+
+	// aggregated work counters for the hardware model
+	stochStats stoch.Stats
+	hogStats   hog.Stats
+	encMACs    int64
+	pixels     int64
+}
+
+// New builds a pipeline from the configuration.
+func New(cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	p := &Pipeline{cfg: cfg, hogParams: hog.DefaultParams()}
+	switch cfg.Mode {
+	case ModeStochHOG, ModeStochHAAR, ModeStochConv:
+		opts := []stoch.Option{}
+		if cfg.SqrtIterations > 0 {
+			opts = append(opts, stoch.WithSqrtIterations(cfg.SqrtIterations))
+		}
+		p.codec = stoch.NewCodec(cfg.D, cfg.Seed^0xcafe, opts...)
+	}
+	switch cfg.Mode {
+	case ModeStochHOG:
+		hp := hdhog.DefaultParams()
+		hp.Stride = cfg.Stride
+		p.hdExt = hdhog.New(p.codec, hp)
+	case ModeStochHAAR:
+		win := cfg.WorkingSize
+		if win == 0 {
+			win = 48
+		}
+		p.haarExt = haar.NewHD(p.codec, win)
+	case ModeStochConv:
+		p.convExt = hdconv.NewHD(p.codec, 8)
+	}
+	return p
+}
+
+// Config returns the effective (defaults-filled) configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Model exposes the trained classifier (nil before Fit).
+func (p *Pipeline) Model() *hdc.Model { return p.model }
+
+// prepare resizes an image to the working size if configured.
+func (p *Pipeline) prepare(img *Image) *Image {
+	if p.cfg.WorkingSize > 0 && (img.W != p.cfg.WorkingSize || img.H != p.cfg.WorkingSize) {
+		return img.Resize(p.cfg.WorkingSize, p.cfg.WorkingSize)
+	}
+	return img
+}
+
+// ensureEncoder lazily builds the projection encoder for ModeOrigHOG.
+func (p *Pipeline) ensureEncoder(img *Image) {
+	if p.enc != nil {
+		return
+	}
+	e := hog.New(p.hogParams)
+	n := e.FeatureLen(img.W, img.H)
+	p.enc = encoder.NewProjection(p.cfg.D, n, p.cfg.Seed^0xe0c0)
+}
+
+// Feature maps one image to its hypervector.
+func (p *Pipeline) Feature(img *Image) *hv.Vector {
+	img = p.prepare(img)
+	switch p.cfg.Mode {
+	case ModeStochHOG:
+		f := p.hdExt.Feature(img)
+		p.harvest(p.hdExt)
+		return f
+	case ModeStochHAAR:
+		f := p.haarExt.Feature(img)
+		p.harvestCodec(p.haarExt.Pixels)
+		p.haarExt.Pixels = 0
+		return f
+	case ModeStochConv:
+		f := p.convExt.Feature(img)
+		p.harvestCodec(p.convExt.Sites)
+		p.convExt.Sites = 0
+		return f
+	default:
+		p.ensureEncoder(img)
+		e := hog.New(p.hogParams)
+		feats := e.Features(img)
+		p.hogStats.Add(e.Stats)
+		v := p.enc.Encode(feats)
+		p.encMACs += int64(p.enc.D()) * int64(p.enc.Features())
+		return v
+	}
+}
+
+// harvest folds a (possibly forked) extractor's counters into the pipeline.
+func (p *Pipeline) harvest(e *hdhog.Extractor) {
+	p.mu.Lock()
+	p.stochStats.Add(e.Codec().Stats)
+	e.Codec().Stats = stoch.Stats{}
+	p.pixels += e.Pixels
+	e.Pixels = 0
+	p.mu.Unlock()
+}
+
+// harvestCodec folds the shared codec's counters plus a site count into
+// the pipeline (HAAR and convolution front-ends).
+func (p *Pipeline) harvestCodec(sites int64) {
+	p.mu.Lock()
+	p.stochStats.Add(p.codec.Stats)
+	p.codec.Stats = stoch.Stats{}
+	p.pixels += sites
+	p.mu.Unlock()
+}
+
+// Features maps a batch of images to hypervectors with Workers-way
+// parallelism. The result is deterministic for a fixed (Config, batch).
+func (p *Pipeline) Features(imgs []*Image) []*hv.Vector {
+	out := make([]*hv.Vector, len(imgs))
+	if len(imgs) == 0 {
+		return out
+	}
+	workers := p.cfg.Workers
+	if workers > len(imgs) {
+		workers = len(imgs)
+	}
+	switch p.cfg.Mode {
+	case ModeStochHOG:
+		// Pre-warm positional IDs so forks never mutate shared state.
+		probe := p.prepare(imgs[0])
+		p.hdExt.WarmIDs(probe.W, probe.H)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			ext := p.hdExt
+			if w > 0 {
+				ext = p.hdExt.Fork()
+			}
+			wg.Add(1)
+			go func(w int, ext *hdhog.Extractor) {
+				defer wg.Done()
+				for i := w; i < len(imgs); i += workers {
+					out[i] = ext.Feature(p.prepare(imgs[i]))
+				}
+				p.harvest(ext)
+			}(w, ext)
+		}
+		wg.Wait()
+		return out
+	case ModeStochHAAR, ModeStochConv:
+		// These extractors share one codec; run sequentially.
+		for i, img := range imgs {
+			out[i] = p.Feature(img)
+		}
+		return out
+	}
+	// ModeOrigHOG: encoder is shared read-only after creation.
+	p.ensureEncoder(p.prepare(imgs[0]))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := hog.New(p.hogParams)
+			var macs int64
+			for i := w; i < len(imgs); i += workers {
+				img := p.prepare(imgs[i])
+				feats := e.Features(img)
+				out[i] = p.enc.Encode(feats)
+				macs += int64(p.enc.D()) * int64(p.enc.Features())
+			}
+			mu.Lock()
+			p.hogStats.Add(e.Stats)
+			p.encMACs += macs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// Fit extracts features for the labelled images and trains the classifier.
+func (p *Pipeline) Fit(imgs []*Image, labels []int, numClasses int) error {
+	if len(imgs) == 0 || len(imgs) != len(labels) {
+		return fmt.Errorf("hdface: %d images vs %d labels", len(imgs), len(labels))
+	}
+	feats := p.Features(imgs)
+	opts := p.cfg.Train
+	if opts.Seed == 0 {
+		opts.Seed = p.cfg.Seed
+	}
+	p.model = hdc.Train(feats, labels, numClasses, opts)
+	p.model.Finalize(p.cfg.Seed ^ 0xf1a1)
+	return nil
+}
+
+// FitFeatures trains directly on precomputed hypervector features.
+func (p *Pipeline) FitFeatures(feats []*hv.Vector, labels []int, numClasses int) {
+	opts := p.cfg.Train
+	if opts.Seed == 0 {
+		opts.Seed = p.cfg.Seed
+	}
+	p.model = hdc.Train(feats, labels, numClasses, opts)
+	p.model.Finalize(p.cfg.Seed ^ 0xf1a1)
+}
+
+// Predict classifies one image. It panics if Fit has not run.
+func (p *Pipeline) Predict(img *Image) int {
+	if p.model == nil {
+		panic("hdface: Predict before Fit")
+	}
+	return p.model.Predict(p.Feature(img))
+}
+
+// Scores returns per-class similarities for one image.
+func (p *Pipeline) Scores(img *Image) []float64 {
+	if p.model == nil {
+		panic("hdface: Scores before Fit")
+	}
+	return p.model.Scores(p.Feature(img))
+}
+
+// Evaluate returns accuracy over a labelled test set, extracting features
+// in parallel.
+func (p *Pipeline) Evaluate(imgs []*Image, labels []int) float64 {
+	if p.model == nil {
+		panic("hdface: Evaluate before Fit")
+	}
+	if len(imgs) == 0 {
+		return 0
+	}
+	feats := p.Features(imgs)
+	return p.model.Accuracy(feats, labels)
+}
+
+// WorkStats summarises the computational work the pipeline has performed,
+// for the hardware model.
+type WorkStats struct {
+	Stoch   stoch.Stats
+	HOG     hog.Stats
+	EncMACs int64
+	Pixels  int64
+}
+
+// Work returns a snapshot of the pipeline's aggregated work counters.
+func (p *Pipeline) Work() WorkStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return WorkStats{Stoch: p.stochStats, HOG: p.hogStats, EncMACs: p.encMACs, Pixels: p.pixels}
+}
+
+// ResetWork clears the aggregated work counters (e.g. to separate the
+// training phase from inference when building hardware traces).
+func (p *Pipeline) ResetWork() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stochStats = stoch.Stats{}
+	p.hogStats = hog.Stats{}
+	p.encMACs = 0
+	p.pixels = 0
+}

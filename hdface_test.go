@@ -1,0 +1,233 @@
+package hdface_test
+
+import (
+	"testing"
+
+	"hdface"
+	"hdface/internal/dataset"
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+)
+
+// tinyFaceSet renders a small binary face/no-face problem at 32x32.
+func tinyFaceSet(n int, seed uint64) (imgs []*hdface.Image, labels []int) {
+	r := hv.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		if i%2 == 1 {
+			imgs = append(imgs, dataset.RenderFace(32, 32, dataset.Emotion(r.Intn(7)), r))
+			labels = append(labels, 1)
+		} else {
+			imgs = append(imgs, dataset.RenderNonFace(32, 32, r))
+			labels = append(labels, 0)
+		}
+	}
+	return
+}
+
+func TestConfigDefaults(t *testing.T) {
+	p := hdface.New(hdface.Config{})
+	cfg := p.Config()
+	if cfg.D != 4096 || cfg.Workers < 1 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if hdface.ModeStochHOG.String() != "HDFace+HoG+Learn" {
+		t.Fatal("stoch mode name")
+	}
+	if hdface.ModeOrigHOG.String() != "HDFace+Learn" {
+		t.Fatal("orig mode name")
+	}
+	if hdface.Mode(9).String() != "unknown" {
+		t.Fatal("unknown mode name")
+	}
+}
+
+func TestFitPredictStochHOG(t *testing.T) {
+	imgs, labels := tinyFaceSet(40, 1)
+	p := hdface.New(hdface.Config{D: 2048, Mode: hdface.ModeStochHOG, Seed: 2})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := p.Evaluate(imgs, labels); acc < 0.8 {
+		t.Fatalf("train accuracy %v", acc)
+	}
+	testImgs, testLabels := tinyFaceSet(20, 99)
+	if acc := p.Evaluate(testImgs, testLabels); acc < 0.7 {
+		t.Fatalf("test accuracy %v", acc)
+	}
+}
+
+func TestFitPredictOrigHOG(t *testing.T) {
+	imgs, labels := tinyFaceSet(40, 3)
+	p := hdface.New(hdface.Config{D: 2048, Mode: hdface.ModeOrigHOG, Seed: 4})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := p.Evaluate(imgs, labels); acc < 0.85 {
+		t.Fatalf("train accuracy %v", acc)
+	}
+	testImgs, testLabels := tinyFaceSet(20, 98)
+	if acc := p.Evaluate(testImgs, testLabels); acc < 0.7 {
+		t.Fatalf("test accuracy %v", acc)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	p := hdface.New(hdface.Config{D: 256})
+	if err := p.Fit(nil, nil, 2); err == nil {
+		t.Fatal("accepted empty training set")
+	}
+	imgs, _ := tinyFaceSet(4, 5)
+	if err := p.Fit(imgs, []int{0}, 2); err == nil {
+		t.Fatal("accepted mismatched labels")
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	p := hdface.New(hdface.Config{D: 256})
+	img := imgproc.NewImage(16, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	p.Predict(img)
+}
+
+func TestWorkingSizeResizes(t *testing.T) {
+	// Images of mixed sizes must be unified by WorkingSize.
+	r := hv.NewRNG(6)
+	imgs := []*hdface.Image{
+		dataset.RenderFace(64, 64, dataset.Happy, r),
+		dataset.RenderNonFace(48, 48, r),
+		dataset.RenderFace(32, 32, dataset.Sad, r),
+		dataset.RenderNonFace(64, 64, r),
+	}
+	labels := []int{1, 0, 1, 0}
+	p := hdface.New(hdface.Config{D: 512, WorkingSize: 16, Seed: 7})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Must also accept a differently sized query.
+	p.Predict(dataset.RenderFace(128, 128, dataset.Happy, r))
+}
+
+func TestScores(t *testing.T) {
+	imgs, labels := tinyFaceSet(12, 8)
+	p := hdface.New(hdface.Config{D: 512, Seed: 9})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Scores(imgs[0])
+	if len(s) != 2 {
+		t.Fatalf("scores length %d", len(s))
+	}
+}
+
+func TestFeaturesDeterministicAcrossRuns(t *testing.T) {
+	imgs, labels := tinyFaceSet(8, 10)
+	run := func() []int {
+		p := hdface.New(hdface.Config{D: 512, Seed: 11})
+		if err := p.Fit(imgs, labels, 2); err != nil {
+			t.Fatal(err)
+		}
+		var preds []int
+		for _, img := range imgs {
+			preds = append(preds, p.Model().Predict(p.Feature(img)))
+		}
+		return preds
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestWorkCountersAccumulateAndReset(t *testing.T) {
+	imgs, labels := tinyFaceSet(6, 12)
+	p := hdface.New(hdface.Config{D: 512, Seed: 13})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	w := p.Work()
+	if (&w.Stoch).TotalWords() == 0 || w.Pixels == 0 {
+		t.Fatalf("stoch work not recorded: %+v", w)
+	}
+	p.ResetWork()
+	if func() bool { ws := p.Work(); return (&ws.Stoch).TotalWords() != 0 }() || p.Work().Pixels != 0 {
+		t.Fatal("ResetWork incomplete")
+	}
+
+	po := hdface.New(hdface.Config{D: 512, Mode: hdface.ModeOrigHOG, Seed: 14})
+	if err := po.Fit(imgs, labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	wo := po.Work()
+	if wo.HOG.Total() == 0 || wo.EncMACs == 0 {
+		t.Fatalf("orig-mode work not recorded: %+v", wo)
+	}
+}
+
+func TestFitFeaturesDirect(t *testing.T) {
+	r := hv.NewRNG(15)
+	var feats []*hv.Vector
+	var labels []int
+	protoA, protoB := hv.NewRand(r, 512), hv.NewRand(r, 512)
+	for i := 0; i < 20; i++ {
+		v := protoA.Clone()
+		l := 0
+		if i%2 == 1 {
+			v = protoB.Clone()
+			l = 1
+		}
+		v.Xor(v, hv.NewRandBiased(r, 512, 0.1))
+		feats = append(feats, v)
+		labels = append(labels, l)
+	}
+	p := hdface.New(hdface.Config{D: 512, Seed: 16})
+	p.FitFeatures(feats, labels, 2)
+	if p.Model().Accuracy(feats, labels) < 0.95 {
+		t.Fatal("FitFeatures failed on trivial clusters")
+	}
+}
+
+func TestFitPredictStochHAAR(t *testing.T) {
+	imgs, labels := tinyFaceSet(30, 20)
+	p := hdface.New(hdface.Config{D: 2048, Mode: hdface.ModeStochHAAR, WorkingSize: 24, Seed: 21})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := p.Evaluate(imgs, labels); acc < 0.75 {
+		t.Fatalf("HAAR train accuracy %v", acc)
+	}
+	w := p.Work()
+	if (&w.Stoch).TotalWords() == 0 || w.Pixels == 0 {
+		t.Fatal("HAAR mode did not record work")
+	}
+}
+
+func TestFitPredictStochConv(t *testing.T) {
+	imgs, labels := tinyFaceSet(30, 22)
+	p := hdface.New(hdface.Config{D: 2048, Mode: hdface.ModeStochConv, WorkingSize: 24, Seed: 23})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := p.Evaluate(imgs, labels); acc < 0.75 {
+		t.Fatalf("Conv train accuracy %v", acc)
+	}
+	w := p.Work()
+	if (&w.Stoch).TotalWords() == 0 || w.Pixels == 0 {
+		t.Fatal("Conv mode did not record work")
+	}
+}
+
+func TestAllModeNames(t *testing.T) {
+	if hdface.ModeStochHAAR.String() != "HDFace+HAAR+Learn" ||
+		hdface.ModeStochConv.String() != "HDFace+Conv+Learn" {
+		t.Fatal("new mode names wrong")
+	}
+}

@@ -1,0 +1,332 @@
+// Package cascade implements a Viola-Jones-style face detector: decision
+// stumps over HAAR rectangle features, boosted with discrete AdaBoost and
+// arranged in an attentional cascade. It is the classical fast-rejection
+// baseline the HAAR literature the paper cites ([8], [10]) compares HOG
+// pipelines against, and serves here as an additional detection baseline
+// and a consumer of the internal/haar substrate.
+package cascade
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"hdface/internal/haar"
+	"hdface/internal/imgproc"
+)
+
+// Stump is a one-feature threshold classifier: sign * (x[Feature] - Thresh).
+type Stump struct {
+	Feature  int
+	Thresh   float64
+	Polarity int     // +1: positive above threshold, -1: below
+	Alpha    float64 // boosting weight
+}
+
+// classify returns +1 or -1 for a feature vector.
+func (s Stump) classify(x []float64) int {
+	if s.Polarity*sign(x[s.Feature]-s.Thresh) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Stage is one boosted committee with a rejection threshold.
+type Stage struct {
+	Stumps []Stump
+	// Shift moves the committee's decision threshold; negative values
+	// favour detections (fewer misses, more false positives), which is
+	// how early cascade stages are tuned.
+	Shift float64
+}
+
+// Score returns the weighted committee margin for x.
+func (st Stage) Score(x []float64) float64 {
+	var s float64
+	for _, stump := range st.Stumps {
+		s += stump.Alpha * float64(stump.classify(x))
+	}
+	return s + st.Shift
+}
+
+// Detector is a trained cascade over a HAAR feature bank.
+type Detector struct {
+	Win    int
+	Bank   []haar.Feature
+	Stages []Stage
+	// FeatureEvals counts feature evaluations during Detect, showing the
+	// cascade's early-rejection economy.
+	FeatureEvals int64
+}
+
+// TrainOpts configures cascade training.
+type TrainOpts struct {
+	// Stages is the cascade depth (default 3).
+	Stages int
+	// StumpsPerStage grows per stage: stage i gets StumpsPerStage*(i+1)
+	// stumps (default 4).
+	StumpsPerStage int
+	// TargetRecall tunes each stage's Shift so at least this fraction of
+	// training positives pass (default 0.99).
+	TargetRecall float64
+}
+
+func (o TrainOpts) withDefaults() TrainOpts {
+	if o.Stages == 0 {
+		o.Stages = 3
+	}
+	if o.StumpsPerStage == 0 {
+		o.StumpsPerStage = 4
+	}
+	if o.TargetRecall == 0 {
+		o.TargetRecall = 0.99
+	}
+	return o
+}
+
+// Train boosts a cascade from window images: label 1 = face, 0 = no face.
+func Train(imgs []*imgproc.Image, labels []int, win int, opts TrainOpts) (*Detector, error) {
+	if len(imgs) == 0 || len(imgs) != len(labels) {
+		return nil, errors.New("cascade: images and labels must be non-empty and aligned")
+	}
+	opts = opts.withDefaults()
+	ext := haar.New(win)
+	det := &Detector{Win: win, Bank: ext.Bank}
+
+	// Precompute the full feature matrix once.
+	X := make([][]float64, len(imgs))
+	y := make([]int, len(imgs)) // +-1
+	for i, img := range imgs {
+		X[i] = ext.Features(img)
+		if labels[i] == 1 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+
+	// Active set shrinks as stages reject negatives.
+	active := make([]int, len(imgs))
+	for i := range active {
+		active[i] = i
+	}
+	for stage := 0; stage < opts.Stages; stage++ {
+		nStumps := opts.StumpsPerStage * (stage + 1)
+		st, err := boostStage(X, y, active, nStumps)
+		if err != nil {
+			return nil, err
+		}
+		// Tune Shift for the target recall on active positives.
+		var posScores []float64
+		for _, i := range active {
+			if y[i] == 1 {
+				posScores = append(posScores, st.Score(X[i]))
+			}
+		}
+		if len(posScores) == 0 {
+			return nil, errors.New("cascade: a stage ran out of positives")
+		}
+		sort.Float64s(posScores)
+		idx := int(float64(len(posScores)) * (1 - opts.TargetRecall))
+		if idx >= len(posScores) {
+			idx = len(posScores) - 1
+		}
+		// Pass everything scoring at least the idx-th positive.
+		st.Shift -= posScores[idx]
+		det.Stages = append(det.Stages, st)
+
+		// Drop rejected negatives from the active set.
+		var next []int
+		for _, i := range active {
+			if y[i] == 1 || st.Score(X[i]) >= 0 {
+				next = append(next, i)
+			}
+		}
+		active = next
+		negLeft := 0
+		for _, i := range active {
+			if y[i] == -1 {
+				negLeft++
+			}
+		}
+		if negLeft == 0 {
+			break // all negatives rejected; deeper stages are pointless
+		}
+	}
+	return det, nil
+}
+
+// boostStage runs discrete AdaBoost with decision stumps on the active set.
+func boostStage(X [][]float64, y []int, active []int, nStumps int) (Stage, error) {
+	if len(active) == 0 {
+		return Stage{}, errors.New("cascade: empty active set")
+	}
+	nFeat := len(X[active[0]])
+	w := make(map[int]float64, len(active))
+	for _, i := range active {
+		w[i] = 1 / float64(len(active))
+	}
+	var st Stage
+	for s := 0; s < nStumps; s++ {
+		best, bestErr := bestStump(X, y, active, w, nFeat)
+		if bestErr >= 0.5 {
+			break // no stump better than chance remains
+		}
+		eps := math.Max(bestErr, 1e-10)
+		best.Alpha = 0.5 * math.Log((1-eps)/eps)
+		st.Stumps = append(st.Stumps, best)
+		// Reweight: emphasise mistakes.
+		var total float64
+		for _, i := range active {
+			if best.classify(X[i]) != y[i] {
+				w[i] *= math.Exp(best.Alpha)
+			} else {
+				w[i] *= math.Exp(-best.Alpha)
+			}
+			total += w[i]
+		}
+		for _, i := range active {
+			w[i] /= total
+		}
+	}
+	if len(st.Stumps) == 0 {
+		return Stage{}, errors.New("cascade: boosting found no useful stump")
+	}
+	return st, nil
+}
+
+// bestStump exhaustively finds the lowest weighted-error stump.
+func bestStump(X [][]float64, y []int, active []int, w map[int]float64, nFeat int) (Stump, float64) {
+	best := Stump{}
+	bestErr := math.Inf(1)
+	type pair struct {
+		v   float64
+		idx int
+	}
+	vals := make([]pair, len(active))
+	for f := 0; f < nFeat; f++ {
+		for j, i := range active {
+			vals[j] = pair{X[i][f], i}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		// Sweep thresholds between consecutive values. errAbove = weighted
+		// error of "positive above threshold" with threshold below all.
+		var errAbove float64
+		for _, p := range vals {
+			if y[p.idx] == -1 {
+				errAbove += w[p.idx]
+			}
+		}
+		check := func(thresh, eAbove float64) {
+			if eAbove < bestErr {
+				best = Stump{Feature: f, Thresh: thresh, Polarity: 1}
+				bestErr = eAbove
+			}
+			if 1-eAbove < bestErr {
+				best = Stump{Feature: f, Thresh: thresh, Polarity: -1}
+				bestErr = 1 - eAbove
+			}
+		}
+		check(vals[0].v-1e-9, errAbove)
+		for j := 0; j < len(vals); j++ {
+			// Moving the threshold just above vals[j] flips sample j from
+			// "above" to "below".
+			if y[vals[j].idx] == 1 {
+				errAbove += w[vals[j].idx]
+			} else {
+				errAbove -= w[vals[j].idx]
+			}
+			thresh := vals[j].v + 1e-9
+			if j+1 < len(vals) {
+				thresh = (vals[j].v + vals[j+1].v) / 2
+			}
+			check(thresh, errAbove)
+		}
+	}
+	return best, bestErr
+}
+
+// Classify runs the cascade on one window: every stage must accept.
+func (d *Detector) Classify(img *imgproc.Image) bool {
+	ext := haar.Extractor{Win: d.Win, Bank: d.Bank}
+	x := ext.Features(img)
+	d.FeatureEvals += int64(len(x))
+	for _, st := range d.Stages {
+		if st.Score(x) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Accuracy evaluates window classification accuracy.
+func (d *Detector) Accuracy(imgs []*imgproc.Image, labels []int) float64 {
+	if len(imgs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, img := range imgs {
+		got := 0
+		if d.Classify(img) {
+			got = 1
+		}
+		if got == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(imgs))
+}
+
+// Detect slides the cascade over a scene and returns detected boxes.
+func (d *Detector) Detect(scene *imgproc.Image, stride int) [][4]int {
+	if stride <= 0 {
+		stride = d.Win / 2
+	}
+	var out [][4]int
+	for y := 0; y+d.Win <= scene.H; y += stride {
+		for x := 0; x+d.Win <= scene.W; x += stride {
+			if d.Classify(scene.Crop(x, y, d.Win, d.Win)) {
+				out = append(out, [4]int{x, y, x + d.Win, y + d.Win})
+			}
+		}
+	}
+	return out
+}
+
+// String summarises the cascade.
+func (d *Detector) String() string {
+	total := 0
+	for _, st := range d.Stages {
+		total += len(st.Stumps)
+	}
+	return fmt.Sprintf("cascade.Detector{win:%d, stages:%d, stumps:%d, bank:%d}",
+		d.Win, len(d.Stages), total, len(d.Bank))
+}
+
+// Save writes the detector in gob format (the HAAR bank is regenerable but
+// stored anyway so loaded detectors are self-contained).
+func (d *Detector) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// Load reads a detector written by Save.
+func Load(r io.Reader) (*Detector, error) {
+	var d Detector
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, err
+	}
+	if d.Win <= 0 || len(d.Bank) == 0 || len(d.Stages) == 0 {
+		return nil, errors.New("cascade: malformed detector")
+	}
+	return &d, nil
+}

@@ -1,0 +1,212 @@
+package cascade
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hdface/internal/dataset"
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+)
+
+// windows renders a balanced face/no-face window set.
+func windows(n, win int, seed uint64) ([]*imgproc.Image, []int) {
+	r := hv.NewRNG(seed)
+	var imgs []*imgproc.Image
+	var labels []int
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			imgs = append(imgs, dataset.RenderFace(win, win, dataset.Emotion(r.Intn(7)), r))
+			labels = append(labels, 1)
+		} else {
+			imgs = append(imgs, dataset.RenderNonFace(win, win, r))
+			labels = append(labels, 0)
+		}
+	}
+	return imgs, labels
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, 24, TrainOpts{}); err == nil {
+		t.Fatal("accepted empty training set")
+	}
+	imgs, _ := windows(4, 24, 1)
+	if _, err := Train(imgs, []int{1}, 24, TrainOpts{}); err == nil {
+		t.Fatal("accepted misaligned labels")
+	}
+}
+
+func TestTrainSeparatesFaces(t *testing.T) {
+	imgs, labels := windows(60, 24, 2)
+	det, err := Train(imgs, labels, 24, TrainOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := det.Accuracy(imgs, labels); acc < 0.85 {
+		t.Fatalf("train accuracy %v", acc)
+	}
+	testImgs, testLabels := windows(30, 24, 77)
+	if acc := det.Accuracy(testImgs, testLabels); acc < 0.7 {
+		t.Fatalf("test accuracy %v", acc)
+	}
+}
+
+func TestCascadeRecall(t *testing.T) {
+	// Stage shifts are tuned for high recall on the training positives.
+	imgs, labels := windows(60, 24, 3)
+	det, err := Train(imgs, labels, 24, TrainOpts{TargetRecall: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missed := 0
+	positives := 0
+	for i, img := range imgs {
+		if labels[i] != 1 {
+			continue
+		}
+		positives++
+		if !det.Classify(img) {
+			missed++
+		}
+	}
+	if float64(missed)/float64(positives) > 0.1 {
+		t.Fatalf("missed %d of %d training positives", missed, positives)
+	}
+}
+
+func TestStumpClassify(t *testing.T) {
+	s := Stump{Feature: 0, Thresh: 0.5, Polarity: 1}
+	if s.classify([]float64{0.7}) != 1 || s.classify([]float64{0.3}) != -1 {
+		t.Fatal("polarity +1 wrong")
+	}
+	s.Polarity = -1
+	if s.classify([]float64{0.7}) != -1 || s.classify([]float64{0.3}) != 1 {
+		t.Fatal("polarity -1 wrong")
+	}
+}
+
+func TestStageScore(t *testing.T) {
+	st := Stage{Stumps: []Stump{
+		{Feature: 0, Thresh: 0, Polarity: 1, Alpha: 2},
+		{Feature: 1, Thresh: 0, Polarity: 1, Alpha: 1},
+	}}
+	// Both positive: 2 + 1 = 3.
+	if got := st.Score([]float64{1, 1}); got != 3 {
+		t.Fatalf("score %v, want 3", got)
+	}
+	// Disagreement: 2 - 1 = 1.
+	if got := st.Score([]float64{1, -1}); got != 1 {
+		t.Fatalf("score %v, want 1", got)
+	}
+	st.Shift = -2
+	if got := st.Score([]float64{1, 1}); got != 1 {
+		t.Fatalf("shifted score %v, want 1", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	o := TrainOpts{}.withDefaults()
+	if o.Stages != 3 || o.StumpsPerStage != 4 || o.TargetRecall != 0.99 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestDetectOnScene(t *testing.T) {
+	imgs, labels := windows(60, 24, 4)
+	det, err := Train(imgs, labels, 24, TrainOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := dataset.GenerateScene(96, 72, 24, 2, 5)
+	boxes := det.Detect(scene.Image, 12)
+	// At least one detection should overlap a true face.
+	hit := false
+	for _, b := range boxes {
+		if scene.InBox(b[0], b[1], b[2], b[3]) {
+			hit = true
+		}
+	}
+	if len(boxes) > 0 && !hit {
+		t.Logf("detections %v missed faces %v (acceptable on tiny cascade)", boxes, scene.Faces)
+	}
+	if det.FeatureEvals == 0 {
+		t.Fatal("feature evaluations not counted")
+	}
+}
+
+func TestDetectDefaultStride(t *testing.T) {
+	imgs, labels := windows(40, 24, 6)
+	det, err := Train(imgs, labels, 24, TrainOpts{Stages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := dataset.GenerateScene(72, 48, 24, 1, 7)
+	// stride <= 0 falls back to win/2.
+	det.Detect(scene.Image, 0)
+}
+
+func TestStringSummary(t *testing.T) {
+	imgs, labels := windows(30, 24, 8)
+	det, err := Train(imgs, labels, 24, TrainOpts{Stages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := det.String()
+	if !strings.Contains(s, "win:24") || !strings.Contains(s, "stages:") {
+		t.Fatalf("summary %q", s)
+	}
+}
+
+func TestBestStumpPerfectSplit(t *testing.T) {
+	// A feature that perfectly separates must yield ~zero error.
+	X := [][]float64{{0.1}, {0.2}, {0.8}, {0.9}}
+	y := []int{-1, -1, 1, 1}
+	active := []int{0, 1, 2, 3}
+	w := map[int]float64{0: 0.25, 1: 0.25, 2: 0.25, 3: 0.25}
+	s, err := bestStump(X, y, active, w, 1)
+	if err != 0 {
+		t.Fatalf("perfect split error %v", err)
+	}
+	if s.classify([]float64{0.9}) != 1 || s.classify([]float64{0.1}) != -1 {
+		t.Fatalf("stump %+v misclassifies", s)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	imgs, labels := windows(40, 24, 9)
+	det, err := Train(imgs, labels, 24, TrainOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Classify(imgs[i%len(imgs)])
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	imgs, labels := windows(40, 24, 10)
+	det, err := Train(imgs, labels, 24, TrainOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same decisions on every training window.
+	for i, img := range imgs {
+		if det.Classify(img) != got.Classify(img) {
+			t.Fatalf("decision %d changed after round trip", i)
+		}
+	}
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage loaded")
+	}
+}

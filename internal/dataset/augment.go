@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"math"
+
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+)
+
+// AugmentOpts bounds the random perturbations Augment applies.
+type AugmentOpts struct {
+	// MaxRotate bounds rotation in radians (default 0.15).
+	MaxRotate float64
+	// MaxShift bounds translation in pixels (default 2).
+	MaxShift int
+	// MaxBrightness bounds the additive intensity change (default 20).
+	MaxBrightness int
+	// ContrastJitter bounds the contrast factor to 1 +- this (default 0.2).
+	ContrastJitter float64
+	// FlipH mirrors horizontally with probability 1/2 (default true for
+	// faces, which are left-right symmetric up to expression asymmetry).
+	FlipH bool
+}
+
+// DefaultAugmentOpts returns face-appropriate perturbation bounds.
+func DefaultAugmentOpts() AugmentOpts {
+	return AugmentOpts{MaxRotate: 0.15, MaxShift: 2, MaxBrightness: 20,
+		ContrastJitter: 0.2, FlipH: true}
+}
+
+// AugmentImage returns one randomly perturbed variant of img.
+func AugmentImage(img *imgproc.Image, o AugmentOpts, r *hv.RNG) *imgproc.Image {
+	out := img
+	if o.FlipH && r.Intn(2) == 1 {
+		out = out.FlipH()
+	}
+	if o.MaxRotate > 0 {
+		out = out.Rotate(o.MaxRotate * (2*r.Float64() - 1))
+	}
+	if o.MaxShift > 0 {
+		out = out.Translate(r.Intn(2*o.MaxShift+1)-o.MaxShift,
+			r.Intn(2*o.MaxShift+1)-o.MaxShift)
+	}
+	if o.MaxBrightness > 0 {
+		out = out.AdjustBrightness(r.Intn(2*o.MaxBrightness+1) - o.MaxBrightness)
+	}
+	if o.ContrastJitter > 0 {
+		out = out.AdjustContrast(1 + o.ContrastJitter*(2*r.Float64()-1))
+	}
+	if out == img {
+		out = img.Clone()
+	}
+	return out
+}
+
+// Occlude paints a random opaque rectangle covering roughly frac of the
+// image area — the "corrupted data" condition the paper's robustness
+// claims cover (sunglasses, masks, sensor dropout).
+func Occlude(img *imgproc.Image, frac float64, r *hv.RNG) *imgproc.Image {
+	out := img.Clone()
+	if frac <= 0 {
+		return out
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	// A rectangle with aspect jitter whose area is frac of the image.
+	area := frac * float64(img.W) * float64(img.H)
+	aspect := 0.5 + r.Float64()
+	w := int(math.Sqrt(area * aspect))
+	h := int(area / float64(max(1, w)))
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	x := r.Intn(max(1, img.W-w+1))
+	y := r.Intn(max(1, img.H-h+1))
+	shade := uint8(r.Intn(60)) // dark occluder
+	out.FillRect(x, y, x+w, y+h, shade)
+	return out
+}
+
+// Augment expands a sample set with perSample random variants each,
+// preserving labels. The original samples are included first.
+func Augment(samples []Sample, perSample int, o AugmentOpts, seed uint64) []Sample {
+	r := hv.NewRNG(seed ^ 0xa06)
+	out := make([]Sample, 0, len(samples)*(perSample+1))
+	out = append(out, samples...)
+	for _, s := range samples {
+		for i := 0; i < perSample; i++ {
+			out = append(out, Sample{
+				Image: AugmentImage(s.Image, o, r),
+				Label: s.Label,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"testing"
+
+	"hdface/internal/hv"
+)
+
+func TestAugmentImageProducesVariants(t *testing.T) {
+	r := hv.NewRNG(1)
+	img := RenderFace(32, 32, Happy, r)
+	seen := map[string]bool{string(img.Pix[:32]): true}
+	o := DefaultAugmentOpts()
+	for i := 0; i < 8; i++ {
+		v := AugmentImage(img, o, r)
+		if v.W != 32 || v.H != 32 {
+			t.Fatal("augmentation changed geometry")
+		}
+		seen[string(v.Pix[:32])] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("augmentations not diverse: %d unique of 9", len(seen))
+	}
+}
+
+func TestAugmentImageNoOpsClone(t *testing.T) {
+	r := hv.NewRNG(2)
+	img := RenderFace(16, 16, Sad, r)
+	v := AugmentImage(img, AugmentOpts{}, r)
+	if v == img {
+		t.Fatal("disabled augmentation returned the original pointer")
+	}
+	if !v.Equal(img) {
+		t.Fatal("disabled augmentation changed pixels")
+	}
+}
+
+func TestAugmentExpandsWithLabels(t *testing.T) {
+	r := hv.NewRNG(3)
+	samples := []Sample{
+		{Image: RenderFace(16, 16, Happy, r), Label: 1},
+		{Image: RenderNonFace(16, 16, r), Label: 0},
+	}
+	out := Augment(samples, 3, DefaultAugmentOpts(), 4)
+	if len(out) != 2*(3+1) {
+		t.Fatalf("augmented count %d, want 8", len(out))
+	}
+	// Originals first, labels preserved per block.
+	if out[0].Label != 1 || out[1].Label != 0 {
+		t.Fatal("originals not first")
+	}
+	ones := 0
+	for _, s := range out {
+		ones += s.Label
+	}
+	if ones != 4 {
+		t.Fatalf("label balance broken: %d of 8 positives", ones)
+	}
+}
+
+func TestAugmentDeterministic(t *testing.T) {
+	r := hv.NewRNG(5)
+	samples := []Sample{{Image: RenderFace(16, 16, Fear, r), Label: 1}}
+	a := Augment(samples, 2, DefaultAugmentOpts(), 9)
+	b := Augment(samples, 2, DefaultAugmentOpts(), 9)
+	for i := range a {
+		if !a[i].Image.Equal(b[i].Image) {
+			t.Fatalf("augmentation %d not deterministic", i)
+		}
+	}
+}
+
+func TestOcclude(t *testing.T) {
+	r := hv.NewRNG(6)
+	img := RenderFace(32, 32, Happy, r)
+	occ := Occlude(img, 0.25, r)
+	if occ == img {
+		t.Fatal("Occlude returned original pointer")
+	}
+	changed := 0
+	for i := range img.Pix {
+		if img.Pix[i] != occ.Pix[i] {
+			changed++
+		}
+	}
+	// Roughly a quarter of the pixels should be covered.
+	frac := float64(changed) / float64(len(img.Pix))
+	if frac < 0.1 || frac > 0.45 {
+		t.Fatalf("occluded fraction %v, want ~0.25", frac)
+	}
+	// Zero and over-range fractions behave.
+	if !Occlude(img, 0, r).Equal(img) {
+		t.Fatal("frac=0 changed image")
+	}
+	full := Occlude(img, 2, r)
+	if full.Equal(img) {
+		t.Fatal("frac>1 changed nothing")
+	}
+}

@@ -1,0 +1,305 @@
+// Package dataset procedurally generates the three evaluation datasets of
+// the HDFace paper (Table 1). The originals — a Kaggle facial-emotion set
+// and two face-detection corpora — are not redistributable, so this package
+// renders synthetic faces and clutter with controlled nuisance variation
+// (pose jitter, illumination, occlusion, pixel noise). The learning problem
+// (separating facial configurations from grayscale rasters) is preserved,
+// which is what the accuracy, dimensionality and robustness experiments
+// actually exercise.
+package dataset
+
+import (
+	"math"
+
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+)
+
+// Emotion enumerates the seven FER-2013 classes.
+type Emotion int
+
+// The seven emotion classes in FER-2013 order.
+const (
+	Angry Emotion = iota
+	Disgust
+	Fear
+	Happy
+	Neutral
+	Sad
+	Surprise
+	NumEmotions
+)
+
+var emotionNames = [...]string{"angry", "disgust", "fear", "happy", "neutral", "sad", "surprise"}
+
+// String returns the lowercase class name.
+func (e Emotion) String() string {
+	if e < 0 || e >= NumEmotions {
+		return "unknown"
+	}
+	return emotionNames[e]
+}
+
+// faceParams captures the geometry of one rendered face. All values are in
+// units of the face bounding box so rendering scales to any raster size.
+type faceParams struct {
+	// global pose
+	cx, cy  float64 // face centre as fraction of the image
+	scale   float64 // head semi-major axis as fraction of min(W, H)
+	tilt    float64 // head rotation, radians
+	aspect  float64 // head width/height ratio
+	skin    uint8   // face brightness
+	feature uint8   // feature darkness
+	// per-emotion facial configuration
+	browAngle  float64 // radians; positive = inner ends down (anger)
+	browRaise  float64 // vertical offset of brows, fraction of head
+	eyeOpen    float64 // eye vertical openness multiplier
+	mouthCurve float64 // +1 smile, -1 frown
+	mouthOpen  float64 // 0 closed .. 1 wide open
+	mouthWidth float64
+}
+
+// emotionConfig returns the canonical facial configuration for an emotion;
+// the renderer perturbs it with per-sample jitter.
+func emotionConfig(e Emotion) faceParams {
+	p := faceParams{
+		browAngle: 0, browRaise: 0, eyeOpen: 1,
+		mouthCurve: 0, mouthOpen: 0.1, mouthWidth: 0.55,
+	}
+	switch e {
+	case Angry:
+		p.browAngle = 0.45
+		p.browRaise = 0.06
+		p.eyeOpen = 0.85
+		p.mouthCurve = -0.6
+		p.mouthOpen = 0.1
+	case Disgust:
+		p.browAngle = 0.2
+		p.browRaise = 0.04
+		p.eyeOpen = 0.6
+		p.mouthCurve = -0.35
+		p.mouthOpen = 0.25
+		p.mouthWidth = 0.45
+	case Fear:
+		p.browAngle = -0.3
+		p.browRaise = -0.08
+		p.eyeOpen = 1.45
+		p.mouthCurve = -0.15
+		p.mouthOpen = 0.55
+		p.mouthWidth = 0.4
+	case Happy:
+		p.browAngle = -0.05
+		p.mouthCurve = 0.9
+		p.mouthOpen = 0.35
+		p.mouthWidth = 0.7
+	case Neutral:
+		// canonical defaults
+	case Sad:
+		p.browAngle = -0.4
+		p.browRaise = -0.03
+		p.eyeOpen = 0.8
+		p.mouthCurve = -0.8
+		p.mouthOpen = 0.05
+	case Surprise:
+		p.browAngle = 0
+		p.browRaise = -0.12
+		p.eyeOpen = 1.7
+		p.mouthCurve = 0
+		p.mouthOpen = 0.95
+		p.mouthWidth = 0.35
+	}
+	return p
+}
+
+// jitter perturbs a canonical configuration with sample-specific noise so
+// every rendered face is unique.
+func jitter(p faceParams, r *hv.RNG) faceParams {
+	p.cx = 0.5 + 0.03*(r.Float64()*2-1)
+	p.cy = 0.5 + 0.03*(r.Float64()*2-1)
+	p.scale = 0.42 + 0.05*r.Float64()
+	p.tilt = 0.08 * (r.Float64()*2 - 1)
+	p.aspect = 0.76 + 0.1*r.Float64()
+	p.skin = uint8(150 + r.Intn(70))
+	p.feature = uint8(20 + r.Intn(50))
+	p.browAngle += 0.08 * (r.Float64()*2 - 1)
+	p.browRaise += 0.02 * (r.Float64()*2 - 1)
+	p.eyeOpen *= 0.9 + 0.2*r.Float64()
+	p.mouthCurve += 0.1 * (r.Float64()*2 - 1)
+	p.mouthOpen = math.Max(0.02, p.mouthOpen+0.08*(r.Float64()*2-1))
+	p.mouthWidth *= 0.9 + 0.2*r.Float64()
+	return p
+}
+
+// RenderFace draws a single face with the emotion's configuration into a
+// fresh w x h image. The same seed renders the same face.
+func RenderFace(w, h int, e Emotion, r *hv.RNG) *imgproc.Image {
+	p := jitter(emotionConfig(e), r)
+	img := imgproc.NewImage(w, h)
+
+	// Background: illumination ramp plus low-frequency blobs.
+	g0 := uint8(50 + r.Intn(50))
+	g1 := uint8(80 + r.Intn(80))
+	img.GradientFill(float64(r.Intn(w)), float64(r.Intn(h)),
+		float64(r.Intn(w)), float64(r.Intn(h)), g0, g1)
+	for i := 0; i < 2; i++ {
+		img.FillEllipse(float64(r.Intn(w)), float64(r.Intn(h)),
+			float64(w)*(0.08+0.15*r.Float64()), float64(h)*(0.08+0.15*r.Float64()),
+			r.Float64()*math.Pi, uint8(70+r.Intn(60)))
+	}
+
+	drawFace(img, p)
+
+	// Soften and add sensor noise.
+	out := img.BoxBlur(max(1, w/64))
+	addPixelNoise(out, r, 6)
+	return out
+}
+
+// drawFace rasterises the parameterised face into img.
+func drawFace(img *imgproc.Image, p faceParams) {
+	w, h := float64(img.W), float64(img.H)
+	s := p.scale * math.Min(w, h)
+	cx, cy := p.cx*w, p.cy*h
+	sin, cos := math.Sincos(p.tilt)
+	// local face coordinates -> image coordinates
+	pt := func(lx, ly float64) (float64, float64) {
+		lx, ly = lx*s, ly*s
+		return cx + lx*cos - ly*sin, cy + lx*sin + ly*cos
+	}
+
+	// Head.
+	img.FillEllipse(cx, cy, s*p.aspect, s, p.tilt, p.skin)
+	// Hair line: darker cap on the upper head.
+	hx, hy := pt(0, -0.78)
+	img.FillEllipse(hx, hy, s*p.aspect*0.92, s*0.38, p.tilt, p.feature+30)
+
+	eyeY := -0.18 + 0.0
+	for _, side := range []float64{-1, 1} {
+		ex, ey := pt(side*0.36*p.aspect, eyeY)
+		// Eye white.
+		img.FillEllipse(ex, ey, s*0.16, s*0.10*p.eyeOpen, p.tilt, 235)
+		// Iris.
+		img.FillEllipse(ex, ey, s*0.055, s*0.07*p.eyeOpen, p.tilt, p.feature)
+		// Brow: a short line whose slope encodes the emotion. A positive
+		// browAngle pulls the inner end down (anger), negative raises it
+		// relative to the outer end (sadness/fear).
+		slope := math.Tan(p.browAngle) * 0.1
+		browY := eyeY - 0.17 - p.browRaise
+		bx0, by0 := pt(side*0.2*p.aspect, browY+slope)  // inner end
+		bx1, by1 := pt(side*0.52*p.aspect, browY-slope) // outer end
+		img.Line(bx0, by0, bx1, by1, math.Max(1.5, s*0.05), p.feature)
+	}
+
+	// Nose.
+	nx0, ny0 := pt(0, -0.05)
+	nx1, ny1 := pt(0, 0.22)
+	img.Line(nx0, ny0, nx1, ny1, math.Max(1, s*0.04), p.feature+40)
+
+	// Mouth: an arc bending with mouthCurve, optionally open (filled
+	// ellipse underneath).
+	mx, my := pt(0, 0.52)
+	mw := p.mouthWidth * s
+	if p.mouthOpen > 0.25 {
+		img.FillEllipse(mx, my, mw*0.5, s*0.16*p.mouthOpen, p.tilt, p.feature)
+	}
+	// Arc centre above (smile) or below (frown) the mouth midpoint.
+	if math.Abs(p.mouthCurve) < 0.08 {
+		x0, y0 := pt(-p.mouthWidth/2, 0.52)
+		x1, y1 := pt(p.mouthWidth/2, 0.52)
+		img.Line(x0, y0, x1, y1, math.Max(1.5, s*0.05), p.feature)
+	} else {
+		r := mw / (1.2 * math.Abs(p.mouthCurve))
+		span := mw / r
+		if p.mouthCurve > 0 { // smile: arc below centre point
+			img.Arc(mx, my-r*0.75, r, math.Pi/2-span/2+p.tilt, math.Pi/2+span/2+p.tilt,
+				math.Max(1.5, s*0.05), p.feature)
+		} else { // frown
+			img.Arc(mx, my+r*0.75, r, -math.Pi/2-span/2+p.tilt, -math.Pi/2+span/2+p.tilt,
+				math.Max(1.5, s*0.05), p.feature)
+		}
+	}
+}
+
+// RenderNonFace draws structured clutter that shares first-order statistics
+// with face images (edges, blobs, gradients) but no facial configuration.
+func RenderNonFace(w, h int, r *hv.RNG) *imgproc.Image {
+	img := imgproc.NewImage(w, h)
+	g0 := uint8(30 + r.Intn(100))
+	g1 := uint8(80 + r.Intn(140))
+	img.GradientFill(float64(r.Intn(w)), float64(r.Intn(h)),
+		float64(r.Intn(w)), float64(r.Intn(h)), g0, g1)
+
+	kind := r.Intn(4)
+	switch kind {
+	case 0: // blob field
+		n := 4 + r.Intn(6)
+		for i := 0; i < n; i++ {
+			img.FillEllipse(float64(r.Intn(w)), float64(r.Intn(h)),
+				float64(w)*(0.05+0.25*r.Float64()), float64(h)*(0.05+0.25*r.Float64()),
+				r.Float64()*math.Pi, uint8(r.Intn(256)))
+		}
+	case 1: // bar/grating texture
+		bw := max(2, w/(4+r.Intn(10)))
+		horizontal := r.Intn(2) == 0
+		for i := 0; ; i++ {
+			v := uint8(40 + (i%2)*int(80+uint8(r.Intn(100))))
+			if horizontal {
+				if i*bw >= h {
+					break
+				}
+				img.FillRect(0, i*bw, w, (i+1)*bw, v)
+			} else {
+				if i*bw >= w {
+					break
+				}
+				img.FillRect(i*bw, 0, (i+1)*bw, h, v)
+			}
+		}
+	case 2: // random polyline scribble
+		n := 5 + r.Intn(8)
+		x, y := float64(r.Intn(w)), float64(r.Intn(h))
+		for i := 0; i < n; i++ {
+			nx, ny := float64(r.Intn(w)), float64(r.Intn(h))
+			img.Line(x, y, nx, ny, 1+3*r.Float64(), uint8(r.Intn(256)))
+			x, y = nx, ny
+		}
+	default: // nested rectangles ("architecture")
+		n := 3 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			x0, y0 := r.Intn(w), r.Intn(h)
+			x1, y1 := x0+r.Intn(w/2+1), y0+r.Intn(h/2+1)
+			if r.Intn(2) == 0 {
+				img.FillRect(x0, y0, x1, y1, uint8(r.Intn(256)))
+			} else {
+				img.StrokeRect(x0, y0, x1, y1, uint8(r.Intn(256)))
+			}
+		}
+	}
+	out := img.BoxBlur(max(1, w/64))
+	addPixelNoise(out, r, 6)
+	return out
+}
+
+// addPixelNoise adds uniform noise in [-amp, amp] to every pixel.
+func addPixelNoise(m *imgproc.Image, r *hv.RNG, amp int) {
+	if amp <= 0 {
+		return
+	}
+	for i, p := range m.Pix {
+		v := int(p) + r.Intn(2*amp+1) - amp
+		switch {
+		case v < 0:
+			v = 0
+		case v > 255:
+			v = 255
+		}
+		m.Pix[i] = uint8(v)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+)
+
+// SequenceFrame is one frame of a synthetic surveillance clip with
+// ground-truth face boxes (one per subject, in subject order; a subject
+// that has left the canvas gets a zero box).
+type SequenceFrame struct {
+	Image *imgproc.Image
+	Boxes [][4]int
+}
+
+// subject is one face identity moving linearly across the scene.
+type subject struct {
+	face         *imgproc.Image
+	x, y, dx, dy float64
+}
+
+// GenerateSequence renders a clip of the given size: each of nSubjects
+// faces keeps a fixed appearance (identity) and moves along its own linear
+// path over the shared clutter background, with fresh sensor noise per
+// frame. The same seed reproduces the same clip.
+func GenerateSequence(w, h, faceSize, frames, nSubjects int, seed uint64) []SequenceFrame {
+	r := hv.NewRNG(seed ^ 0x5e9)
+	bg := RenderNonFace(w, h, r)
+	subs := make([]subject, nSubjects)
+	for i := range subs {
+		subs[i] = subject{
+			face: RenderFace(faceSize, faceSize, Emotion(r.Intn(int(NumEmotions))), r),
+			x:    float64(r.Intn(max(1, w-faceSize))),
+			y:    float64(r.Intn(max(1, h-faceSize))),
+			dx:   (r.Float64()*2 - 1) * float64(faceSize) / 6,
+			dy:   (r.Float64()*2 - 1) * float64(faceSize) / 6,
+		}
+	}
+	out := make([]SequenceFrame, frames)
+	for f := 0; f < frames; f++ {
+		img := bg.Clone()
+		frame := SequenceFrame{Image: img}
+		for i := range subs {
+			s := &subs[i]
+			// Bounce at canvas edges.
+			if s.x < 0 || s.x > float64(w-faceSize) {
+				s.dx = -s.dx
+				s.x = clampF(s.x, 0, float64(w-faceSize))
+			}
+			if s.y < 0 || s.y > float64(h-faceSize) {
+				s.dy = -s.dy
+				s.y = clampF(s.y, 0, float64(h-faceSize))
+			}
+			img.Blend(s.face, int(s.x), int(s.y), 1)
+			frame.Boxes = append(frame.Boxes,
+				[4]int{int(s.x), int(s.y), int(s.x) + faceSize, int(s.y) + faceSize})
+			s.x += s.dx
+			s.y += s.dy
+		}
+		addPixelNoise(img, r, 4)
+		out[f] = frame
+	}
+	return out
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

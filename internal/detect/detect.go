@@ -1,0 +1,185 @@
+// Package detect drives sliding-window face detection at multiple scales:
+// an image pyramid feeds a window classifier, detections map back to
+// original coordinates, and non-maximum suppression merges overlapping
+// hits. Any scoring function works — the HDFace pipeline, the HAAR
+// cascade, or a test stub.
+package detect
+
+import (
+	"math"
+	"sort"
+
+	"hdface/internal/imgproc"
+)
+
+// Box is one detection in original-image coordinates.
+type Box struct {
+	X0, Y0, X1, Y1 int
+	Score          float64
+	Scale          float64 // pyramid scale the hit came from
+}
+
+// IoU returns the intersection-over-union of two boxes.
+func IoU(a, b Box) float64 {
+	ix0, iy0 := maxInt(a.X0, b.X0), maxInt(a.Y0, b.Y0)
+	ix1, iy1 := minInt(a.X1, b.X1), minInt(a.Y1, b.Y1)
+	if ix1 <= ix0 || iy1 <= iy0 {
+		return 0
+	}
+	inter := float64((ix1 - ix0) * (iy1 - iy0))
+	areaA := float64((a.X1 - a.X0) * (a.Y1 - a.Y0))
+	areaB := float64((b.X1 - b.X0) * (b.Y1 - b.Y0))
+	union := areaA + areaB - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Scorer classifies one window, returning whether it is a face and a
+// confidence (higher = more face-like). Windows arrive at the detector's
+// native window size.
+type Scorer func(win *imgproc.Image) (bool, float64)
+
+// Params configures a detection sweep.
+type Params struct {
+	// Win is the classifier's native window size (default 48).
+	Win int
+	// Stride is the slide step at each scale (default Win/2).
+	Stride int
+	// Scales are pyramid downscale factors; 1 means native resolution,
+	// 2 halves the image so the effective window doubles
+	// (default {1, 1.5, 2}).
+	Scales []float64
+	// NMSIoU merges detections overlapping at least this much
+	// (default 0.3); set negative to disable suppression.
+	NMSIoU float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Win == 0 {
+		p.Win = 48
+	}
+	if p.Stride == 0 {
+		p.Stride = p.Win / 2
+	}
+	if len(p.Scales) == 0 {
+		p.Scales = []float64{1, 1.5, 2}
+	}
+	if p.NMSIoU == 0 {
+		p.NMSIoU = 0.3
+	}
+	return p
+}
+
+// Run sweeps the scorer over the image pyramid and returns suppressed
+// detections in original coordinates, best score first.
+func Run(img *imgproc.Image, score Scorer, p Params) []Box {
+	p = p.withDefaults()
+	var raw []Box
+	for _, s := range p.Scales {
+		if s <= 0 {
+			continue
+		}
+		w := int(float64(img.W) / s)
+		h := int(float64(img.H) / s)
+		if w < p.Win || h < p.Win {
+			continue
+		}
+		level := img
+		if s != 1 {
+			level = img.Resize(w, h)
+		}
+		for y := 0; y+p.Win <= level.H; y += p.Stride {
+			for x := 0; x+p.Win <= level.W; x += p.Stride {
+				hit, conf := score(level.Crop(x, y, p.Win, p.Win))
+				if !hit {
+					continue
+				}
+				raw = append(raw, Box{
+					X0:    int(float64(x) * s),
+					Y0:    int(float64(y) * s),
+					X1:    int(math.Ceil(float64(x+p.Win) * s)),
+					Y1:    int(math.Ceil(float64(y+p.Win) * s)),
+					Score: conf,
+					Scale: s,
+				})
+			}
+		}
+	}
+	if p.NMSIoU < 0 {
+		sort.Slice(raw, func(i, j int) bool { return raw[i].Score > raw[j].Score })
+		return raw
+	}
+	return NMS(raw, p.NMSIoU)
+}
+
+// NMS performs greedy non-maximum suppression: detections are taken in
+// descending score order; any remaining box overlapping a kept box by at
+// least iou is dropped.
+func NMS(boxes []Box, iou float64) []Box {
+	sorted := append([]Box(nil), boxes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	var kept []Box
+	for _, b := range sorted {
+		suppressed := false
+		for _, k := range kept {
+			if IoU(b, k) >= iou {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, b)
+		}
+	}
+	return kept
+}
+
+// MatchTruth greedily matches detections to ground-truth boxes at the
+// given IoU threshold, returning (truePositives, falsePositives,
+// falseNegatives) — the counts detection metrics build on.
+func MatchTruth(dets []Box, truth [][4]int, iou float64) (tp, fp, fn int) {
+	used := make([]bool, len(truth))
+	sorted := append([]Box(nil), dets...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	for _, d := range sorted {
+		matched := false
+		for t, box := range truth {
+			if used[t] {
+				continue
+			}
+			gt := Box{X0: box[0], Y0: box[1], X1: box[2], Y1: box[3]}
+			if IoU(d, gt) >= iou {
+				used[t] = true
+				matched = true
+				break
+			}
+		}
+		if matched {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	for _, u := range used {
+		if !u {
+			fn++
+		}
+	}
+	return
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

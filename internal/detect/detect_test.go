@@ -1,0 +1,154 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"hdface/internal/imgproc"
+)
+
+func TestIoU(t *testing.T) {
+	a := Box{X0: 0, Y0: 0, X1: 10, Y1: 10}
+	if got := IoU(a, a); got != 1 {
+		t.Fatalf("self IoU %v", got)
+	}
+	b := Box{X0: 5, Y0: 0, X1: 15, Y1: 10}
+	// inter 50, union 150.
+	if got := IoU(a, b); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("half-overlap IoU %v", got)
+	}
+	c := Box{X0: 20, Y0: 20, X1: 30, Y1: 30}
+	if IoU(a, c) != 0 {
+		t.Fatal("disjoint IoU != 0")
+	}
+	// Degenerate box.
+	if IoU(a, Box{X0: 5, Y0: 5, X1: 5, Y1: 5}) != 0 {
+		t.Fatal("degenerate IoU != 0")
+	}
+}
+
+func TestNMSKeepsBestAndSuppressesOverlaps(t *testing.T) {
+	boxes := []Box{
+		{X0: 0, Y0: 0, X1: 10, Y1: 10, Score: 0.5},
+		{X0: 1, Y0: 1, X1: 11, Y1: 11, Score: 0.9}, // overlaps first
+		{X0: 50, Y0: 50, X1: 60, Y1: 60, Score: 0.3},
+	}
+	kept := NMS(boxes, 0.3)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d, want 2", len(kept))
+	}
+	if kept[0].Score != 0.9 || kept[1].Score != 0.3 {
+		t.Fatalf("wrong survivors: %+v", kept)
+	}
+	// Threshold 1.0 keeps everything except exact duplicates.
+	if got := NMS(boxes, 1.0); len(got) != 3 {
+		t.Fatalf("iou=1 kept %d", len(got))
+	}
+	if NMS(nil, 0.5) != nil {
+		t.Fatal("empty NMS should be nil")
+	}
+}
+
+// brightScorer fires on windows whose mean exceeds a threshold, scoring by
+// the mean — a deterministic classifier stub.
+func brightScorer(win *imgproc.Image) (bool, float64) {
+	m := win.Mean()
+	return m > 128, m
+}
+
+func TestRunFindsBrightPatchAtNativeScale(t *testing.T) {
+	img := imgproc.NewImage(96, 96)
+	img.FillRect(24, 24, 72, 72, 255) // a 48x48 bright square
+	boxes := Run(img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1}})
+	if len(boxes) == 0 {
+		t.Fatal("no detections")
+	}
+	best := boxes[0]
+	gt := Box{X0: 24, Y0: 24, X1: 72, Y1: 72}
+	if IoU(best, gt) < 0.5 {
+		t.Fatalf("best box %+v far from truth", best)
+	}
+}
+
+func TestRunFindsLargeObjectViaPyramid(t *testing.T) {
+	// A 96x96 bright square cannot fit one 48-window at native scale but
+	// matches at scale 2.
+	img := imgproc.NewImage(192, 192)
+	img.FillRect(48, 48, 144, 144, 255)
+	native := Run(img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1}})
+	multi := Run(img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1, 2}})
+	gt := Box{X0: 48, Y0: 48, X1: 144, Y1: 144}
+	bestIoU := func(boxes []Box) float64 {
+		best := 0.0
+		for _, b := range boxes {
+			if v := IoU(b, gt); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	if bestIoU(multi) <= bestIoU(native) {
+		t.Fatalf("pyramid did not improve coverage: %v vs %v", bestIoU(multi), bestIoU(native))
+	}
+	if bestIoU(multi) < 0.6 {
+		t.Fatalf("scale-2 window still misses: IoU %v", bestIoU(multi))
+	}
+	// Scale-2 hits must carry their scale.
+	found := false
+	for _, b := range multi {
+		if b.Scale == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no scale-2 detection recorded")
+	}
+}
+
+func TestRunSkipsTooSmallLevels(t *testing.T) {
+	img := imgproc.NewImage(60, 60)
+	img.Fill(255)
+	// Scale 2 gives a 30x30 level, smaller than the 48 window: skipped.
+	boxes := Run(img, brightScorer, Params{Win: 48, Stride: 48, Scales: []float64{1, 2, -1}})
+	for _, b := range boxes {
+		if b.Scale != 1 {
+			t.Fatalf("impossible scale %v", b.Scale)
+		}
+	}
+}
+
+func TestRunNMSDisabled(t *testing.T) {
+	img := imgproc.NewImage(96, 48)
+	img.Fill(255)
+	with := Run(img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1}})
+	without := Run(img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1}, NMSIoU: -1})
+	if len(without) <= len(with) {
+		t.Fatalf("disabling NMS should keep more boxes: %d vs %d", len(without), len(with))
+	}
+}
+
+func TestMatchTruth(t *testing.T) {
+	truth := [][4]int{{0, 0, 48, 48}, {100, 100, 148, 148}}
+	dets := []Box{
+		{X0: 2, Y0: 2, X1: 50, Y1: 50, Score: 0.9},       // matches truth 0
+		{X0: 200, Y0: 200, X1: 248, Y1: 248, Score: 0.5}, // false positive
+	}
+	tp, fp, fn := MatchTruth(dets, truth, 0.5)
+	if tp != 1 || fp != 1 || fn != 1 {
+		t.Fatalf("tp=%d fp=%d fn=%d", tp, fp, fn)
+	}
+	// Two detections on one truth: only the best counts.
+	dets2 := []Box{
+		{X0: 0, Y0: 0, X1: 48, Y1: 48, Score: 0.9},
+		{X0: 1, Y0: 1, X1: 49, Y1: 49, Score: 0.8},
+	}
+	tp, fp, fn = MatchTruth(dets2, truth[:1], 0.5)
+	if tp != 1 || fp != 1 || fn != 0 {
+		t.Fatalf("duplicate handling: tp=%d fp=%d fn=%d", tp, fp, fn)
+	}
+	// Empty inputs.
+	tp, fp, fn = MatchTruth(nil, truth, 0.5)
+	if tp != 0 || fp != 0 || fn != 2 {
+		t.Fatal("empty detections wrong")
+	}
+}

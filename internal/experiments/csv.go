@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV regenerates the numeric experiment data and writes one CSV per
+// experiment into dir, for plotting outside Go. Only the experiments with
+// tabular data are exported; the visual ones (fig6) write PGMs instead.
+func WriteCSV(dir string, o Options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	o = o.withDefaults()
+
+	write := func(name string, header []string, rows [][]string) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		if err := w.Write(header); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.WriteAll(rows); err != nil {
+			f.Close()
+			return err
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	ftoa := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+	// fig2
+	var rows [][]string
+	for _, p := range Fig2Data(o) {
+		rows = append(rows, []string{strconv.Itoa(p.D), ftoa(p.Construct), ftoa(p.Avg), ftoa(p.Mul)})
+	}
+	if err := write("fig2.csv", []string{"d", "construct_err", "avg_err", "mul_err"}, rows); err != nil {
+		return err
+	}
+
+	// fig4
+	f4, err := Fig4Data(o)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range f4 {
+		rows = append(rows, []string{r.Dataset, ftoa(r.HDStoch), ftoa(r.HDOrig), ftoa(r.DNN), ftoa(r.SVM)})
+	}
+	if err := write("fig4.csv", []string{"dataset", "hd_stoch", "hd_orig", "dnn", "svm"}, rows); err != nil {
+		return err
+	}
+
+	// fig5a
+	f5a, err := Fig5aData(o)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, p := range f5a {
+		rows = append(rows, []string{strconv.Itoa(p.D), ftoa(p.Accuracy), ftoa(p.TrainSeconds)})
+	}
+	if err := write("fig5a.csv", []string{"d", "accuracy", "train_seconds_a53"}, rows); err != nil {
+		return err
+	}
+
+	// fig5b
+	f5b, err := Fig5bData(o)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, p := range f5b {
+		rows = append(rows, []string{strconv.Itoa(p.Hidden), ftoa(p.Accuracy), ftoa(p.TrainSeconds)})
+	}
+	if err := write("fig5b.csv", []string{"hidden", "accuracy", "train_seconds_a53"}, rows); err != nil {
+		return err
+	}
+
+	// table2
+	t2, err := Table2Data(o)
+	if err != nil {
+		return err
+	}
+	header := []string{"config"}
+	for _, r := range o.ErrRates {
+		header = append(header, fmt.Sprintf("loss_at_%g", r))
+	}
+	rows = rows[:0]
+	for _, r := range t2 {
+		row := []string{r.Name}
+		for _, l := range r.Losses {
+			row = append(row, ftoa(l))
+		}
+		rows = append(rows, row)
+	}
+	if err := write("table2.csv", header, rows); err != nil {
+		return err
+	}
+
+	// fewshot
+	fs, err := FewShotData(o)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, p := range fs {
+		rows = append(rows, []string{strconv.Itoa(p.PerClass),
+			ftoa(p.HDSingle), ftoa(p.HDFull), ftoa(p.DNN), ftoa(p.SVM)})
+	}
+	if err := write("fewshot.csv", []string{"per_class", "hd_single", "hd_adaptive", "dnn", "svm"}, rows); err != nil {
+		return err
+	}
+
+	// dimreduce
+	dr, err := DimReduceData(o)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, p := range dr {
+		rows = append(rows, []string{strconv.Itoa(p.D), ftoa(p.Accuracy)})
+	}
+	if err := write("dimreduce.csv", []string{"d_kept", "accuracy"}, rows); err != nil {
+		return err
+	}
+
+	// occlusion
+	oc, err := OcclusionData(o)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, p := range oc {
+		rows = append(rows, []string{ftoa(p.Frac), ftoa(p.HD), ftoa(p.DNN)})
+	}
+	if err := write("occlusion.csv", []string{"occluded_frac", "hdface", "dnn"}, rows); err != nil {
+		return err
+	}
+
+	// dse
+	ds, err := DSEData(o)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, p := range ds {
+		rows = append(rows, []string{strconv.Itoa(p.Lanes), ftoa(p.LatencyUs),
+			ftoa(p.EnergyUJ), strconv.FormatBool(p.Pareto)})
+	}
+	return write("dse.csv", []string{"lanes", "latency_us", "energy_uj", "pareto"}, rows)
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hdface"
+	"hdface/internal/hwsim"
+)
+
+// DSEPoint is one FPGA design point for the HDFace inference datapath.
+type DSEPoint struct {
+	Lanes     int     // 64-bit word lanes of the spatial datapath
+	LatencyUs float64 // one-query latency
+	EnergyUJ  float64 // one-query energy
+	Pareto    bool    // on the latency/energy pareto frontier
+}
+
+// DSEData sweeps the FPGA word-lane budget for one HDFace query (the
+// design-space exploration a Vivado implementation run would iterate):
+// more lanes cut latency but burn more static energy per (shorter) run and
+// more dynamic energy in the wider clock tree, exposing a classic
+// latency/energy knee.
+func DSEData(o Options) ([]DSEPoint, error) {
+	o = o.withDefaults()
+	ld := loadAll(o)[0]
+	p := hdface.New(hdface.Config{D: o.D, Mode: hdface.ModeStochHOG,
+		WorkingSize: o.WorkingSize, Workers: 1, Seed: o.Seed, Stride: 3})
+	n := 8
+	if n > len(ld.trainImgs) {
+		n = len(ld.trainImgs)
+	}
+	if err := p.Fit(ld.trainImgs[:n], ld.trainLabels[:n], ld.k); err != nil {
+		return nil, err
+	}
+	p.ResetWork()
+	p.Predict(ld.testImgs[0])
+	work := p.Work()
+	query := hwsim.FromStoch(work.Stoch)
+	query.Add(hwsim.HDCTrainTrace(int64(ld.k), 0, o.D))
+
+	lanes := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	var out []DSEPoint
+	for _, l := range lanes {
+		fpga := hwsim.Kintex7()
+		base := hwsim.Kintex7()
+		// Scale the word-parallel unit classes with the lane budget; DSP
+		// and float units are untouched.
+		ratio := float64(l) / base.Throughput[hwsim.OpWord64]
+		for _, op := range []hwsim.OpClass{hwsim.OpWord64, hwsim.OpPop64,
+			hwsim.OpRand64, hwsim.OpPerm64, hwsim.OpIntAcc} {
+			fpga.Throughput[op] = base.Throughput[op] * ratio
+			// Wider fabrics pay clock-tree and routing overhead per op.
+			fpga.EnergyPJ[op] = base.EnergyPJ[op] * (1 + 0.6*ratio)
+		}
+		// Static power grows with the active area.
+		fpga.StaticWatts = base.StaticWatts * (0.3 + 0.7*ratio)
+		r := fpga.Run(query)
+		out = append(out, DSEPoint{
+			Lanes:     l,
+			LatencyUs: r.Seconds * 1e6,
+			EnergyUJ:  r.Joules() * 1e6,
+		})
+	}
+	markPareto(out)
+	return out, nil
+}
+
+// markPareto flags points not dominated in (latency, energy).
+func markPareto(pts []DSEPoint) {
+	for i := range pts {
+		dominated := false
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if pts[j].LatencyUs <= pts[i].LatencyUs && pts[j].EnergyUJ <= pts[i].EnergyUJ &&
+				(pts[j].LatencyUs < pts[i].LatencyUs || pts[j].EnergyUJ < pts[i].EnergyUJ) {
+				dominated = true
+				break
+			}
+		}
+		pts[i].Pareto = !dominated
+	}
+}
+
+// DSE prints the lane-budget sweep with pareto markers.
+func DSE(w io.Writer, o Options) error {
+	pts, err := DSEData(o)
+	if err != nil {
+		return err
+	}
+	section(w, "FPGA design-space exploration: word lanes vs latency/energy (one query)")
+	fmt.Fprintf(w, "%8s %14s %14s %8s\n", "lanes", "latency (us)", "energy (uJ)", "pareto")
+	for _, p := range pts {
+		mark := ""
+		if p.Pareto {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%8d %14.2f %14.2f %8s\n", p.Lanes, p.LatencyUs, p.EnergyUJ, mark)
+	}
+	fmt.Fprintf(w, "the knee of the frontier motivates the lane budget used by the\n")
+	fmt.Fprintf(w, "Figure 7 platform model\n")
+	return nil
+}

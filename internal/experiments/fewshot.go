@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hdface"
+	"hdface/internal/hdc"
+	"hdface/internal/nn"
+	"hdface/internal/svm"
+)
+
+// FewShotPoint is one training-set-size sample.
+type FewShotPoint struct {
+	PerClass         int
+	HDSingle, HDFull float64 // single bootstrap pass vs full adaptive
+	DNN, SVM         float64
+}
+
+// FewShotData checks the paper's introduction claim that HDC "enables
+// single-pass learning with just a few samples": accuracy of a
+// bootstrap-only HDC model, the full adaptive HDC model, the DNN and the
+// SVM as the per-class training budget grows.
+func FewShotData(o Options) ([]FewShotPoint, error) {
+	o = o.withDefaults()
+	ld := loadAll(o)[0] // EMOTION
+	shots := []int{1, 2, 5, 10, o.EmoTrain / ld.k}
+	if o.Quick {
+		shots = []int{1, 3, o.EmoTrain / ld.k}
+	}
+
+	// Extract hypervector features once for the full training pool.
+	p := pipeline(o, hdface.ModeStochHOG, o.D)
+	trainFeats := p.Features(ld.trainImgs)
+	testFeats := p.Features(ld.testImgs)
+	trainX := hogFeatures(ld.trainImgs, o.WorkingSize)
+	testX := hogFeatures(ld.testImgs, o.WorkingSize)
+
+	var out []FewShotPoint
+	for _, shot := range shots {
+		if shot < 1 {
+			continue
+		}
+		// Take the first `shot` samples of every class.
+		counts := make([]int, ld.k)
+		var idx []int
+		for i, y := range ld.trainLabels {
+			if counts[y] < shot {
+				counts[y]++
+				idx = append(idx, i)
+			}
+		}
+		subFeats := make([][]float64, len(idx))
+		labels := make([]int, len(idx))
+		hvList := trainFeats[:0:0]
+		for j, i := range idx {
+			hvList = append(hvList, trainFeats[i])
+			subFeats[j] = trainX[i]
+			labels[j] = ld.trainLabels[i]
+		}
+
+		pt := FewShotPoint{PerClass: shot}
+		single := hdc.Train(hvList, labels, ld.k, hdc.TrainOpts{Epochs: 1, Seed: o.Seed})
+		pt.HDSingle = single.Accuracy(testFeats, ld.testLabels)
+		full := hdc.Train(hvList, labels, ld.k, hdc.TrainOpts{Seed: o.Seed})
+		pt.HDFull = full.Accuracy(testFeats, ld.testLabels)
+
+		mlp, err := nn.New(dnnConfigFor(len(trainX[0]), ld.k, 256, o.DNNEpochs, o.Seed))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := mlp.Train(subFeats, labels); err != nil {
+			return nil, err
+		}
+		pt.DNN = mlp.Accuracy(testX, ld.testLabels)
+
+		if shot*ld.k >= 2 {
+			sv, err := svm.Train(subFeats, labels, ld.k, svm.Config{Epochs: 25, Seed: o.Seed})
+			if err != nil {
+				return nil, err
+			}
+			pt.SVM = sv.Accuracy(testX, ld.testLabels)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FewShot prints the sample-efficiency curve.
+func FewShot(w io.Writer, o Options) error {
+	pts, err := FewShotData(o)
+	if err != nil {
+		return err
+	}
+	section(w, "Few-shot learning: accuracy vs per-class training samples (EMOTION)")
+	fmt.Fprintf(w, "%10s %12s %12s %8s %8s\n", "per-class", "HDC 1-pass", "HDC adaptive", "DNN", "SVM")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%10d %12.3f %12.3f %8.3f %8.3f\n", p.PerClass, p.HDSingle, p.HDFull, p.DNN, p.SVM)
+	}
+	fmt.Fprintf(w, "paper (intro): HDC exposes hidden features, enabling single-pass\n")
+	fmt.Fprintf(w, "learning with just a few samples\n")
+	return nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"hdface/internal/hv"
+	"hdface/internal/stoch"
+)
+
+// Fig2Point is one (dimensionality, operation) error measurement.
+type Fig2Point struct {
+	D                   int
+	Construct, Avg, Mul float64 // mean absolute error
+}
+
+// Fig2Data computes the Figure 2 sweep: mean absolute error of the
+// stochastic construction, weighted average and multiplication as a
+// function of hypervector dimensionality.
+func Fig2Data(o Options) []Fig2Point {
+	o = o.withDefaults()
+	dims := []int{512, 1024, 2048, 4096, 8192, 10240}
+	if o.Quick {
+		dims = []int{512, 2048, 8192}
+	}
+	r := hv.NewRNG(o.Seed ^ 0xf19)
+	var out []Fig2Point
+	for _, d := range dims {
+		c := stoch.NewCodec(d, o.Seed^uint64(d))
+		var pt Fig2Point
+		pt.D = d
+		for t := 0; t < o.Trials; t++ {
+			a := r.Float64()*2 - 1
+			b := r.Float64()*2 - 1
+			p := r.Float64()
+			pt.Construct += math.Abs(c.Decode(c.Construct(a)) - a)
+			va, vb := c.Construct(a), c.Construct(b)
+			pt.Avg += math.Abs(c.Decode(c.WeightedAvg(p, va, vb)) - (p*a + (1-p)*b))
+			pt.Mul += math.Abs(c.Decode(c.Mul(va, vb)) - a*b)
+		}
+		n := float64(o.Trials)
+		pt.Construct /= n
+		pt.Avg /= n
+		pt.Mul /= n
+		out = append(out, pt)
+	}
+	return out
+}
+
+// Fig2 prints the error table and checks the paper's qualitative claim:
+// error shrinks with dimensionality roughly as 1/sqrt(D).
+func Fig2(w io.Writer, o Options) error {
+	pts := Fig2Data(o)
+	section(w, "Figure 2: stochastic arithmetic error vs dimensionality")
+	fmt.Fprintf(w, "%8s %12s %12s %12s %12s\n", "D", "construct", "average", "multiply", "1/sqrt(D)")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8d %12.4f %12.4f %12.4f %12.4f\n",
+			p.D, p.Construct, p.Avg, p.Mul, 1/math.Sqrt(float64(p.D)))
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	fmt.Fprintf(w, "error ratio D=%d vs D=%d: construct %.2fx, avg %.2fx, mul %.2fx (sqrt ratio %.2fx)\n",
+		first.D, last.D,
+		first.Construct/last.Construct, first.Avg/last.Avg, first.Mul/last.Mul,
+		math.Sqrt(float64(last.D)/float64(first.D)))
+	return nil
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hdface"
+	"hdface/internal/hog"
+	"hdface/internal/hwsim"
+	"hdface/internal/nn"
+)
+
+// Fig7Row holds the modelled efficiency comparison for one dataset: how
+// much faster / more energy-efficient HDFace is than the DNN pipeline on
+// each platform, for training and inference.
+type Fig7Row struct {
+	Dataset                         string
+	TrainSpeedCPU, TrainEnergyCPU   float64
+	TrainSpeedFPGA, TrainEnergyFPGA float64
+	InferSpeedCPU, InferEnergyCPU   float64
+	InferSpeedFPGA, InferEnergyFPGA float64
+	// Per-epoch CPU seconds, the comparison the paper quotes directly
+	// ("0.9 s vs 5.4 s" on the A53).
+	EpochHDSec, EpochDNNSec float64
+}
+
+// dnnEpochsModel is the epoch count used when pricing DNN training (the
+// paper does not state its budget; 30 is typical for HOG-MLP pipelines).
+// HDFace training is priced with per-epoch re-encoding, matching the
+// authors' PyTorch HDC library, which encodes batches on the fly each
+// adaptive pass. EXPERIMENTS.md discusses the sensitivity of the training
+// ratio to both choices.
+const dnnEpochsModel = 30
+
+// dnnPaperHidden is the paper's best DNN configuration (Figure 5b).
+const dnnPaperHidden = 1024
+
+// dnnTrainStats analytically counts the MAC work of training the paper's
+// 4-layer MLP: forward + ~2x backward per sample per epoch, plus one
+// momentum update per weight per minibatch.
+func dnnTrainStats(in, hidden, k, samples, epochs, batch int) nn.Stats {
+	fwd := int64(in*hidden + hidden*hidden + hidden*k)
+	weights := int64(in*hidden + hidden + hidden*hidden + hidden + hidden*k + k)
+	passes := int64(samples) * int64(epochs)
+	batches := (int64(samples) + int64(batch) - 1) / int64(batch) * int64(epochs)
+	return nn.Stats{
+		ForwardMACs:  fwd * passes,
+		BackwardMACs: 2 * fwd * passes,
+		Updates:      weights * batches,
+	}
+}
+
+// dnnInferStats counts one forward pass.
+func dnnInferStats(in, hidden, k int) nn.Stats {
+	return nn.Stats{ForwardMACs: int64(in*hidden + hidden*hidden + hidden*k)}
+}
+
+// hogStatsPer measures classical HOG float work for one working-size image.
+func hogStatsPer(o Options) hog.Stats {
+	e := hog.New(hog.DefaultParams())
+	img := loadAll(Options{Quick: true, Seed: o.Seed, EmoTrain: 1, EmoTest: 1,
+		FaceTrain: 1, FaceTest: 1, WorkingSize: o.WorkingSize})[0].trainImgs[0]
+	e.Features(img.Resize(o.WorkingSize, o.WorkingSize))
+	return e.Stats
+}
+
+// Fig7Data builds operation traces for HDFace and the DNN pipeline on each
+// dataset and prices them on both platform models.
+func Fig7Data(o Options) ([]Fig7Row, error) {
+	o = o.withDefaults()
+	cpu, fpga := hwsim.CortexA53(), hwsim.Kintex7()
+	hogPer := hogStatsPer(o)
+	hogFeatLen := hog.New(hog.DefaultParams()).FeatureLen(o.WorkingSize, o.WorkingSize)
+
+	var rows []Fig7Row
+	for _, ld := range loadAll(o) {
+		// --- HDFace traces, measured from the real pipeline ---
+		// Efficiency is priced at the paper's own geometry: one gradient
+		// per 3x3 pixel cell (stride 3). The accuracy experiments use
+		// per-pixel gradients (stride 1, 9x the work); EXPERIMENTS.md
+		// discusses the tension between the two claims.
+		p := hdface.New(hdface.Config{D: o.D, Mode: hdface.ModeStochHOG,
+			WorkingSize: o.WorkingSize, Workers: 1, Seed: o.Seed, Stride: 3})
+		if err := p.Fit(ld.trainImgs, ld.trainLabels, ld.k); err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", ld.name, err)
+		}
+		trainWork := p.Work()
+		st := p.Model().Stats
+		// The authors' HDC library re-encodes each adaptive epoch, so the
+		// extraction trace is charged once per pass (bootstrap + epochs).
+		passes := float64(1 + st.Epochs)
+		hdTrain := hwsim.FromStoch(trainWork.Stoch).Scale(passes)
+		hdTrain.Add(hwsim.HDCTrainTrace(st.Similarities, st.BootstrapAdds+2*st.AdaptiveSteps, o.D))
+
+		p.ResetWork()
+		nq := len(ld.testImgs)
+		if nq > 8 {
+			nq = 8 // a few queries suffice to measure the per-query trace
+		}
+		for i := 0; i < nq; i++ {
+			p.Predict(ld.testImgs[i])
+		}
+		inferWork := p.Work()
+		hdInfer := hwsim.FromStoch(inferWork.Stoch).Scale(1 / float64(nq))
+		hdInfer.Add(hwsim.HDCTrainTrace(int64(ld.k), 0, o.D)) // binary similarity search
+
+		// --- DNN traces: classical HOG + the paper's 1024x1024 MLP ---
+		nTrain := len(ld.trainImgs)
+		dnnTrainNN := dnnTrainStats(hogFeatLen, dnnPaperHidden, ld.k, nTrain, dnnEpochsModel, 16)
+		dnnHOGTrain := hwsim.FromHOG(hogPer).Scale(float64(nTrain))
+		// One HOG pass per epoch would be cached in practice; charge one.
+		dnnTrainCPU := hwsim.FromNN(dnnTrainNN, 32)
+		dnnTrainCPU.Add(dnnHOGTrain)
+		dnnTrainFPGA := hwsim.FromNN(dnnTrainNN, 16)
+		dnnTrainFPGA.Add(dnnHOGTrain)
+
+		dnnInferNN := dnnInferStats(hogFeatLen, dnnPaperHidden, ld.k)
+		dnnInferCPU := hwsim.FromNN(dnnInferNN, 32)
+		dnnInferCPU.Add(hwsim.FromHOG(hogPer))
+		dnnInferFPGA := hwsim.FromNN(dnnInferNN, 16)
+		dnnInferFPGA.Add(hwsim.FromHOG(hogPer))
+
+		row := Fig7Row{Dataset: ld.name}
+		// Per-epoch costs on the CPU: one re-encoding pass over the train
+		// set for HDFace; one forward+backward pass for the DNN.
+		row.EpochHDSec = cpu.Run(hwsim.FromStoch(trainWork.Stoch)).Seconds
+		perEpochDNN := hwsim.FromNN(dnnTrainStats(hogFeatLen, dnnPaperHidden, ld.k,
+			len(ld.trainImgs), 1, 16), 32)
+		row.EpochDNNSec = cpu.Run(perEpochDNN).Seconds
+		row.TrainSpeedCPU = hwsim.Speedup(cpu.Run(hdTrain), cpu.Run(dnnTrainCPU))
+		row.TrainEnergyCPU = hwsim.EnergyGain(cpu.Run(hdTrain), cpu.Run(dnnTrainCPU))
+		row.TrainSpeedFPGA = hwsim.Speedup(fpga.Run(hdTrain), fpga.Run(dnnTrainFPGA))
+		row.TrainEnergyFPGA = hwsim.EnergyGain(fpga.Run(hdTrain), fpga.Run(dnnTrainFPGA))
+		row.InferSpeedCPU = hwsim.Speedup(cpu.Run(hdInfer), cpu.Run(dnnInferCPU))
+		row.InferEnergyCPU = hwsim.EnergyGain(cpu.Run(hdInfer), cpu.Run(dnnInferCPU))
+		row.InferSpeedFPGA = hwsim.Speedup(fpga.Run(hdInfer), fpga.Run(dnnInferFPGA))
+		row.InferEnergyFPGA = hwsim.EnergyGain(fpga.Run(hdInfer), fpga.Run(dnnInferFPGA))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig7 prints the modelled speedup/energy comparison (paper Figure 7).
+func Fig7(w io.Writer, o Options) error {
+	rows, err := Fig7Data(o)
+	if err != nil {
+		return err
+	}
+	section(w, "Figure 7: HDFace vs DNN efficiency (modelled A53 CPU & Kintex-7 FPGA)")
+	fmt.Fprintf(w, "%-8s | %-23s | %-23s\n", "", "training (speed/energy)", "inference (speed/energy)")
+	fmt.Fprintf(w, "%-8s | %10s %12s | %10s %12s\n", "dataset", "CPU", "FPGA", "CPU", "FPGA")
+	var mean Fig7Row
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s | %4.1fx/%4.1fx %5.1fx/%5.1fx | %4.1fx/%4.1fx %5.1fx/%5.1fx\n",
+			r.Dataset,
+			r.TrainSpeedCPU, r.TrainEnergyCPU, r.TrainSpeedFPGA, r.TrainEnergyFPGA,
+			r.InferSpeedCPU, r.InferEnergyCPU, r.InferSpeedFPGA, r.InferEnergyFPGA)
+		mean.TrainSpeedCPU += r.TrainSpeedCPU
+		mean.TrainEnergyCPU += r.TrainEnergyCPU
+		mean.TrainSpeedFPGA += r.TrainSpeedFPGA
+		mean.TrainEnergyFPGA += r.TrainEnergyFPGA
+		mean.InferSpeedCPU += r.InferSpeedCPU
+		mean.InferEnergyCPU += r.InferEnergyCPU
+		mean.InferSpeedFPGA += r.InferSpeedFPGA
+		mean.InferEnergyFPGA += r.InferEnergyFPGA
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(w, "%-8s | %4.1fx/%4.1fx %5.1fx/%5.1fx | %4.1fx/%4.1fx %5.1fx/%5.1fx\n",
+		"mean",
+		mean.TrainSpeedCPU/n, mean.TrainEnergyCPU/n, mean.TrainSpeedFPGA/n, mean.TrainEnergyFPGA/n,
+		mean.InferSpeedCPU/n, mean.InferEnergyCPU/n, mean.InferSpeedFPGA/n, mean.InferEnergyFPGA/n)
+	fmt.Fprintf(w, "paper:    | 6.1x/3.0x   4.6x/12.1x  | 1.4x/1.7x   2.9x/2.6x\n")
+	fmt.Fprintf(w, "\nper-epoch training on the A53 (paper: HDFace 0.9 s vs DNN 5.4 s):\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s HDFace %.3f s vs DNN %.3f s (%.1fx)\n",
+			r.Dataset, r.EpochHDSec, r.EpochDNNSec, r.EpochDNNSec/r.EpochHDSec)
+	}
+	fmt.Fprintf(w, "total-training ratios above exceed the paper's because the synthetic\n")
+	fmt.Fprintf(w, "datasets converge in very few adaptive passes; see EXPERIMENTS.md\n")
+
+	// Pipeline view: per-phase bottlenecks of one HDFace query on the
+	// spatial FPGA datapath (the cycle-level companion to the flat model).
+	o = o.withDefaults()
+	ld := loadAll(o)[0]
+	p := hdface.New(hdface.Config{D: o.D, Mode: hdface.ModeStochHOG,
+		WorkingSize: o.WorkingSize, Workers: 1, Seed: o.Seed, Stride: 3})
+	if err := p.Fit(ld.trainImgs[:8], ld.trainLabels[:8], ld.k); err != nil {
+		return err
+	}
+	p.ResetWork()
+	p.Predict(ld.testImgs[0])
+	work := p.Work()
+	featTrace := hwsim.FromStoch(work.Stoch)
+	fpgaSim := hwsim.NewFPGASim(hwsim.Kintex7())
+	rep := fpgaSim.Run([]hwsim.Phase{
+		{Name: "feature", Trace: featTrace},
+		{Name: "search", Trace: hwsim.HDCTrainTrace(int64(ld.k), 0, o.D)},
+	})
+	fmt.Fprintf(w, "\nFPGA pipeline view of one query (EMOTION, stride-3 geometry):\n%s", rep.String())
+	return nil
+}

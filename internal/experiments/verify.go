@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// check is one structural claim with its verdict.
+type check struct {
+	name string
+	ok   bool
+	note string
+}
+
+// Verify runs the reduced (quick) experiments and asserts the paper's
+// qualitative claims — the reproduction gate: every row states who should
+// win or which direction a curve should bend, and whether this build's
+// measurements agree. The gate always runs at the quick-scale operating
+// point (only the seed is taken from the caller): smaller configurations
+// sit below the stochastic noise floor and would test noise, not claims.
+// Exit state is the number of failed checks.
+func Verify(w io.Writer, o Options) error {
+	o = Options{Seed: o.Seed, Quick: true}.withDefaults()
+	var checks []check
+	add := func(name string, ok bool, note string) {
+		checks = append(checks, check{name, ok, note})
+	}
+
+	// Figure 2: error shrinks with D for all three ops.
+	f2 := Fig2Data(o)
+	first, last := f2[0], f2[len(f2)-1]
+	add("fig2: construction error shrinks with D", last.Construct < first.Construct,
+		fmt.Sprintf("%.4f -> %.4f", first.Construct, last.Construct))
+	add("fig2: multiplication error shrinks with D", last.Mul < first.Mul,
+		fmt.Sprintf("%.4f -> %.4f", first.Mul, last.Mul))
+
+	// Figure 4: stochastic and original-space extraction comparable; HDC
+	// beats SVM on average.
+	f4, err := Fig4Data(o)
+	if err != nil {
+		return err
+	}
+	var stoch, orig, svm, dnn float64
+	for _, r := range f4 {
+		stoch += r.HDStoch / float64(len(f4))
+		orig += r.HDOrig / float64(len(f4))
+		svm += r.SVM / float64(len(f4))
+		dnn += r.DNN / float64(len(f4))
+	}
+	// At the gate's quick scale (D=2048) the stochastic pipeline carries
+	// roughly twice the default-scale sampling noise, so the tolerance is
+	// wider than the ~0.01 gap measured at D=4096 (see EXPERIMENTS.md).
+	add("fig4: stoch-HOG within 0.15 of orig-HOG", stoch > orig-0.15,
+		fmt.Sprintf("stoch %.3f vs orig %.3f", stoch, orig))
+	add("fig4: HDC beats SVM on average", orig > svm && stoch > svm,
+		fmt.Sprintf("hdc %.3f/%.3f vs svm %.3f", stoch, orig, svm))
+	_ = dnn
+
+	// Figure 7: HDFace wins training on both platforms; FPGA energy gain
+	// exceeds CPU energy gain.
+	f7, err := Fig7Data(o)
+	if err != nil {
+		return err
+	}
+	trainOK, energyOK, inferFPGA := true, true, true
+	for _, r := range f7 {
+		trainOK = trainOK && r.TrainSpeedCPU > 1 && r.TrainSpeedFPGA > 1
+		energyOK = energyOK && r.TrainEnergyFPGA > r.TrainEnergyCPU
+		inferFPGA = inferFPGA && r.InferSpeedFPGA > 1
+	}
+	add("fig7: HDFace trains faster on CPU and FPGA", trainOK, "")
+	add("fig7: FPGA amplifies the energy advantage", energyOK, "")
+	add("fig7: FPGA inference speedup > 1", inferFPGA, "")
+
+	// Table 2: the fully hyperdimensional pipeline beats the DNN and the
+	// original-representation pipeline under bit error at the top rate.
+	t2, err := Table2Data(o)
+	if err != nil {
+		return err
+	}
+	lossAtTop := map[string]float64{}
+	for _, r := range t2 {
+		lossAtTop[r.Name] = r.Losses[len(r.Losses)-1]
+	}
+	hdBest := lossAtTop[fmt.Sprintf("HDFace+HoG+Learn D=%dk", table2Dims(o)[len(table2Dims(o))-1]/1024)]
+	add("table2: hyperspace pipeline beats DNN 16-bit under noise",
+		hdBest < lossAtTop["DNN 16-bit"],
+		fmt.Sprintf("%.3f vs %.3f", hdBest, lossAtTop["DNN 16-bit"]))
+	origName := fmt.Sprintf("HDFace+Learn D=%dk", table2Dims(o)[len(table2Dims(o))-1]/1024)
+	add("table2: original-representation HOG forfeits robustness",
+		hdBest < lossAtTop[origName],
+		fmt.Sprintf("%.3f vs %.3f", hdBest, lossAtTop[origName]))
+
+	// Few-shot: one HDC pass beats SVM at every budget.
+	fs, err := FewShotData(o)
+	if err != nil {
+		return err
+	}
+	fewOK := true
+	for _, p := range fs {
+		if p.HDSingle <= p.SVM {
+			fewOK = false
+		}
+	}
+	add("fewshot: single-pass HDC beats SVM at every budget", fewOK, "")
+
+	// Dimensionality reduction: halving a trained model keeps accuracy
+	// within 0.2.
+	dr, err := DimReduceData(o)
+	if err != nil {
+		return err
+	}
+	add("dimreduce: 2x cut keeps accuracy within 0.2",
+		dr[1].Accuracy > dr[0].Accuracy-0.2,
+		fmt.Sprintf("%.3f -> %.3f", dr[0].Accuracy, dr[1].Accuracy))
+
+	section(w, "Reproduction gate: structural claims")
+	failed := 0
+	for _, c := range checks {
+		mark := "PASS"
+		if !c.ok {
+			mark = "FAIL"
+			failed++
+		}
+		if c.note != "" {
+			fmt.Fprintf(w, "[%s] %-55s (%s)\n", mark, c.name, c.note)
+		} else {
+			fmt.Fprintf(w, "[%s] %s\n", mark, c.name)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d structural claims failed", failed, len(checks))
+	}
+	fmt.Fprintf(w, "all %d structural claims hold\n", len(checks))
+	return nil
+}

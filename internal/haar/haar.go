@@ -1,0 +1,307 @@
+// Package haar implements HAAR-like rectangle features, the second feature
+// extraction family the paper names (Section 2) as sharing HDC-compatible
+// arithmetic. A HAAR feature is the difference between the mean intensities
+// of adjacent rectangles; the classical extractor computes it with an
+// integral image, and the hyperspace extractor computes the same quantity
+// with stochastic weighted averages over pixel hypervectors — rectangle
+// means and differences are exactly the operations package stoch provides.
+package haar
+
+import (
+	"fmt"
+
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+	"hdface/internal/stoch"
+)
+
+// Kind enumerates the classic HAAR feature shapes.
+type Kind int
+
+// Feature shapes: two-rectangle (horizontal/vertical), three-rectangle
+// (horizontal/vertical) and four-rectangle (diagonal).
+const (
+	TwoH Kind = iota
+	TwoV
+	ThreeH
+	ThreeV
+	Four
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case TwoH:
+		return "two-h"
+	case TwoV:
+		return "two-v"
+	case ThreeH:
+		return "three-h"
+	case ThreeV:
+		return "three-v"
+	case Four:
+		return "four"
+	}
+	return "unknown"
+}
+
+// Feature is one rectangle feature instance at (X, Y) with size (W, H) in a
+// template window.
+type Feature struct {
+	Kind       Kind
+	X, Y, W, H int
+}
+
+// Grid enumerates a deterministic feature bank over a win x win template:
+// every kind at every position/size on a stride-s lattice.
+func Grid(win, minSize, stride int) []Feature {
+	var out []Feature
+	for k := Kind(0); k < numKinds; k++ {
+		for h := minSize; h <= win; h += minSize {
+			for w := minSize; w <= win; w += minSize {
+				if !divisible(k, w, h) {
+					continue
+				}
+				for y := 0; y+h <= win; y += stride {
+					for x := 0; x+w <= win; x += stride {
+						out = append(out, Feature{Kind: k, X: x, Y: y, W: w, H: h})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// divisible reports whether the kind's sub-rectangles tile (w, h) exactly.
+func divisible(k Kind, w, h int) bool {
+	switch k {
+	case TwoH:
+		return w%2 == 0
+	case TwoV:
+		return h%2 == 0
+	case ThreeH:
+		return w%3 == 0
+	case ThreeV:
+		return h%3 == 0
+	case Four:
+		return w%2 == 0 && h%2 == 0
+	}
+	return false
+}
+
+// rects returns the positive- and negative-weight rectangles of f as
+// (x0, y0, x1, y1) boxes.
+func (f Feature) rects() (pos, neg [][4]int) {
+	x, y, w, h := f.X, f.Y, f.W, f.H
+	switch f.Kind {
+	case TwoH:
+		pos = [][4]int{{x, y, x + w/2, y + h}}
+		neg = [][4]int{{x + w/2, y, x + w, y + h}}
+	case TwoV:
+		pos = [][4]int{{x, y, x + w, y + h/2}}
+		neg = [][4]int{{x, y + h/2, x + w, y + h}}
+	case ThreeH:
+		t := w / 3
+		pos = [][4]int{{x, y, x + t, y + h}, {x + 2*t, y, x + w, y + h}}
+		neg = [][4]int{{x + t, y, x + 2*t, y + h}}
+	case ThreeV:
+		t := h / 3
+		pos = [][4]int{{x, y, x + w, y + t}, {x, y + 2*t, x + w, y + h}}
+		neg = [][4]int{{x, y + t, x + w, y + 2*t}}
+	case Four:
+		pos = [][4]int{{x, y, x + w/2, y + h/2}, {x + w/2, y + h/2, x + w, y + h}}
+		neg = [][4]int{{x + w/2, y, x + w, y + h/2}, {x, y + h/2, x + w/2, y + h}}
+	}
+	return
+}
+
+// Eval computes the classical feature value on the integral image: the
+// difference of the mean normalised intensities of the positive and
+// negative regions, in [-1, 1].
+func (f Feature) Eval(it *imgproc.Integral) float64 {
+	pos, neg := f.rects()
+	return (meanOver(it, pos) - meanOver(it, neg)) / 255
+}
+
+func meanOver(it *imgproc.Integral, boxes [][4]int) float64 {
+	var sum float64
+	var area int64
+	for _, b := range boxes {
+		w := int64(b[2] - b[0])
+		h := int64(b[3] - b[1])
+		sum += float64(it.Rect(b[0], b[1], b[2], b[3]))
+		area += w * h
+	}
+	if area == 0 {
+		return 0
+	}
+	return sum / float64(area)
+}
+
+// Extractor computes classical HAAR feature vectors for a fixed bank.
+type Extractor struct {
+	Win  int
+	Bank []Feature
+}
+
+// New returns a classical extractor with the default bank for win-sized
+// windows.
+func New(win int) *Extractor {
+	return &Extractor{Win: win, Bank: Grid(win, win/4, win/8)}
+}
+
+// Features evaluates the whole bank on an image (resized to the template
+// window if needed).
+func (e *Extractor) Features(img *imgproc.Image) []float64 {
+	if img.W != e.Win || img.H != e.Win {
+		img = img.Resize(e.Win, e.Win)
+	}
+	it := imgproc.NewIntegral(img)
+	out := make([]float64, len(e.Bank))
+	for i, f := range e.Bank {
+		out[i] = f.Eval(it)
+	}
+	return out
+}
+
+// HD computes HAAR features fully in hyperspace. Rectangle means are built
+// as balanced trees of stochastic weighted averages over pixel
+// hypervectors, and the feature is the scaled stochastic difference of the
+// positive and negative means — the exact construction pattern of the
+// paper's Section 4 arithmetic, with no gradient or square root needed.
+type HD struct {
+	Win    int
+	Bank   []Feature
+	codec  *stoch.Codec
+	rng    *hv.RNG
+	levels []*hv.Vector
+	ids    []*hv.Vector
+	// Pixels counts mean-tree leaf fetches for the hardware model.
+	Pixels int64
+}
+
+// NewHD builds a hyperspace HAAR extractor over the codec with the default
+// bank. Rectangle means subsample large boxes to at most maxLeaves pixels
+// per rectangle to bound cost.
+func NewHD(codec *stoch.Codec, win int) *HD {
+	h := &HD{
+		Win:   win,
+		Bank:  Grid(win, win/4, win/8),
+		codec: codec,
+		rng:   hv.NewRNG(0x4aa2 ^ uint64(codec.D())),
+	}
+	h.levels = make([]*hv.Vector, 64)
+	for i := range h.levels {
+		h.levels[i] = codec.Construct(2*float64(i)/float64(len(h.levels)-1) - 1)
+	}
+	h.ids = make([]*hv.Vector, len(h.Bank))
+	for i := range h.ids {
+		h.ids[i] = hv.NewRand(h.rng, codec.D())
+	}
+	return h
+}
+
+// maxLeaves caps the pixels sampled per rectangle mean.
+const maxLeaves = 16
+
+// pixel fetches a decorrelated hypervector for a [0, 1] pixel value.
+func (h *HD) pixel(v float64) *hv.Vector {
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	idx := int(v*float64(len(h.levels)-1) + 0.5)
+	h.Pixels++
+	return h.codec.DecorrelateShift(h.levels[idx], 1+h.rng.Intn(h.codec.D()-1))
+}
+
+// meanHV builds the stochastic mean of the pixels inside boxes, sampling a
+// regular sub-lattice when the area exceeds maxLeaves.
+func (h *HD) meanHV(img *imgproc.Image, boxes [][4]int) *hv.Vector {
+	var leaves []*hv.Vector
+	for _, b := range boxes {
+		w, ht := b[2]-b[0], b[3]-b[1]
+		if w <= 0 || ht <= 0 {
+			continue
+		}
+		step := 1
+		for (w/step)*(ht/step) > maxLeaves/len(boxes) && step < w && step < ht {
+			step++
+		}
+		for y := b[1] + step/2; y < b[3]; y += step {
+			for x := b[0] + step/2; x < b[2]; x += step {
+				leaves = append(leaves, h.pixel(img.Norm(x, y)))
+			}
+		}
+	}
+	if len(leaves) == 0 {
+		return h.codec.Construct(0)
+	}
+	// Balanced tree of 0.5-weighted averages (equal leaf weights).
+	for len(leaves) > 1 {
+		next := leaves[:0]
+		for i := 0; i+1 < len(leaves); i += 2 {
+			next = append(next, h.codec.Add(leaves[i], leaves[i+1]))
+		}
+		if len(leaves)%2 == 1 {
+			next = append(next, leaves[len(leaves)-1])
+		}
+		leaves = next
+	}
+	return leaves[0]
+}
+
+// FeatureHV computes one bank feature as a hypervector representing
+// (mean+ - mean-)/2 on the [-1, 1] pixel scale.
+func (h *HD) FeatureHV(img *imgproc.Image, f Feature) *hv.Vector {
+	pos, neg := f.rects()
+	return h.codec.Sub(h.meanHV(img, pos), h.meanHV(img, neg))
+}
+
+// Feature returns the window's feature hypervector: each bank feature's
+// decoded value weights its ID atom, mirroring the hyperspace HOG bundling.
+func (h *HD) Feature(img *imgproc.Image) *hv.Vector {
+	if img.W != h.Win || img.H != h.Win {
+		img = img.Resize(h.Win, h.Win)
+	}
+	d := h.codec.D()
+	acc := hv.NewAccumulator(d)
+	for i, f := range h.Bank {
+		v := h.codec.Decode(h.FeatureHV(img, f))
+		w := int32(v * 64)
+		if w == 0 {
+			continue
+		}
+		acc.AddScaled(h.ids[i], w)
+	}
+	out, _ := acc.Sign(hv.NewRand(h.rng, d))
+	return out
+}
+
+// DecodedFeatures decodes the whole bank to floats (for parity tests).
+func (h *HD) DecodedFeatures(img *imgproc.Image) []float64 {
+	if img.W != h.Win || img.H != h.Win {
+		img = img.Resize(h.Win, h.Win)
+	}
+	out := make([]float64, len(h.Bank))
+	for i, f := range h.Bank {
+		out[i] = h.codec.Decode(h.FeatureHV(img, f))
+	}
+	return out
+}
+
+// Validate checks bank geometry invariants.
+func (e *Extractor) Validate() error {
+	for i, f := range e.Bank {
+		if f.X < 0 || f.Y < 0 || f.X+f.W > e.Win || f.Y+f.H > e.Win {
+			return fmt.Errorf("haar: feature %d out of window", i)
+		}
+		if !divisible(f.Kind, f.W, f.H) {
+			return fmt.Errorf("haar: feature %d not divisible", i)
+		}
+	}
+	return nil
+}

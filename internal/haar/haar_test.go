@@ -1,0 +1,204 @@
+package haar
+
+import (
+	"math"
+	"testing"
+
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+	"hdface/internal/stoch"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{TwoH: "two-h", TwoV: "two-v", ThreeH: "three-h",
+		ThreeV: "three-v", Four: "four", Kind(99): "unknown"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestGridValid(t *testing.T) {
+	e := New(24)
+	if len(e.Bank) == 0 {
+		t.Fatal("empty bank")
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectsCoverFeatureArea(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		f := Feature{Kind: k, X: 0, Y: 0, W: 12, H: 12}
+		pos, neg := f.rects()
+		var area int
+		for _, b := range append(append([][4]int{}, pos...), neg...) {
+			if b[2] <= b[0] || b[3] <= b[1] {
+				t.Fatalf("%v: degenerate rect %v", k, b)
+			}
+			area += (b[2] - b[0]) * (b[3] - b[1])
+		}
+		if area != 144 {
+			t.Fatalf("%v: rects cover %d of 144", k, area)
+		}
+	}
+}
+
+func TestEvalFlatImageIsZero(t *testing.T) {
+	img := imgproc.NewImage(24, 24)
+	img.Fill(128)
+	it := imgproc.NewIntegral(img)
+	for k := Kind(0); k < numKinds; k++ {
+		f := Feature{Kind: k, X: 0, Y: 0, W: 12, H: 12}
+		if v := f.Eval(it); v != 0 {
+			t.Fatalf("%v on flat image = %v", k, v)
+		}
+	}
+}
+
+func TestEvalTwoHEdge(t *testing.T) {
+	// Left half white, right half black: TwoH = (255 - 0)/255 = 1.
+	img := imgproc.NewImage(24, 24)
+	img.FillRect(0, 0, 12, 24, 255)
+	it := imgproc.NewIntegral(img)
+	f := Feature{Kind: TwoH, X: 0, Y: 0, W: 24, H: 24}
+	if v := f.Eval(it); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("TwoH on vertical edge = %v, want 1", v)
+	}
+	// Flipped contrast flips the sign.
+	img2 := imgproc.NewImage(24, 24)
+	img2.FillRect(12, 0, 24, 24, 255)
+	it2 := imgproc.NewIntegral(img2)
+	if v := f.Eval(it2); math.Abs(v+1) > 1e-9 {
+		t.Fatalf("TwoH on inverted edge = %v, want -1", v)
+	}
+}
+
+func TestEvalThreeHBar(t *testing.T) {
+	// Dark bar in the middle third: ThreeH positive.
+	img := imgproc.NewImage(24, 24)
+	img.Fill(200)
+	img.FillRect(8, 0, 16, 24, 0)
+	it := imgproc.NewIntegral(img)
+	f := Feature{Kind: ThreeH, X: 0, Y: 0, W: 24, H: 24}
+	if v := f.Eval(it); v <= 0.5 {
+		t.Fatalf("ThreeH on bar = %v, want strongly positive", v)
+	}
+}
+
+func TestFeaturesVector(t *testing.T) {
+	e := New(24)
+	img := imgproc.NewImage(24, 24)
+	img.GradientFill(0, 0, 23, 23, 0, 255)
+	f := e.Features(img)
+	if len(f) != len(e.Bank) {
+		t.Fatalf("feature count %d != bank %d", len(f), len(e.Bank))
+	}
+	for i, v := range f {
+		if v < -1 || v > 1 {
+			t.Fatalf("feature %d out of range: %v", i, v)
+		}
+	}
+	// Auto-resize path.
+	big := imgproc.NewImage(48, 48)
+	big.GradientFill(0, 0, 47, 47, 0, 255)
+	if got := e.Features(big); len(got) != len(e.Bank) {
+		t.Fatal("resize path broken")
+	}
+}
+
+func TestHDFeatureParityWithClassical(t *testing.T) {
+	// Decoded hyperspace HAAR features track the classical values. The
+	// hyperspace value is (mean+ - mean-)/2 on the [-1, 1] pixel scale,
+	// i.e. exactly the classical [0,1]-scale difference; large rectangles
+	// are subsampled, so the tolerance is loose.
+	codec := stoch.NewCodec(8192, 5)
+	h := NewHD(codec, 24)
+	e := New(24)
+	img := imgproc.NewImage(24, 24)
+	img.FillRect(0, 0, 12, 24, 255)
+
+	classical := e.Features(img)
+	decoded := h.DecodedFeatures(img)
+	if len(decoded) != len(classical) {
+		t.Fatal("bank mismatch")
+	}
+	// Check the strongest classical features keep sign and rough size.
+	checked := 0
+	for i, c := range classical {
+		if math.Abs(c) < 0.5 {
+			continue
+		}
+		checked++
+		if math.Abs(decoded[i]-c) > 0.35 {
+			t.Fatalf("feature %d (%v): decoded %v, classical %v",
+				i, e.Bank[i], decoded[i], c)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no strong features to check")
+	}
+}
+
+func TestHDFeatureHV(t *testing.T) {
+	codec := stoch.NewCodec(4096, 6)
+	h := NewHD(codec, 16)
+	img := imgproc.NewImage(16, 16)
+	img.FillRect(0, 0, 8, 16, 255)
+	f := Feature{Kind: TwoH, X: 0, Y: 0, W: 16, H: 16}
+	got := codec.Decode(h.FeatureHV(img, f))
+	if math.Abs(got-1) > 0.15 {
+		t.Fatalf("edge feature decodes to %v, want ~1", got)
+	}
+}
+
+func TestHDFeatureDiscriminates(t *testing.T) {
+	codec := stoch.NewCodec(4096, 7)
+	h := NewHD(codec, 16)
+	r := hv.NewRNG(8)
+	edge := imgproc.NewImage(16, 16)
+	edge.FillRect(0, 0, 8, 16, 255)
+	noise := imgproc.NewImage(16, 16)
+	for i := range noise.Pix {
+		noise.Pix[i] = uint8(r.Intn(256))
+	}
+	fe1 := h.Feature(edge)
+	fe2 := h.Feature(edge)
+	fn := h.Feature(noise)
+	if fe1.Cos(fe2) <= fe1.Cos(fn) {
+		t.Fatalf("same-image similarity %v not above cross %v", fe1.Cos(fe2), fe1.Cos(fn))
+	}
+}
+
+func TestHDPixelsCounted(t *testing.T) {
+	codec := stoch.NewCodec(1024, 9)
+	h := NewHD(codec, 16)
+	img := imgproc.NewImage(16, 16)
+	h.Feature(img)
+	if h.Pixels == 0 {
+		t.Fatal("no pixel fetches recorded")
+	}
+}
+
+func BenchmarkClassicalFeatures(b *testing.B) {
+	e := New(24)
+	img := imgproc.NewImage(24, 24)
+	img.GradientFill(0, 0, 23, 23, 0, 255)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Features(img)
+	}
+}
+
+func BenchmarkHDFeature(b *testing.B) {
+	codec := stoch.NewCodec(2048, 1)
+	h := NewHD(codec, 24)
+	img := imgproc.NewImage(24, 24)
+	img.GradientFill(0, 0, 23, 23, 0, 255)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Feature(img)
+	}
+}

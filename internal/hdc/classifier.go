@@ -1,0 +1,403 @@
+// Package hdc implements HDFace's adaptive hyperdimensional classifier
+// (paper Section 5, Figure 3). Training memorises one class hypervector per
+// class from already-hyperdimensional features (either the hyperspace HOG
+// output or an encoded original-space feature), using a single bootstrap
+// pass that skips redundant memorisation followed by adaptive
+// mistake-weighted refinement epochs in the style of OnlineHD. Inference is
+// a similarity search between the query hypervector and the class
+// hypervectors.
+package hdc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"hdface/internal/hv"
+)
+
+// TrainOpts configures Train.
+type TrainOpts struct {
+	// Epochs is the number of adaptive refinement passes after the
+	// bootstrap pass (default 20).
+	Epochs int
+	// LR scales adaptive updates (default 1).
+	LR float64
+	// Margin, when positive, triggers reinforcement updates on correct
+	// predictions whose similarity lead over the runner-up is below it.
+	// Disabled by default: on the evaluation workloads mistake-driven
+	// training alone generalises slightly better (see the hdc tests).
+	Margin float64
+	// BootstrapMargin skips bootstrap memorisation of samples the model
+	// already classifies correctly with at least this similarity margin,
+	// preventing class-vector saturation (default 0.05).
+	BootstrapMargin float64
+	// Seed drives tie-breaking randomness.
+	Seed uint64
+}
+
+func (o TrainOpts) withDefaults() TrainOpts {
+	if o.Epochs == 0 {
+		o.Epochs = 20
+	}
+	if o.LR == 0 {
+		o.LR = 1
+	}
+	if o.BootstrapMargin == 0 {
+		o.BootstrapMargin = 0.05
+	}
+	return o
+}
+
+// Stats records training-time work for the hardware model.
+type Stats struct {
+	BootstrapAdds  int64 // class-vector accumulations in the bootstrap pass
+	BootstrapSkips int64 // samples skipped as redundant
+	AdaptiveSteps  int64 // mistake-driven double updates
+	Similarities   int64 // query/class similarity evaluations
+	Epochs         int64
+}
+
+// Model is a trained HDC classifier: float class accumulators for adaptive
+// training and cosine inference, plus an optional binarised form for
+// Hamming inference on bit-serial hardware.
+type Model struct {
+	D       int
+	K       int
+	Classes [][]float64 // K x D accumulators
+	Bin     []*hv.Vector
+	Stats   Stats
+}
+
+// NewModel returns an empty model with k classes of dimensionality d.
+func NewModel(d, k int) *Model {
+	if d <= 0 || k < 2 {
+		panic("hdc: need d > 0 and k >= 2")
+	}
+	m := &Model{D: d, K: k, Classes: make([][]float64, k)}
+	for i := range m.Classes {
+		m.Classes[i] = make([]float64, d)
+	}
+	return m
+}
+
+// addScaled adds s * (+-1 bits of v) into class c's accumulator.
+func (m *Model) addScaled(c int, v *hv.Vector, s float64) {
+	acc := m.Classes[c]
+	words := v.Words()
+	for i := 0; i < m.D; i++ {
+		if words[i/64]>>(uint(i)%64)&1 == 1 {
+			acc[i] += s
+		} else {
+			acc[i] -= s
+		}
+	}
+}
+
+// cos returns cosine similarity between class c and binary query v.
+func (m *Model) cos(c int, v *hv.Vector) float64 {
+	acc := m.Classes[c]
+	words := v.Words()
+	var dot, norm float64
+	for i := 0; i < m.D; i++ {
+		a := acc[i]
+		norm += a * a
+		if words[i/64]>>(uint(i)%64)&1 == 1 {
+			dot += a
+		} else {
+			dot -= a
+		}
+	}
+	if norm == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(norm) * math.Sqrt(float64(m.D)))
+}
+
+// Scores returns the cosine similarity of v to every class.
+func (m *Model) Scores(v *hv.Vector) []float64 {
+	if v.D() != m.D {
+		panic(fmt.Sprintf("hdc: query dimension %d, model %d", v.D(), m.D))
+	}
+	out := make([]float64, m.K)
+	for c := range out {
+		out[c] = m.cos(c, v)
+		m.Stats.Similarities++
+	}
+	return out
+}
+
+// Predict returns the class with the highest similarity to v.
+func (m *Model) Predict(v *hv.Vector) int {
+	scores := m.Scores(v)
+	best := 0
+	for c, s := range scores {
+		if s > scores[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// PredictBinary classifies with the binarised model using Hamming
+// similarity — the bitwise inference mode hardware accelerators run.
+// Finalize must have been called.
+func (m *Model) PredictBinary(v *hv.Vector) int {
+	if m.Bin == nil {
+		panic("hdc: PredictBinary before Finalize")
+	}
+	best, bestSim := 0, math.Inf(-1)
+	for c, cv := range m.Bin {
+		sim := cv.HammingSim(v)
+		m.Stats.Similarities++
+		if sim > bestSim {
+			best, bestSim = c, sim
+		}
+	}
+	return best
+}
+
+// Finalize binarises the class accumulators for Hamming inference.
+func (m *Model) Finalize(seed uint64) {
+	r := hv.NewRNG(seed ^ 0xb1a5)
+	m.Bin = make([]*hv.Vector, m.K)
+	for c := range m.Bin {
+		v := hv.New(m.D)
+		for i, a := range m.Classes[c] {
+			switch {
+			case a > 0:
+				v.SetBit(i, 1)
+			case a == 0:
+				if r.Uint64()&1 == 1 {
+					v.SetBit(i, 1)
+				}
+			}
+		}
+		m.Bin[c] = v
+	}
+}
+
+// Train fits a model on hypervector features with integer labels in [0, k).
+func Train(features []*hv.Vector, labels []int, k int, opts TrainOpts) *Model {
+	if len(features) == 0 || len(features) != len(labels) {
+		panic("hdc: features and labels must be non-empty and aligned")
+	}
+	opts = opts.withDefaults()
+	m := NewModel(features[0].D(), k)
+
+	// Bootstrap pass: memorise each sample unless the model already
+	// recognises it with margin — the paper's "eliminates redundant
+	// information memorization ... to eliminate overfitting".
+	for i, f := range features {
+		y := labels[i]
+		scores := m.Scores(f)
+		runnerUp := math.Inf(-1)
+		for c, s := range scores {
+			if c != y && s > runnerUp {
+				runnerUp = s
+			}
+		}
+		if scores[y]-runnerUp >= opts.BootstrapMargin {
+			m.Stats.BootstrapSkips++
+			continue
+		}
+		m.addScaled(y, f, opts.LR)
+		m.Stats.BootstrapAdds++
+	}
+
+	// Adaptive refinement: mistake-weighted bidirectional updates.
+	for e := 0; e < opts.Epochs; e++ {
+		m.Stats.Epochs++
+		mistakes := 0
+		for i, f := range features {
+			y := labels[i]
+			scores := m.Scores(f)
+			pred := 0
+			for c, s := range scores {
+				if s > scores[pred] {
+					pred = c
+				}
+			}
+			if pred == y {
+				if opts.Margin > 0 {
+					// Reinforce low-confidence correct predictions.
+					runner := math.Inf(-1)
+					for c, s := range scores {
+						if c != y && s > runner {
+							runner = s
+						}
+					}
+					if gap := scores[y] - runner; gap < opts.Margin {
+						w := 0.5 * opts.LR * (opts.Margin - gap) / opts.Margin
+						m.addScaled(y, f, w)
+						m.Stats.AdaptiveSteps++
+					}
+				}
+				continue
+			}
+			mistakes++
+			// Weight by how wrong the model was (OnlineHD style).
+			w := opts.LR * (1 - (scores[y] - scores[pred]))
+			m.addScaled(y, f, w)
+			m.addScaled(pred, f, -w)
+			m.Stats.AdaptiveSteps++
+		}
+		if mistakes == 0 {
+			break
+		}
+	}
+	return m
+}
+
+// Accuracy returns the fraction of samples Predict classifies correctly.
+func (m *Model) Accuracy(features []*hv.Vector, labels []int) float64 {
+	if len(features) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, f := range features {
+		if m.Predict(f) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(features))
+}
+
+// CrossValidate runs k-fold cross validation over hypervector features and
+// returns the per-fold test accuracies. Folds are contiguous stripes of a
+// seeded shuffle, so results are reproducible.
+func CrossValidate(features []*hv.Vector, labels []int, numClasses, folds int, opts TrainOpts) []float64 {
+	if folds < 2 || folds > len(features) {
+		panic("hdc: folds must be in [2, len(features)]")
+	}
+	if len(features) != len(labels) {
+		panic("hdc: features and labels misaligned")
+	}
+	opts = opts.withDefaults()
+	r := hv.NewRNG(opts.Seed ^ 0xcf01d)
+	idx := r.Perm(len(features))
+	accs := make([]float64, folds)
+	for f := 0; f < folds; f++ {
+		lo := f * len(idx) / folds
+		hi := (f + 1) * len(idx) / folds
+		var trF, teF []*hv.Vector
+		var trL, teL []int
+		for pos, i := range idx {
+			if pos >= lo && pos < hi {
+				teF = append(teF, features[i])
+				teL = append(teL, labels[i])
+			} else {
+				trF = append(trF, features[i])
+				trL = append(trL, labels[i])
+			}
+		}
+		m := Train(trF, trL, numClasses, opts)
+		accs[f] = m.Accuracy(teF, teL)
+	}
+	return accs
+}
+
+// Shrink returns a model reduced to the first newD dimensions of the
+// given permutation (identity when perm is nil) — the paper's observation
+// that HDC's redundant representation tolerates dimensionality reduction:
+// a model trained at D=10k still classifies after being cut to a fraction
+// of its dimensions, no retraining needed. Queries must be shrunk with
+// ShrinkVector using the same permutation.
+func (m *Model) Shrink(newD int, perm []int) *Model {
+	if newD <= 0 || newD > m.D {
+		panic("hdc: Shrink dimension out of range")
+	}
+	if perm != nil && len(perm) < newD {
+		panic("hdc: permutation shorter than newD")
+	}
+	pick := func(i int) int {
+		if perm == nil {
+			return i
+		}
+		return perm[i]
+	}
+	out := NewModel(newD, m.K)
+	for c := range m.Classes {
+		for i := 0; i < newD; i++ {
+			out.Classes[c][i] = m.Classes[c][pick(i)]
+		}
+	}
+	if m.Bin != nil {
+		out.Bin = make([]*hv.Vector, m.K)
+		for c, v := range m.Bin {
+			nv := hv.New(newD)
+			for i := 0; i < newD; i++ {
+				nv.SetBit(i, v.Bit(pick(i)))
+			}
+			out.Bin[c] = nv
+		}
+	}
+	return out
+}
+
+// ShrinkVector projects a query hypervector onto the same reduced
+// dimension set used by Shrink.
+func ShrinkVector(v *hv.Vector, newD int, perm []int) *hv.Vector {
+	if newD <= 0 || newD > v.D() {
+		panic("hdc: ShrinkVector dimension out of range")
+	}
+	out := hv.New(newD)
+	for i := 0; i < newD; i++ {
+		j := i
+		if perm != nil {
+			j = perm[i]
+		}
+		out.SetBit(i, v.Bit(j))
+	}
+	return out
+}
+
+// modelWire is the serialised form.
+type modelWire struct {
+	D, K    int
+	Classes [][]float64
+	Bin     [][]uint64
+}
+
+// Save writes the model in gob format.
+func (m *Model) Save(w io.Writer) error {
+	wire := modelWire{D: m.D, K: m.K, Classes: m.Classes}
+	if m.Bin != nil {
+		for _, v := range m.Bin {
+			wire.Bin = append(wire.Bin, v.Words())
+		}
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, err
+	}
+	if wire.D <= 0 || wire.K < 2 || len(wire.Classes) != wire.K {
+		return nil, errors.New("hdc: malformed model")
+	}
+	for _, c := range wire.Classes {
+		if len(c) != wire.D {
+			return nil, errors.New("hdc: malformed class accumulator")
+		}
+	}
+	m := &Model{D: wire.D, K: wire.K, Classes: wire.Classes}
+	if wire.Bin != nil {
+		if len(wire.Bin) != wire.K {
+			return nil, errors.New("hdc: malformed binary classes")
+		}
+		for _, words := range wire.Bin {
+			v, err := hv.FromWords(wire.D, words)
+			if err != nil {
+				return nil, err
+			}
+			m.Bin = append(m.Bin, v)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,456 @@
+package hdc
+
+import (
+	"bytes"
+	"testing"
+
+	"hdface/internal/hv"
+)
+
+// makeClusters builds an easy synthetic problem: k cluster prototypes and
+// noisy members that flip a fraction of bits.
+func makeClusters(d, k, perClass int, flip float64, seed uint64) (feats []*hv.Vector, labels []int, protos []*hv.Vector) {
+	r := hv.NewRNG(seed)
+	for c := 0; c < k; c++ {
+		protos = append(protos, hv.NewRand(r, d))
+	}
+	for c := 0; c < k; c++ {
+		for i := 0; i < perClass; i++ {
+			v := protos[c].Clone()
+			mask := hv.NewRandBiased(r, d, flip)
+			v.Xor(v, mask)
+			feats = append(feats, v)
+			labels = append(labels, c)
+		}
+	}
+	return
+}
+
+func TestNewModelValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewModel(0, 2) },
+		func() { NewModel(64, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid NewModel did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTrainSeparatesClusters(t *testing.T) {
+	feats, labels, _ := makeClusters(2048, 4, 20, 0.25, 1)
+	m := Train(feats, labels, 4, TrainOpts{})
+	if acc := m.Accuracy(feats, labels); acc < 0.95 {
+		t.Fatalf("train accuracy %v on easy clusters", acc)
+	}
+	// Held-out members of the same clusters.
+	test, tlabels, _ := makeClusters(2048, 4, 10, 0.25, 1) // same seed -> same protos
+	if acc := m.Accuracy(test, tlabels); acc < 0.9 {
+		t.Fatalf("test accuracy %v", acc)
+	}
+}
+
+func TestPredictScoresConsistency(t *testing.T) {
+	feats, labels, protos := makeClusters(1024, 3, 10, 0.2, 2)
+	m := Train(feats, labels, 3, TrainOpts{})
+	for c, p := range protos {
+		scores := m.Scores(p)
+		if len(scores) != 3 {
+			t.Fatal("wrong score count")
+		}
+		if m.Predict(p) != c {
+			t.Fatalf("prototype %d misclassified", c)
+		}
+		best := 0
+		for i, s := range scores {
+			if s > scores[best] {
+				best = i
+			}
+		}
+		if best != c {
+			t.Fatalf("scores argmax %d != %d", best, c)
+		}
+	}
+}
+
+func TestScoresPanicsOnDimensionMismatch(t *testing.T) {
+	m := NewModel(64, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	m.Scores(hv.New(128))
+}
+
+func TestBootstrapSkipsRedundant(t *testing.T) {
+	// Many near-identical samples per class: after the first few, the
+	// bootstrap pass should start skipping.
+	feats, labels, _ := makeClusters(2048, 2, 50, 0.05, 3)
+	m := Train(feats, labels, 2, TrainOpts{Epochs: 1})
+	if m.Stats.BootstrapSkips == 0 {
+		t.Fatal("no bootstrap skips on redundant data")
+	}
+	if m.Stats.BootstrapAdds == 0 {
+		t.Fatal("no bootstrap adds at all")
+	}
+	if m.Stats.BootstrapAdds+m.Stats.BootstrapSkips != 100 {
+		t.Fatalf("adds %d + skips %d != samples", m.Stats.BootstrapAdds, m.Stats.BootstrapSkips)
+	}
+}
+
+func TestAdaptiveEpochsImprove(t *testing.T) {
+	// A harder problem: high flip rate. Adaptive training must beat the
+	// pure bootstrap pass.
+	feats, labels, _ := makeClusters(1024, 5, 30, 0.42, 4)
+	naive := Train(feats, labels, 5, TrainOpts{Epochs: 1, BootstrapMargin: -1e9})
+	// BootstrapMargin below any gap means every sample is memorised, and a
+	// single epoch of refinement barely runs: this approximates the naive
+	// bundling baseline of DESIGN.md's ablation.
+	adaptive := Train(feats, labels, 5, TrainOpts{Epochs: 30})
+	an := naive.Accuracy(feats, labels)
+	aa := adaptive.Accuracy(feats, labels)
+	if aa < an {
+		t.Fatalf("adaptive %v worse than naive %v", aa, an)
+	}
+}
+
+func TestTrainPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty features")
+		}
+	}()
+	Train(nil, nil, 2, TrainOpts{})
+}
+
+func TestFinalizeAndPredictBinary(t *testing.T) {
+	feats, labels, _ := makeClusters(2048, 3, 20, 0.2, 5)
+	m := Train(feats, labels, 3, TrainOpts{})
+	m.Finalize(7)
+	if len(m.Bin) != 3 {
+		t.Fatal("Finalize did not produce class vectors")
+	}
+	correct := 0
+	for i, f := range feats {
+		if m.PredictBinary(f) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(feats)); acc < 0.9 {
+		t.Fatalf("binary accuracy %v", acc)
+	}
+}
+
+func TestPredictBinaryBeforeFinalizePanics(t *testing.T) {
+	m := NewModel(64, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic before Finalize")
+		}
+	}()
+	m.PredictBinary(hv.New(64))
+}
+
+func TestBinaryMatchesFloatOnClearCases(t *testing.T) {
+	feats, labels, protos := makeClusters(4096, 2, 20, 0.15, 6)
+	m := Train(feats, labels, 2, TrainOpts{})
+	m.Finalize(1)
+	for c, p := range protos {
+		if m.Predict(p) != c || m.PredictBinary(p) != c {
+			t.Fatalf("prototype %d: float %d binary %d want %d",
+				c, m.Predict(p), m.PredictBinary(p), c)
+		}
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	m := NewModel(64, 2)
+	if m.Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy != 0")
+	}
+}
+
+func TestCosEmptyModelIsZero(t *testing.T) {
+	m := NewModel(64, 2)
+	r := hv.NewRNG(1)
+	if got := m.Scores(hv.NewRand(r, 64)); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty model scores %v", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	feats, labels, _ := makeClusters(512, 3, 10, 0.2, 8)
+	m := Train(feats, labels, 3, TrainOpts{})
+	m.Finalize(2)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.D != m.D || got.K != m.K {
+		t.Fatal("geometry lost")
+	}
+	for c := range m.Classes {
+		for i := range m.Classes[c] {
+			if m.Classes[c][i] != got.Classes[c][i] {
+				t.Fatalf("accumulator %d/%d differs", c, i)
+			}
+		}
+		if !m.Bin[c].Equal(got.Bin[c]) {
+			t.Fatalf("binary class %d differs", c)
+		}
+	}
+	// Predictions identical.
+	for _, f := range feats {
+		if m.Predict(f) != got.Predict(f) {
+			t.Fatal("prediction changed after round trip")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage loaded")
+	}
+	// Structurally invalid: D = 0.
+	var buf bytes.Buffer
+	m := NewModel(64, 2)
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt by re-encoding with a broken wire struct is cumbersome;
+	// instead check the validation path with a truncated stream.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated model loaded")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	feats, labels, _ := makeClusters(512, 3, 15, 0.3, 9)
+	a := Train(feats, labels, 3, TrainOpts{Seed: 5})
+	b := Train(feats, labels, 3, TrainOpts{Seed: 5})
+	for c := range a.Classes {
+		for i := range a.Classes[c] {
+			if a.Classes[c][i] != b.Classes[c][i] {
+				t.Fatal("training not deterministic")
+			}
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	feats, labels, _ := makeClusters(512, 4, 10, 0.45, 10)
+	m := Train(feats, labels, 4, TrainOpts{Epochs: 5})
+	if m.Stats.Similarities == 0 || m.Stats.Epochs == 0 {
+		t.Fatalf("stats empty: %+v", m.Stats)
+	}
+}
+
+func TestMarginOfSeparationGrowsWithD(t *testing.T) {
+	// Higher dimensionality should not hurt accuracy on a fixed problem —
+	// the Figure 5a trend.
+	accAt := func(d int) float64 {
+		feats, labels, _ := makeClusters(d, 4, 20, 0.44, 11)
+		test, tl, _ := makeClusters(d, 4, 10, 0.44, 11)
+		m := Train(feats, labels, 4, TrainOpts{})
+		return m.Accuracy(test, tl)
+	}
+	lo, hi := accAt(256), accAt(4096)
+	if hi < lo-0.05 {
+		t.Fatalf("accuracy degraded with D: %v -> %v", lo, hi)
+	}
+	if hi < 0.7 {
+		t.Fatalf("high-D accuracy too low: %v", hi)
+	}
+}
+
+func TestNoiseRobustnessOfBinaryModel(t *testing.T) {
+	// Flipping a small fraction of model bits must barely change accuracy
+	// (HDC's holographic robustness, Table 2's mechanism).
+	feats, labels, _ := makeClusters(4096, 2, 20, 0.2, 12)
+	m := Train(feats, labels, 2, TrainOpts{})
+	m.Finalize(3)
+	base := 0
+	for i, f := range feats {
+		if m.PredictBinary(f) == labels[i] {
+			base++
+		}
+	}
+	r := hv.NewRNG(13)
+	for _, cv := range m.Bin {
+		noise := hv.NewRandBiased(r, 4096, 0.05)
+		cv.Xor(cv, noise)
+	}
+	noisy := 0
+	for i, f := range feats {
+		if m.PredictBinary(f) == labels[i] {
+			noisy++
+		}
+	}
+	if float64(base-noisy)/float64(len(feats)) > 0.05 {
+		t.Fatalf("5%% bit flips cost %d of %d correct", base-noisy, base)
+	}
+}
+
+func BenchmarkTrainD4k(b *testing.B) {
+	feats, labels, _ := makeClusters(4096, 2, 50, 0.3, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Train(feats, labels, 2, TrainOpts{Epochs: 5})
+	}
+}
+
+func BenchmarkPredictD4k(b *testing.B) {
+	feats, labels, _ := makeClusters(4096, 2, 50, 0.3, 1)
+	m := Train(feats, labels, 2, TrainOpts{Epochs: 5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Predict(feats[i%len(feats)])
+	}
+}
+
+func BenchmarkPredictBinaryD4k(b *testing.B) {
+	feats, labels, _ := makeClusters(4096, 2, 50, 0.3, 1)
+	m := Train(feats, labels, 2, TrainOpts{Epochs: 5})
+	m.Finalize(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.PredictBinary(feats[i%len(feats)])
+	}
+}
+
+func TestMarginReinforcementOption(t *testing.T) {
+	feats, labels, _ := makeClusters(1024, 3, 20, 0.4, 14)
+	m := Train(feats, labels, 3, TrainOpts{Epochs: 10, Margin: 0.05})
+	if m.Stats.AdaptiveSteps == 0 {
+		t.Fatal("margin reinforcement never fired on a hard problem")
+	}
+	if acc := m.Accuracy(feats, labels); acc < 0.9 {
+		t.Fatalf("margin-trained accuracy %v", acc)
+	}
+	// Disabled by default: a margin of zero must not reinforce correct
+	// predictions (only mistakes drive updates).
+	m2 := Train(feats, labels, 3, TrainOpts{Epochs: 10})
+	if m2.Stats.AdaptiveSteps > m.Stats.AdaptiveSteps {
+		t.Fatal("default training performed more updates than margin training")
+	}
+}
+
+func TestShrinkPreservesSeparation(t *testing.T) {
+	// A model trained at high D keeps classifying after dimensionality
+	// reduction — the paper's redundancy claim.
+	feats, labels, _ := makeClusters(8192, 3, 20, 0.3, 21)
+	m := Train(feats, labels, 3, TrainOpts{})
+	m.Finalize(1)
+	full := m.Accuracy(feats, labels)
+
+	small := m.Shrink(1024, nil)
+	var shrunk []*hv.Vector
+	for _, f := range feats {
+		shrunk = append(shrunk, ShrinkVector(f, 1024, nil))
+	}
+	reduced := small.Accuracy(shrunk, labels)
+	if reduced < full-0.1 {
+		t.Fatalf("8x reduction dropped accuracy %v -> %v", full, reduced)
+	}
+	// Binary form carried over.
+	if small.Bin == nil || small.Bin[0].D() != 1024 {
+		t.Fatal("binary classes not shrunk")
+	}
+	correct := 0
+	for i, f := range shrunk {
+		if small.PredictBinary(f) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(shrunk)); acc < full-0.15 {
+		t.Fatalf("binary reduced accuracy %v vs full %v", acc, full)
+	}
+}
+
+func TestShrinkWithPermutation(t *testing.T) {
+	feats, labels, _ := makeClusters(2048, 2, 10, 0.2, 22)
+	m := Train(feats, labels, 2, TrainOpts{})
+	r := hv.NewRNG(5)
+	perm := r.Perm(2048)
+	small := m.Shrink(512, perm)
+	var shrunk []*hv.Vector
+	for _, f := range feats {
+		shrunk = append(shrunk, ShrinkVector(f, 512, perm))
+	}
+	if acc := small.Accuracy(shrunk, labels); acc < 0.9 {
+		t.Fatalf("permuted shrink accuracy %v", acc)
+	}
+}
+
+func TestShrinkValidation(t *testing.T) {
+	m := NewModel(64, 2)
+	for name, f := range map[string]func(){
+		"zero":      func() { m.Shrink(0, nil) },
+		"oversize":  func() { m.Shrink(128, nil) },
+		"shortperm": func() { m.Shrink(32, []int{1, 2}) },
+		"vec-over":  func() { ShrinkVector(hv.New(64), 128, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	feats, labels, _ := makeClusters(1024, 3, 20, 0.25, 41)
+	accs := CrossValidate(feats, labels, 3, 5, TrainOpts{Seed: 3})
+	if len(accs) != 5 {
+		t.Fatalf("want 5 folds, got %d", len(accs))
+	}
+	var mean float64
+	for _, a := range accs {
+		if a < 0 || a > 1 {
+			t.Fatalf("fold accuracy %v out of range", a)
+		}
+		mean += a / 5
+	}
+	if mean < 0.85 {
+		t.Fatalf("cross-validated accuracy %v on easy clusters", mean)
+	}
+	// Reproducible for a fixed seed.
+	again := CrossValidate(feats, labels, 3, 5, TrainOpts{Seed: 3})
+	for i := range accs {
+		if accs[i] != again[i] {
+			t.Fatal("cross validation not deterministic")
+		}
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	feats, labels, _ := makeClusters(256, 2, 3, 0.2, 42)
+	for name, f := range map[string]func(){
+		"folds-low":  func() { CrossValidate(feats, labels, 2, 1, TrainOpts{}) },
+		"folds-high": func() { CrossValidate(feats, labels, 2, 100, TrainOpts{}) },
+		"misaligned": func() { CrossValidate(feats, labels[:2], 2, 2, TrainOpts{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

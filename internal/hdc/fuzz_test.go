@@ -1,0 +1,41 @@
+package hdc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad hardens model deserialisation: arbitrary bytes must either load
+// into a structurally valid model or fail with an error — never panic.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid model and some corruptions of it.
+	feats, labels, _ := makeClusters(128, 2, 4, 0.2, 51)
+	m := Train(feats, labels, 2, TrainOpts{})
+	m.Finalize(1)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	corrupt := append([]byte(nil), valid...)
+	corrupt[10] ^= 0xff
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got.D <= 0 || got.K < 2 || len(got.Classes) != got.K {
+			t.Fatalf("loaded structurally invalid model: D=%d K=%d", got.D, got.K)
+		}
+		for _, c := range got.Classes {
+			if len(c) != got.D {
+				t.Fatal("loaded ragged class accumulator")
+			}
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package hdc
+
+import (
+	"math"
+
+	"hdface/internal/hv"
+)
+
+// Online is a streaming variant of the classifier for the paper's
+// "online on-device learning" claim: samples arrive one at a time, the
+// model predicts before it learns (prequential evaluation), and updates
+// are the same mistake-weighted rules as batch training — no sample is
+// stored, so memory stays O(K*D) regardless of stream length.
+type Online struct {
+	model *Model
+	opts  TrainOpts
+	// Seen counts processed samples; Mistakes counts prequential errors.
+	Seen, Mistakes int64
+}
+
+// NewOnline returns an empty streaming learner for k classes of
+// dimensionality d.
+func NewOnline(d, k int, opts TrainOpts) *Online {
+	return &Online{model: NewModel(d, k), opts: opts.withDefaults()}
+}
+
+// Model exposes the underlying model (live; it keeps training).
+func (o *Online) Model() *Model { return o.model }
+
+// Learn ingests one labelled sample: it first predicts (returning that
+// prediction, the prequential test), then applies the appropriate update.
+func (o *Online) Learn(f *hv.Vector, label int) (predicted int) {
+	scores := o.model.Scores(f)
+	pred := 0
+	for c, s := range scores {
+		if s > scores[pred] {
+			pred = c
+		}
+	}
+	o.Seen++
+	if pred != label {
+		o.Mistakes++
+		w := o.opts.LR * (1 - (scores[label] - scores[pred]))
+		o.model.addScaled(label, f, w)
+		o.model.addScaled(pred, f, -w)
+		o.model.Stats.AdaptiveSteps++
+		return pred
+	}
+	// Correct: memorise only when the margin is thin (the bootstrap
+	// saturation rule applied online).
+	runner := math.Inf(-1)
+	for c, s := range scores {
+		if c != label && s > runner {
+			runner = s
+		}
+	}
+	if scores[label]-runner < o.opts.BootstrapMargin {
+		o.model.addScaled(label, f, o.opts.LR)
+		o.model.Stats.BootstrapAdds++
+	} else {
+		o.model.Stats.BootstrapSkips++
+	}
+	return pred
+}
+
+// ErrorRate returns the prequential (test-then-train) error over the
+// stream so far.
+func (o *Online) ErrorRate() float64 {
+	if o.Seen == 0 {
+		return 0
+	}
+	return float64(o.Mistakes) / float64(o.Seen)
+}
+
+// Snapshot finalises a binarised copy of the current model for deployment
+// while the online learner keeps training.
+func (o *Online) Snapshot(seed uint64) *Model {
+	c := &Model{D: o.model.D, K: o.model.K, Classes: make([][]float64, o.model.K)}
+	for i, acc := range o.model.Classes {
+		c.Classes[i] = append([]float64(nil), acc...)
+	}
+	c.Finalize(seed)
+	return c
+}

@@ -1,0 +1,109 @@
+package hdc
+
+import (
+	"testing"
+
+	"hdface/internal/hv"
+)
+
+// shuffleStream interleaves a class-ordered sample set deterministically.
+func shuffleStream(feats []*hv.Vector, labels []int, seed uint64) {
+	r := hv.NewRNG(seed)
+	r.Shuffle(len(feats), func(i, j int) {
+		feats[i], feats[j] = feats[j], feats[i]
+		labels[i], labels[j] = labels[j], labels[i]
+	})
+}
+
+func TestOnlineLearnsStream(t *testing.T) {
+	feats, labels, _ := makeClusters(2048, 3, 60, 0.3, 31)
+	// Interleave classes in stream order.
+	o := NewOnline(2048, 3, TrainOpts{})
+	for i, f := range feats {
+		o.Learn(f, labels[i])
+	}
+	if o.Seen != int64(len(feats)) {
+		t.Fatalf("seen %d, want %d", o.Seen, len(feats))
+	}
+	// The converged model must classify held-out cluster members.
+	test, tl, _ := makeClusters(2048, 3, 15, 0.3, 31)
+	if acc := o.Model().Accuracy(test, tl); acc < 0.9 {
+		t.Fatalf("online-trained accuracy %v", acc)
+	}
+}
+
+func TestOnlinePrequentialErrorDecreases(t *testing.T) {
+	feats, labels, _ := makeClusters(512, 4, 100, 0.45, 32)
+	shuffleStream(feats, labels, 1)
+	o := NewOnline(512, 4, TrainOpts{})
+	half := len(feats) / 2
+	var earlyMistakes int64
+	for i, f := range feats {
+		o.Learn(f, labels[i])
+		if i == half-1 {
+			earlyMistakes = o.Mistakes
+		}
+	}
+	lateMistakes := o.Mistakes - earlyMistakes
+	if lateMistakes >= earlyMistakes {
+		t.Fatalf("stream error not decreasing: %d early vs %d late mistakes",
+			earlyMistakes, lateMistakes)
+	}
+	if o.ErrorRate() <= 0 || o.ErrorRate() >= 1 {
+		t.Fatalf("error rate %v out of range", o.ErrorRate())
+	}
+}
+
+func TestOnlineMatchesBatchRoughly(t *testing.T) {
+	feats, labels, _ := makeClusters(1024, 3, 40, 0.35, 33)
+	test, tl, _ := makeClusters(1024, 3, 15, 0.35, 33)
+	batch := Train(feats, labels, 3, TrainOpts{})
+	o := NewOnline(1024, 3, TrainOpts{})
+	// Two passes over the stream approximate batch refinement.
+	for pass := 0; pass < 2; pass++ {
+		for i, f := range feats {
+			o.Learn(f, labels[i])
+		}
+	}
+	ba, oa := batch.Accuracy(test, tl), o.Model().Accuracy(test, tl)
+	if oa < ba-0.15 {
+		t.Fatalf("online accuracy %v far below batch %v", oa, ba)
+	}
+}
+
+func TestOnlineSnapshotIndependent(t *testing.T) {
+	feats, labels, _ := makeClusters(512, 2, 20, 0.2, 34)
+	shuffleStream(feats, labels, 2)
+	o := NewOnline(512, 2, TrainOpts{})
+	for i, f := range feats {
+		o.Learn(f, labels[i])
+	}
+	snap := o.Snapshot(1)
+	if snap.Bin == nil {
+		t.Fatal("snapshot not finalised")
+	}
+	before := snap.Classes[0][0]
+	// Further learning must not mutate the snapshot.
+	for i, f := range feats {
+		o.Learn(f, labels[i])
+	}
+	if snap.Classes[0][0] != before {
+		t.Fatal("snapshot shares storage with live model")
+	}
+	correct := 0
+	for i, f := range feats {
+		if snap.PredictBinary(f) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(feats)); acc < 0.9 {
+		t.Fatalf("snapshot accuracy %v", acc)
+	}
+}
+
+func TestOnlineEmptyErrorRate(t *testing.T) {
+	o := NewOnline(64, 2, TrainOpts{})
+	if o.ErrorRate() != 0 {
+		t.Fatal("empty stream error rate != 0")
+	}
+}

@@ -1,0 +1,247 @@
+// Package hdconv implements small-kernel convolution as a feature
+// extractor, both classically and fully in hyperspace — the third feature
+// family the paper names (Section 2: "pre-trained convolution layers,
+// HOGs, ... HAAR-like"). A convolution response is a weighted sum of pixel
+// values, which the stochastic arithmetic expresses directly as a convex
+// combination of (possibly negated) pixel hypervectors; no gradient, bin
+// search or square root is involved, making this the cheapest hyperspace
+// extractor in the repository.
+package hdconv
+
+import (
+	"math"
+
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+	"hdface/internal/stoch"
+)
+
+// Kernel is a 3x3 convolution kernel.
+type Kernel struct {
+	Name string
+	W    [3][3]float64
+}
+
+// Bank returns the default edge/texture kernel bank: Sobel pair, Laplacian
+// and two diagonal Roberts-style kernels.
+func Bank() []Kernel {
+	return []Kernel{
+		{"sobel-x", [3][3]float64{{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}}},
+		{"sobel-y", [3][3]float64{{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}}},
+		{"laplace", [3][3]float64{{0, 1, 0}, {1, -4, 1}, {0, 1, 0}}},
+		{"diag-a", [3][3]float64{{2, 1, 0}, {1, 0, -1}, {0, -1, -2}}},
+		{"diag-b", [3][3]float64{{0, 1, 2}, {-1, 0, 1}, {-2, -1, 0}}},
+	}
+}
+
+// norm returns sum |w| of the kernel, the scale of its hyperspace output.
+func (k Kernel) norm() float64 {
+	var s float64
+	for _, row := range k.W {
+		for _, w := range row {
+			s += math.Abs(w)
+		}
+	}
+	return s
+}
+
+// Apply computes the classical normalised response map: at each pixel,
+// sum(w * I') / sum|w| where I' is the [-1, 1] scaled image, matching the
+// hyperspace extractor's value convention.
+func (k Kernel) Apply(img *imgproc.Image) [][]float64 {
+	n := k.norm()
+	out := make([][]float64, img.H)
+	for y := 0; y < img.H; y++ {
+		row := make([]float64, img.W)
+		for x := 0; x < img.W; x++ {
+			var s float64
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					s += k.W[dy+1][dx+1] * (2*img.Norm(x+dx, y+dy) - 1)
+				}
+			}
+			row[x] = s / n
+		}
+		out[y] = row
+	}
+	return out
+}
+
+// Extractor computes pooled convolution features classically: the mean
+// absolute response of every kernel in every pooling cell.
+type Extractor struct {
+	Cell int // pooling cell size (default 8)
+	Bank []Kernel
+}
+
+// New returns a classical extractor.
+func New(cell int) *Extractor {
+	if cell <= 0 {
+		cell = 8
+	}
+	return &Extractor{Cell: cell, Bank: Bank()}
+}
+
+// FeatureLen returns the pooled feature count for a w x h image.
+func (e *Extractor) FeatureLen(w, h int) int {
+	return (w / e.Cell) * (h / e.Cell) * len(e.Bank)
+}
+
+// Features returns mean |response| per (cell, kernel).
+func (e *Extractor) Features(img *imgproc.Image) []float64 {
+	cw, ch := img.W/e.Cell, img.H/e.Cell
+	out := make([]float64, 0, cw*ch*len(e.Bank))
+	maps := make([][][]float64, len(e.Bank))
+	for i, k := range e.Bank {
+		maps[i] = k.Apply(img)
+	}
+	for cy := 0; cy < ch; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			for _, m := range maps {
+				var s float64
+				for py := 0; py < e.Cell; py++ {
+					for px := 0; px < e.Cell; px++ {
+						s += math.Abs(m[cy*e.Cell+py][cx*e.Cell+px])
+					}
+				}
+				out = append(out, s/float64(e.Cell*e.Cell))
+			}
+		}
+	}
+	return out
+}
+
+// HD computes the same pooled convolution features in hyperspace.
+type HD struct {
+	Cell   int
+	Stride int // response sampling stride within a cell (default 2)
+	Bank   []Kernel
+	codec  *stoch.Codec
+	rng    *hv.RNG
+	levels []*hv.Vector
+	ids    map[[2]int]*hv.Vector
+	// Sites counts convolution sites evaluated, for the hardware model.
+	Sites int64
+}
+
+// NewHD builds a hyperspace convolution extractor over the codec.
+func NewHD(codec *stoch.Codec, cell int) *HD {
+	if cell <= 0 {
+		cell = 8
+	}
+	h := &HD{
+		Cell:   cell,
+		Stride: 2,
+		Bank:   Bank(),
+		codec:  codec,
+		rng:    hv.NewRNG(0xc0de ^ uint64(codec.D())),
+		ids:    make(map[[2]int]*hv.Vector),
+	}
+	h.levels = make([]*hv.Vector, 64)
+	for i := range h.levels {
+		h.levels[i] = codec.Construct(2*float64(i)/float64(len(h.levels)-1) - 1)
+	}
+	return h
+}
+
+func (h *HD) pixel(v float64) *hv.Vector {
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	idx := int(v*float64(len(h.levels)-1) + 0.5)
+	return h.codec.DecorrelateShift(h.levels[idx], 1+h.rng.Intn(h.codec.D()-1))
+}
+
+// ResponseHV computes one kernel response at (x, y) as a hypervector
+// representing sum(w * I') / sum|w|.
+func (h *HD) ResponseHV(img *imgproc.Image, k Kernel, x, y int) *hv.Vector {
+	ks := make([]float64, 0, 9)
+	xs := make([]*hv.Vector, 0, 9)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			w := k.W[dy+1][dx+1]
+			if w == 0 {
+				continue
+			}
+			ks = append(ks, w)
+			xs = append(xs, h.pixel(img.Norm(x+dx, y+dy)))
+		}
+	}
+	h.Sites++
+	return h.codec.DotConst(ks, xs)
+}
+
+// id returns the bundle atom for (cell, kernel).
+func (h *HD) id(cell, kernel int) *hv.Vector {
+	key := [2]int{cell, kernel}
+	if v, ok := h.ids[key]; ok {
+		return v
+	}
+	v := hv.NewRand(h.rng, h.codec.D())
+	h.ids[key] = v
+	return v
+}
+
+// Feature returns the image's feature hypervector: mean absolute kernel
+// responses per pooling cell, computed stochastically, weighting ID atoms.
+func (h *HD) Feature(img *imgproc.Image) *hv.Vector {
+	d := h.codec.D()
+	cw, ch := img.W/h.Cell, img.H/h.Cell
+	acc := hv.NewAccumulator(d)
+	for cy := 0; cy < ch; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			for ki, k := range h.Bank {
+				var resp []*hv.Vector
+				for py := h.Stride / 2; py < h.Cell; py += h.Stride {
+					for px := h.Stride / 2; px < h.Cell; px += h.Stride {
+						r := h.ResponseHV(img, k, cx*h.Cell+px, cy*h.Cell+py)
+						resp = append(resp, h.codec.Abs(r))
+					}
+				}
+				if len(resp) == 0 {
+					continue
+				}
+				ws := make([]float64, len(resp))
+				for i := range ws {
+					ws[i] = 1
+				}
+				mean := h.codec.WeightedSum(resp, ws)
+				w := int32(h.codec.Decode(mean) * 64)
+				if w <= 0 {
+					continue
+				}
+				acc.AddScaled(h.id(cy*cw+cx, ki), w)
+			}
+		}
+	}
+	out, _ := acc.Sign(hv.NewRand(h.rng, d))
+	return out
+}
+
+// DecodedFeatures decodes pooled responses to floats for parity tests,
+// sampling the same stride lattice as Feature.
+func (h *HD) DecodedFeatures(img *imgproc.Image) []float64 {
+	cw, ch := img.W/h.Cell, img.H/h.Cell
+	out := make([]float64, 0, cw*ch*len(h.Bank))
+	for cy := 0; cy < ch; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			for _, k := range h.Bank {
+				var resp []*hv.Vector
+				for py := h.Stride / 2; py < h.Cell; py += h.Stride {
+					for px := h.Stride / 2; px < h.Cell; px += h.Stride {
+						r := h.ResponseHV(img, k, cx*h.Cell+px, cy*h.Cell+py)
+						resp = append(resp, h.codec.Abs(r))
+					}
+				}
+				ws := make([]float64, len(resp))
+				for i := range ws {
+					ws[i] = 1
+				}
+				out = append(out, h.codec.Decode(h.codec.WeightedSum(resp, ws)))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package hdconv
+
+import (
+	"math"
+	"testing"
+
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+	"hdface/internal/stoch"
+)
+
+func TestBankShapes(t *testing.T) {
+	bank := Bank()
+	if len(bank) != 5 {
+		t.Fatalf("bank size %d", len(bank))
+	}
+	for _, k := range bank {
+		if k.Name == "" {
+			t.Fatal("unnamed kernel")
+		}
+		if k.norm() == 0 {
+			t.Fatalf("%s: zero norm", k.Name)
+		}
+	}
+}
+
+func TestSobelOnEdges(t *testing.T) {
+	// Vertical edge: sobel-x responds, sobel-y silent.
+	img := imgproc.NewImage(16, 16)
+	img.FillRect(8, 0, 16, 16, 255)
+	sx, sy := Bank()[0], Bank()[1]
+	mx := sx.Apply(img)
+	my := sy.Apply(img)
+	if math.Abs(mx[8][8]) < 0.5 {
+		t.Fatalf("sobel-x on vertical edge = %v", mx[8][8])
+	}
+	if math.Abs(my[8][8]) > 1e-9 {
+		t.Fatalf("sobel-y on vertical edge = %v", my[8][8])
+	}
+}
+
+func TestApplyFlatIsZero(t *testing.T) {
+	img := imgproc.NewImage(8, 8)
+	img.Fill(77)
+	for _, k := range Bank() {
+		m := k.Apply(img)
+		for y := range m {
+			for x, v := range m[y] {
+				if math.Abs(v) > 1e-12 {
+					t.Fatalf("%s flat response (%d,%d) = %v", k.Name, x, y, v)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyRange(t *testing.T) {
+	r := hv.NewRNG(1)
+	img := imgproc.NewImage(12, 12)
+	for i := range img.Pix {
+		img.Pix[i] = uint8(r.Intn(256))
+	}
+	for _, k := range Bank() {
+		m := k.Apply(img)
+		for y := range m {
+			for _, v := range m[y] {
+				if v < -1-1e-9 || v > 1+1e-9 {
+					t.Fatalf("%s response %v out of [-1,1]", k.Name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestClassicalFeatures(t *testing.T) {
+	e := New(8)
+	img := imgproc.NewImage(16, 16)
+	img.GradientFill(0, 0, 15, 15, 0, 255)
+	f := e.Features(img)
+	if len(f) != e.FeatureLen(16, 16) {
+		t.Fatalf("feature count %d, want %d", len(f), e.FeatureLen(16, 16))
+	}
+	if len(f) != 2*2*5 {
+		t.Fatalf("unexpected count %d", len(f))
+	}
+	for i, v := range f {
+		if v < 0 || v > 1 {
+			t.Fatalf("pooled |response| %d out of range: %v", i, v)
+		}
+	}
+}
+
+func TestNewDefaultsCell(t *testing.T) {
+	if New(0).Cell != 8 || NewHD(stoch.NewCodec(256, 1), 0).Cell != 8 {
+		t.Fatal("default cell not applied")
+	}
+}
+
+func TestResponseHVMatchesClassical(t *testing.T) {
+	codec := stoch.NewCodec(16384, 2)
+	h := NewHD(codec, 8)
+	img := imgproc.NewImage(16, 16)
+	img.FillRect(8, 0, 16, 16, 255)
+	k := Bank()[0] // sobel-x
+	want := k.Apply(img)
+	for _, pt := range [][2]int{{8, 8}, {4, 4}, {12, 8}} {
+		got := codec.Decode(h.ResponseHV(img, k, pt[0], pt[1]))
+		if math.Abs(got-want[pt[1]][pt[0]]) > 0.1 {
+			t.Fatalf("response at %v: decoded %v, classical %v",
+				pt, got, want[pt[1]][pt[0]])
+		}
+	}
+}
+
+func TestDecodedFeaturesTrackClassicalStrongCells(t *testing.T) {
+	codec := stoch.NewCodec(8192, 3)
+	h := NewHD(codec, 8)
+	img := imgproc.NewImage(16, 16)
+	img.FillRect(8, 0, 16, 16, 255)
+	decoded := h.DecodedFeatures(img)
+	if len(decoded) != 2*2*5 {
+		t.Fatalf("decoded count %d", len(decoded))
+	}
+	// The sobel-x feature of the cells containing the edge must clearly
+	// exceed the sobel-y ones.
+	// Cells are (cy*cw+cx)*5 + kernel; the edge is at x=8 = cell column 1
+	// border — check cell (0,0) is quiet and responses are in range.
+	for i, v := range decoded {
+		if v < -0.2 || v > 1.2 {
+			t.Fatalf("decoded %d out of range: %v", i, v)
+		}
+	}
+}
+
+func TestHDFeatureDiscriminates(t *testing.T) {
+	codec := stoch.NewCodec(4096, 4)
+	h := NewHD(codec, 8)
+	r := hv.NewRNG(5)
+	edge := imgproc.NewImage(16, 16)
+	edge.FillRect(8, 0, 16, 16, 255)
+	tex := imgproc.NewImage(16, 16)
+	for i := range tex.Pix {
+		tex.Pix[i] = uint8(r.Intn(256))
+	}
+	f1 := h.Feature(edge)
+	f2 := h.Feature(edge)
+	f3 := h.Feature(tex)
+	if f1.Cos(f2) <= f1.Cos(f3) {
+		t.Fatalf("same-image cos %v not above cross %v", f1.Cos(f2), f1.Cos(f3))
+	}
+	if f1.D() != 4096 {
+		t.Fatal("feature dimension wrong")
+	}
+}
+
+func TestSitesCounted(t *testing.T) {
+	codec := stoch.NewCodec(512, 6)
+	h := NewHD(codec, 8)
+	img := imgproc.NewImage(8, 8)
+	h.Feature(img)
+	// 1 cell, 5 kernels, stride 2 -> 16 sites each.
+	if h.Sites != 5*16 {
+		t.Fatalf("Sites = %d, want 80", h.Sites)
+	}
+}
+
+func BenchmarkClassicalApply(b *testing.B) {
+	img := imgproc.NewImage(48, 48)
+	img.GradientFill(0, 0, 47, 47, 0, 255)
+	k := Bank()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Apply(img)
+	}
+}
+
+func BenchmarkHDResponse(b *testing.B) {
+	codec := stoch.NewCodec(2048, 1)
+	h := NewHD(codec, 8)
+	img := imgproc.NewImage(16, 16)
+	img.GradientFill(0, 0, 15, 15, 0, 255)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ResponseHV(img, h.Bank[0], 8, 8)
+	}
+}

@@ -1,0 +1,352 @@
+// Package hdl generates synthesizable Verilog for the HDC datapath the
+// paper implemented on its Kintex-7 ("we design the HDFace functionality
+// using Verilog and synthesize it using Xilinx Vivado"): wide XOR binding
+// units, mask-select units for stochastic weighted averaging, popcount
+// adder trees for similarity, LFSR farms for Bernoulli mask generation and
+// a Hamming-distance associative search.
+//
+// Modules are built in a small gate-level intermediate representation that
+// can be evaluated directly in Go, so every generated circuit is
+// functionally verified against the reference software (package hv) before
+// the Verilog text is emitted. Emission is structural: one wire per net,
+// one assign per gate, registers in a single clocked block.
+package hdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Net identifies one single-bit signal inside a module.
+type Net int
+
+// gateKind enumerates the IR primitives.
+type gateKind int
+
+const (
+	gInput gateKind = iota
+	gConst
+	gAnd
+	gOr
+	gXor
+	gNot
+	gReg // D flip-flop: value of A sampled each Step
+)
+
+type gate struct {
+	kind gateKind
+	a, b Net
+	val  bool // for gConst: the constant; for gReg: the initial value
+}
+
+// Module is a gate-level netlist with named input/output buses and
+// optional registers. Build it with the constructor helpers, verify it
+// with Eval/Step, then emit Verilog with Verilog().
+type Module struct {
+	Name     string
+	gates    []gate
+	inputs   map[string][]Net
+	outputs  map[string][]Net
+	inOrder  []string
+	outOrder []string
+	regs     []Net // subset of gates that are registers
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:    name,
+		inputs:  map[string][]Net{},
+		outputs: map[string][]Net{},
+	}
+}
+
+// add appends a gate and returns its net.
+func (m *Module) add(g gate) Net {
+	m.gates = append(m.gates, g)
+	return Net(len(m.gates) - 1)
+}
+
+// Input declares a named input bus of the given width.
+func (m *Module) Input(name string, width int) []Net {
+	if _, dup := m.inputs[name]; dup {
+		panic("hdl: duplicate input " + name)
+	}
+	bus := make([]Net, width)
+	for i := range bus {
+		bus[i] = m.add(gate{kind: gInput})
+	}
+	m.inputs[name] = bus
+	m.inOrder = append(m.inOrder, name)
+	return bus
+}
+
+// Output declares a named output bus driven by the given nets.
+func (m *Module) Output(name string, bus []Net) {
+	if _, dup := m.outputs[name]; dup {
+		panic("hdl: duplicate output " + name)
+	}
+	m.outputs[name] = append([]Net(nil), bus...)
+	m.outOrder = append(m.outOrder, name)
+}
+
+// Const returns a constant-valued net.
+func (m *Module) Const(v bool) Net { return m.add(gate{kind: gConst, val: v}) }
+
+// And returns a & b.
+func (m *Module) And(a, b Net) Net { return m.add(gate{kind: gAnd, a: a, b: b}) }
+
+// Or returns a | b.
+func (m *Module) Or(a, b Net) Net { return m.add(gate{kind: gOr, a: a, b: b}) }
+
+// Xor returns a ^ b.
+func (m *Module) Xor(a, b Net) Net { return m.add(gate{kind: gXor, a: a, b: b}) }
+
+// Not returns ~a.
+func (m *Module) Not(a Net) Net { return m.add(gate{kind: gNot, a: a}) }
+
+// Mux returns sel ? a : b.
+func (m *Module) Mux(sel, a, b Net) Net {
+	return m.Or(m.And(sel, a), m.And(m.Not(sel), b))
+}
+
+// Reg inserts a D flip-flop with the given initial value; Wire connects
+// its input later (registers may close feedback loops).
+func (m *Module) Reg(init bool) Net {
+	n := m.add(gate{kind: gReg, a: -1, val: init})
+	m.regs = append(m.regs, n)
+	return n
+}
+
+// Wire connects register reg's data input to net d.
+func (m *Module) Wire(reg, d Net) {
+	if m.gates[reg].kind != gReg {
+		panic("hdl: Wire target is not a register")
+	}
+	m.gates[reg].a = d
+}
+
+// GateCount returns the number of combinational gates (LUT proxy).
+func (m *Module) GateCount() int {
+	n := 0
+	for _, g := range m.gates {
+		switch g.kind {
+		case gAnd, gOr, gXor, gNot:
+			n++
+		}
+	}
+	return n
+}
+
+// RegCount returns the number of flip-flops.
+func (m *Module) RegCount() int { return len(m.regs) }
+
+// State captures register values between Steps.
+type State map[Net]bool
+
+// NewState returns the reset state (register initial values).
+func (m *Module) NewState() State {
+	s := State{}
+	for _, r := range m.regs {
+		s[r] = m.gates[r].val
+	}
+	return s
+}
+
+// Eval computes all outputs combinationally for the given inputs and
+// register state (nil state for purely combinational modules).
+func (m *Module) Eval(inputs map[string][]bool, s State) map[string][]bool {
+	vals := make([]bool, len(m.gates))
+	known := make([]bool, len(m.gates))
+	for name, bus := range m.inputs {
+		in, ok := inputs[name]
+		if !ok || len(in) != len(bus) {
+			panic(fmt.Sprintf("hdl: input %s needs %d bits", name, len(bus)))
+		}
+		for i, n := range bus {
+			vals[n] = in[i]
+			known[n] = true
+		}
+	}
+	for _, r := range m.regs {
+		vals[r] = s[r]
+		known[r] = true
+	}
+	var resolve func(n Net) bool
+	resolve = func(n Net) bool {
+		if known[n] {
+			return vals[n]
+		}
+		g := m.gates[n]
+		var v bool
+		switch g.kind {
+		case gConst:
+			v = g.val
+		case gAnd:
+			v = resolve(g.a) && resolve(g.b)
+		case gOr:
+			v = resolve(g.a) || resolve(g.b)
+		case gXor:
+			v = resolve(g.a) != resolve(g.b)
+		case gNot:
+			v = !resolve(g.a)
+		case gInput:
+			panic("hdl: unconnected input net")
+		case gReg:
+			panic("hdl: register value must come from state")
+		}
+		vals[n] = v
+		known[n] = true
+		return v
+	}
+	out := map[string][]bool{}
+	for name, bus := range m.outputs {
+		bits := make([]bool, len(bus))
+		for i, n := range bus {
+			bits[i] = resolve(n)
+		}
+		out[name] = bits
+	}
+	// Also resolve register inputs so Step sees consistent values.
+	for _, r := range m.regs {
+		if m.gates[r].a >= 0 {
+			resolve(m.gates[r].a)
+		}
+	}
+	return out
+}
+
+// Step advances registers one clock: each register samples its wired
+// input under the given inputs. Returns the new state.
+func (m *Module) Step(inputs map[string][]bool, s State) State {
+	// Evaluate combinationally, then latch.
+	vals := make([]bool, len(m.gates))
+	known := make([]bool, len(m.gates))
+	for name, bus := range m.inputs {
+		in := inputs[name]
+		for i, n := range bus {
+			vals[n] = in[i]
+			known[n] = true
+		}
+	}
+	for _, r := range m.regs {
+		vals[r] = s[r]
+		known[r] = true
+	}
+	var resolve func(n Net) bool
+	resolve = func(n Net) bool {
+		if known[n] {
+			return vals[n]
+		}
+		g := m.gates[n]
+		var v bool
+		switch g.kind {
+		case gConst:
+			v = g.val
+		case gAnd:
+			v = resolve(g.a) && resolve(g.b)
+		case gOr:
+			v = resolve(g.a) || resolve(g.b)
+		case gXor:
+			v = resolve(g.a) != resolve(g.b)
+		case gNot:
+			v = !resolve(g.a)
+		}
+		vals[n] = v
+		known[n] = true
+		return v
+	}
+	next := State{}
+	for _, r := range m.regs {
+		d := m.gates[r].a
+		if d < 0 {
+			panic("hdl: register with unwired input")
+		}
+		next[r] = resolve(d)
+	}
+	return next
+}
+
+// Verilog emits the module as structural Verilog-2001.
+func (m *Module) Verilog() string {
+	var b strings.Builder
+	var ports []string
+	if len(m.regs) > 0 {
+		ports = append(ports, "clk")
+	}
+	for _, name := range m.inOrder {
+		ports = append(ports, name)
+	}
+	for _, name := range m.outOrder {
+		ports = append(ports, name)
+	}
+	fmt.Fprintf(&b, "module %s(%s);\n", m.Name, strings.Join(ports, ", "))
+	if len(m.regs) > 0 {
+		b.WriteString("  input clk;\n")
+	}
+	for _, name := range m.inOrder {
+		fmt.Fprintf(&b, "  input [%d:0] %s;\n", len(m.inputs[name])-1, name)
+	}
+	for _, name := range m.outOrder {
+		fmt.Fprintf(&b, "  output [%d:0] %s;\n", len(m.outputs[name])-1, name)
+	}
+	// Wire declarations for every gate net.
+	fmt.Fprintf(&b, "  wire [%d:0] n;\n", len(m.gates)-1)
+	if len(m.regs) > 0 {
+		var idx []int
+		for _, r := range m.regs {
+			idx = append(idx, int(r))
+		}
+		sort.Ints(idx)
+		for _, r := range idx {
+			fmt.Fprintf(&b, "  reg r%d = 1'b%s;\n", r, bit(m.gates[r].val))
+		}
+	}
+	// Input bindings.
+	for _, name := range m.inOrder {
+		for i, n := range m.inputs[name] {
+			fmt.Fprintf(&b, "  assign n[%d] = %s[%d];\n", n, name, i)
+		}
+	}
+	// Gates.
+	for i, g := range m.gates {
+		switch g.kind {
+		case gConst:
+			fmt.Fprintf(&b, "  assign n[%d] = 1'b%s;\n", i, bit(g.val))
+		case gAnd:
+			fmt.Fprintf(&b, "  assign n[%d] = n[%d] & n[%d];\n", i, g.a, g.b)
+		case gOr:
+			fmt.Fprintf(&b, "  assign n[%d] = n[%d] | n[%d];\n", i, g.a, g.b)
+		case gXor:
+			fmt.Fprintf(&b, "  assign n[%d] = n[%d] ^ n[%d];\n", i, g.a, g.b)
+		case gNot:
+			fmt.Fprintf(&b, "  assign n[%d] = ~n[%d];\n", i, g.a)
+		case gReg:
+			fmt.Fprintf(&b, "  assign n[%d] = r%d;\n", i, i)
+		}
+	}
+	// Register updates.
+	if len(m.regs) > 0 {
+		b.WriteString("  always @(posedge clk) begin\n")
+		for _, r := range m.regs {
+			fmt.Fprintf(&b, "    r%d <= n[%d];\n", r, m.gates[r].a)
+		}
+		b.WriteString("  end\n")
+	}
+	// Outputs.
+	for _, name := range m.outOrder {
+		for i, n := range m.outputs[name] {
+			fmt.Fprintf(&b, "  assign %s[%d] = n[%d];\n", name, i, n)
+		}
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+func bit(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}

@@ -1,0 +1,377 @@
+package hdl
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hdface/internal/hv"
+)
+
+// toBits converts the low width bits of v to a bool slice (LSB first).
+func toBits(v uint64, width int) []bool {
+	out := make([]bool, width)
+	for i := range out {
+		out[i] = v>>uint(i)&1 == 1
+	}
+	return out
+}
+
+// fromBits reads a bool slice as an LSB-first integer.
+func fromBits(bs []bool) uint64 {
+	var v uint64
+	for i, b := range bs {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func TestXorVectorMatchesSoftware(t *testing.T) {
+	m := XorVector(64)
+	f := func(a, b uint64) bool {
+		out := m.Eval(map[string][]bool{"a": toBits(a, 64), "b": toBits(b, 64)}, nil)
+		return fromBits(out["y"]) == a^b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectVectorMatchesSoftware(t *testing.T) {
+	m := SelectVector(64)
+	f := func(mask, a, b uint64) bool {
+		out := m.Eval(map[string][]bool{
+			"mask": toBits(mask, 64), "a": toBits(a, 64), "b": toBits(b, 64)}, nil)
+		return fromBits(out["y"]) == a&mask|b&^mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopcountMatchesSoftware(t *testing.T) {
+	for _, d := range []int{1, 7, 16, 64, 100} {
+		m := Popcount(d)
+		f := func(v uint64) bool {
+			in := toBits(v, d)
+			want := 0
+			for _, b := range in {
+				if b {
+					want++
+				}
+			}
+			out := m.Eval(map[string][]bool{"x": in}, nil)
+			return fromBits(out["count"]) == uint64(want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestPopcountAllOnes(t *testing.T) {
+	m := Popcount(64)
+	in := make([]bool, 64)
+	for i := range in {
+		in[i] = true
+	}
+	out := m.Eval(map[string][]bool{"x": in}, nil)
+	if got := fromBits(out["count"]); got != 64 {
+		t.Fatalf("count %d, want 64", got)
+	}
+}
+
+func TestHammingDistanceMatchesHV(t *testing.T) {
+	m := HammingDistance(64)
+	f := func(a, b uint64) bool {
+		out := m.Eval(map[string][]bool{"a": toBits(a, 64), "b": toBits(b, 64)}, nil)
+		return fromBits(out["dist"]) == uint64(bits.OnesCount64(a^b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against package hv on a packed vector.
+	r := hv.NewRNG(1)
+	va, vb := hv.NewRand(r, 64), hv.NewRand(r, 64)
+	out := m.Eval(map[string][]bool{
+		"a": toBits(va.Words()[0], 64), "b": toBits(vb.Words()[0], 64)}, nil)
+	if got := int(fromBits(out["dist"])); got != va.Hamming(vb) {
+		t.Fatalf("hdl %d vs hv %d", got, va.Hamming(vb))
+	}
+}
+
+func TestNearestClassPicksCloser(t *testing.T) {
+	m := NearestClass(32)
+	f := func(q, c0, c1 uint32) bool {
+		out := m.Eval(map[string][]bool{
+			"a":      toBits(uint64(q), 32),
+			"class0": toBits(uint64(c0), 32),
+			"class1": toBits(uint64(c1), 32)}, nil)
+		d0 := bits.OnesCount32(q ^ c0)
+		d1 := bits.OnesCount32(q ^ c1)
+		sel := out["sel"][0]
+		return sel == (d1 < d0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLFSRCyclesWithoutRepeatingEarly(t *testing.T) {
+	// Width-16 maximal-ish LFSR: the state must not repeat within a few
+	// thousand steps and must not reach all-zero.
+	m := LFSR(16, []int{15, 14, 12, 3})
+	s := m.NewState()
+	seen := map[uint64]bool{}
+	in := map[string][]bool{}
+	for i := 0; i < 4096; i++ {
+		out := m.Eval(in, s)
+		word := fromBits(out["rand"])
+		if word == 0 {
+			t.Fatal("LFSR reached all-zero state")
+		}
+		if seen[word] {
+			t.Fatalf("state repeated after %d steps", i)
+		}
+		seen[word] = true
+		s = m.Step(in, s)
+	}
+}
+
+func TestLFSRBitBalance(t *testing.T) {
+	m := LFSR(16, []int{15, 14, 12, 3})
+	s := m.NewState()
+	in := map[string][]bool{}
+	ones := 0
+	const steps = 2000
+	for i := 0; i < steps; i++ {
+		out := m.Eval(in, s)
+		if out["rand"][0] {
+			ones++
+		}
+		s = m.Step(in, s)
+	}
+	frac := float64(ones) / steps
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("LFSR bit balance %v", frac)
+	}
+}
+
+func TestBernoulliMaskDensityTracksThreshold(t *testing.T) {
+	m := BernoulliMask(12, []int{11, 10, 9, 3})
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		thresh := uint64(p * float64(uint64(1)<<12))
+		in := map[string][]bool{"thresh": toBits(thresh, 12)}
+		s := m.NewState()
+		ones := 0
+		const steps = 3000
+		for i := 0; i < steps; i++ {
+			out := m.Eval(in, s)
+			if out["bit"][0] {
+				ones++
+			}
+			s = m.Step(in, s)
+		}
+		frac := float64(ones) / steps
+		if frac < p-0.06 || frac > p+0.06 {
+			t.Fatalf("p=%v: mask density %v", p, frac)
+		}
+	}
+}
+
+func TestVerilogEmission(t *testing.T) {
+	m := HammingDistance(8)
+	v := m.Verilog()
+	for _, want := range []string{
+		"module hd_hamming_d8(", "input [7:0] a;", "input [7:0] b;",
+		"output", "assign", "endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("verilog missing %q:\n%s", want, v)
+		}
+	}
+	// Combinational module must not emit a clock.
+	if strings.Contains(v, "clk") || strings.Contains(v, "always") {
+		t.Fatal("combinational module emitted sequential constructs")
+	}
+}
+
+func TestVerilogSequentialEmission(t *testing.T) {
+	m := LFSR(8, nil)
+	v := m.Verilog()
+	for _, want := range []string{"input clk;", "always @(posedge clk)", "reg r", "<="} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("sequential verilog missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestGateAndRegCounts(t *testing.T) {
+	m := XorVector(64)
+	if got := m.GateCount(); got != 64 {
+		t.Fatalf("xor gate count %d, want 64", got)
+	}
+	if m.RegCount() != 0 {
+		t.Fatal("combinational module has registers")
+	}
+	l := LFSR(16, nil)
+	if l.RegCount() != 16 {
+		t.Fatalf("LFSR reg count %d", l.RegCount())
+	}
+	// Popcount gate count grows roughly linearly with width (adder tree).
+	p64 := Popcount(64).GateCount()
+	p128 := Popcount(128).GateCount()
+	if p128 <= p64 || p128 > 3*p64 {
+		t.Fatalf("popcount scaling odd: %d -> %d", p64, p128)
+	}
+}
+
+func TestModuleValidation(t *testing.T) {
+	m := NewModule("t")
+	m.Input("a", 2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate input did not panic")
+			}
+		}()
+		m.Input("a", 2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Wire to non-register did not panic")
+			}
+		}()
+		m.Wire(m.Const(false), m.Const(true))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("missing input did not panic")
+			}
+		}()
+		out := []Net{m.Const(true)}
+		m.Output("y", out)
+		m.Eval(map[string][]bool{}, nil)
+	}()
+}
+
+func BenchmarkEvalHamming256(b *testing.B) {
+	m := HammingDistance(256)
+	r := hv.NewRNG(1)
+	in := map[string][]bool{
+		"a": toBits(r.Uint64(), 64), "b": toBits(r.Uint64(), 64)}
+	// Widen inputs to 256 bits.
+	a := make([]bool, 256)
+	bb := make([]bool, 256)
+	for i := 0; i < 256; i++ {
+		a[i] = r.Uint64()&1 == 1
+		bb[i] = r.Uint64()&1 == 1
+	}
+	in["a"], in["b"] = a, bb
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Eval(in, nil)
+	}
+}
+
+func TestAssocSearchMatchesArgmin(t *testing.T) {
+	const d, k = 24, 7
+	m := AssocSearch(d, k)
+	f := func(seed uint64) bool {
+		r := hv.NewRNG(seed)
+		in := map[string][]bool{}
+		var q uint64 = r.Uint64() & (1<<d - 1)
+		in["q"] = toBits(q, d)
+		classes := make([]uint64, k)
+		for c := range classes {
+			classes[c] = r.Uint64() & (1<<d - 1)
+			in[fmt.Sprintf("class%d", c)] = toBits(classes[c], d)
+		}
+		want, best := 0, 1<<30
+		for c, cv := range classes {
+			dist := bits.OnesCount64(q ^ cv)
+			if dist < best {
+				best, want = dist, c
+			}
+		}
+		out := m.Eval(in, nil)
+		return int(fromBits(out["winner"])) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssocSearchTieGoesToLowerIndex(t *testing.T) {
+	m := AssocSearch(8, 3)
+	in := map[string][]bool{
+		"q":      toBits(0b00000000, 8),
+		"class0": toBits(0b00001111, 8), // dist 4
+		"class1": toBits(0b00000011, 8), // dist 2
+		"class2": toBits(0b00000101, 8), // dist 2 (tie with class1)
+	}
+	out := m.Eval(in, nil)
+	if got := fromBits(out["winner"]); got != 1 {
+		t.Fatalf("winner %d, want 1 (tie to lower index)", got)
+	}
+}
+
+func TestAssocSearchValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=1 did not panic")
+		}
+	}()
+	AssocSearch(8, 1)
+}
+
+func TestAssocSearchVerilog(t *testing.T) {
+	m := AssocSearch(8, 4)
+	v := m.Verilog()
+	if !strings.Contains(v, "module hd_assoc_d8_k4(") || !strings.Contains(v, "winner") {
+		t.Fatal("assoc verilog malformed")
+	}
+}
+
+func TestPipelinedHammingLatency(t *testing.T) {
+	m := PipelinedHamming(16)
+	if m.RegCount() != 16 {
+		t.Fatalf("reg count %d, want 16", m.RegCount())
+	}
+	s := m.NewState()
+	inA := map[string][]bool{"a": toBits(0xF0F0, 16), "b": toBits(0x0F0F, 16)}
+	// Cycle 0: registers still hold reset values -> dist 0.
+	out := m.Eval(inA, s)
+	if got := fromBits(out["dist"]); got != 0 {
+		t.Fatalf("pre-clock dist %d, want 0", got)
+	}
+	// Clock once: stage latches a^b (all 16 bits differ).
+	s = m.Step(inA, s)
+	out = m.Eval(inA, s)
+	if got := fromBits(out["dist"]); got != 16 {
+		t.Fatalf("post-clock dist %d, want 16", got)
+	}
+	// New inputs appear one cycle later.
+	inB := map[string][]bool{"a": toBits(0xFFFF, 16), "b": toBits(0xFFFF, 16)}
+	out = m.Eval(inB, s)
+	if got := fromBits(out["dist"]); got != 16 {
+		t.Fatalf("dist should still show previous inputs, got %d", got)
+	}
+	s = m.Step(inB, s)
+	out = m.Eval(inB, s)
+	if got := fromBits(out["dist"]); got != 0 {
+		t.Fatalf("updated dist %d, want 0", got)
+	}
+	// Sequential Verilog constructs present.
+	v := m.Verilog()
+	if !strings.Contains(v, "always @(posedge clk)") {
+		t.Fatal("pipelined unit missing clocked block")
+	}
+}

@@ -1,0 +1,346 @@
+package hdl
+
+import "fmt"
+
+// Generators for the HDC datapath units of the paper's FPGA design.
+
+// XorVector builds the D-wide binding/multiplication unit: out = a ^ b.
+// With the basis hypervector wired to one port, this is the stochastic
+// multiplier (V_ab = V1 ^ Va ^ Vb reduces to two such stages).
+func XorVector(d int) *Module {
+	m := NewModule(fmt.Sprintf("hd_xor_d%d", d))
+	a := m.Input("a", d)
+	b := m.Input("b", d)
+	out := make([]Net, d)
+	for i := 0; i < d; i++ {
+		out[i] = m.Xor(a[i], b[i])
+	}
+	m.Output("y", out)
+	return m
+}
+
+// SelectVector builds the weighted-average unit: out[i] = mask[i] ? a : b.
+// Driven by a Bernoulli(p) mask from the LFSR farm it computes
+// p*a (+) (1-p)*b.
+func SelectVector(d int) *Module {
+	m := NewModule(fmt.Sprintf("hd_select_d%d", d))
+	mask := m.Input("mask", d)
+	a := m.Input("a", d)
+	b := m.Input("b", d)
+	out := make([]Net, d)
+	for i := 0; i < d; i++ {
+		out[i] = m.Mux(mask[i], a[i], b[i])
+	}
+	m.Output("y", out)
+	return m
+}
+
+// addBit appends a full adder returning (sum, carry).
+func addBit(m *Module, a, b, cin Net) (sum, cout Net) {
+	axb := m.Xor(a, b)
+	sum = m.Xor(axb, cin)
+	cout = m.Or(m.And(a, b), m.And(axb, cin))
+	return
+}
+
+// rippleAdd adds two equal-width buses, returning width+1 bits.
+func rippleAdd(m *Module, a, b []Net) []Net {
+	if len(a) != len(b) {
+		panic("hdl: rippleAdd width mismatch")
+	}
+	out := make([]Net, 0, len(a)+1)
+	carry := m.Const(false)
+	for i := range a {
+		var s Net
+		s, carry = addBit(m, a[i], b[i], carry)
+		out = append(out, s)
+	}
+	return append(out, carry)
+}
+
+// popcountNets reduces bits to a binary count bus with a balanced adder
+// tree, the LUT structure the popcount units synthesize to.
+func popcountNets(m *Module, bits []Net) []Net {
+	if len(bits) == 0 {
+		return []Net{m.Const(false)}
+	}
+	// Start with 1-bit buses, then pairwise add.
+	buses := make([][]Net, len(bits))
+	for i, b := range bits {
+		buses[i] = []Net{b}
+	}
+	for len(buses) > 1 {
+		var next [][]Net
+		for i := 0; i+1 < len(buses); i += 2 {
+			a, b := buses[i], buses[i+1]
+			// Pad to equal width.
+			for len(a) < len(b) {
+				a = append(a, m.Const(false))
+			}
+			for len(b) < len(a) {
+				b = append(b, m.Const(false))
+			}
+			next = append(next, rippleAdd(m, a, b))
+		}
+		if len(buses)%2 == 1 {
+			next = append(next, buses[len(buses)-1])
+		}
+		buses = next
+	}
+	return buses[0]
+}
+
+// countWidth returns the bits needed to count up to d.
+func countWidth(d int) int {
+	w := 1
+	for (1 << w) < d+1 {
+		w++
+	}
+	return w
+}
+
+// Popcount builds the D-bit population counter used by the similarity
+// units.
+func Popcount(d int) *Module {
+	m := NewModule(fmt.Sprintf("hd_popcount_d%d", d))
+	in := m.Input("x", d)
+	count := popcountNets(m, in)
+	w := countWidth(d)
+	for len(count) < w {
+		count = append(count, m.Const(false))
+	}
+	m.Output("count", count[:w])
+	return m
+}
+
+// HammingDistance builds the similarity kernel: popcount(a ^ b).
+func HammingDistance(d int) *Module {
+	m := NewModule(fmt.Sprintf("hd_hamming_d%d", d))
+	a := m.Input("a", d)
+	b := m.Input("b", d)
+	diff := make([]Net, d)
+	for i := 0; i < d; i++ {
+		diff[i] = m.Xor(a[i], b[i])
+	}
+	count := popcountNets(m, diff)
+	w := countWidth(d)
+	for len(count) < w {
+		count = append(count, m.Const(false))
+	}
+	m.Output("dist", count[:w])
+	return m
+}
+
+// lessThan builds an unsigned comparator: out = (a < b).
+func lessThan(m *Module, a, b []Net) Net {
+	if len(a) != len(b) {
+		panic("hdl: comparator width mismatch")
+	}
+	// From MSB down: lt = ~a&b | (a==b)&lt_lower.
+	lt := m.Const(false)
+	for i := 0; i < len(a); i++ { // LSB to MSB, rebuilding each level
+		bitLT := m.And(m.Not(a[i]), b[i])
+		eq := m.Not(m.Xor(a[i], b[i]))
+		lt = m.Or(bitLT, m.And(eq, lt))
+	}
+	return lt
+}
+
+// NearestClass builds the associative-search decision for two classes:
+// given the query's Hamming distances to both class hypervectors, output
+// sel = 1 when class1 is nearer. Wider class counts compose this unit in a
+// tournament tree (as the experiments' hwsim prices it).
+func NearestClass(d int) *Module {
+	m := NewModule(fmt.Sprintf("hd_nearest2_d%d", d))
+	a := m.Input("a", d)
+	b0 := m.Input("class0", d)
+	b1 := m.Input("class1", d)
+	diff0 := make([]Net, d)
+	diff1 := make([]Net, d)
+	for i := 0; i < d; i++ {
+		diff0[i] = m.Xor(a[i], b0[i])
+		diff1[i] = m.Xor(a[i], b1[i])
+	}
+	c0 := popcountNets(m, diff0)
+	c1 := popcountNets(m, diff1)
+	for len(c0) < len(c1) {
+		c0 = append(c0, m.Const(false))
+	}
+	for len(c1) < len(c0) {
+		c1 = append(c1, m.Const(false))
+	}
+	m.Output("sel", []Net{lessThan(m, c1, c0)})
+	return m
+}
+
+// muxBus selects between two equal-width buses.
+func muxBus(m *Module, sel Net, a, b []Net) []Net {
+	if len(a) != len(b) {
+		panic("hdl: muxBus width mismatch")
+	}
+	out := make([]Net, len(a))
+	for i := range a {
+		out[i] = m.Mux(sel, a[i], b[i])
+	}
+	return out
+}
+
+// indexBits returns the bit width needed to index k items.
+func indexBits(k int) int {
+	w := 1
+	for (1 << w) < k {
+		w++
+	}
+	return w
+}
+
+// constBus builds a constant bus holding value v.
+func constBus(m *Module, v, width int) []Net {
+	out := make([]Net, width)
+	for i := range out {
+		out[i] = m.Const(v>>uint(i)&1 == 1)
+	}
+	return out
+}
+
+// AssocSearch builds the complete K-class associative inference back-end:
+// Hamming distance of the query against every class hypervector, reduced
+// by a comparator tournament to the index of the nearest class (ties go to
+// the lower index). Inputs: "q" and "class0".."class{K-1}", each d bits;
+// output: "winner", ceil(log2 K) bits. This is the module the paper's
+// similarity-search stage synthesizes to.
+func AssocSearch(d, k int) *Module {
+	if k < 2 {
+		panic("hdl: AssocSearch needs at least two classes")
+	}
+	m := NewModule(fmt.Sprintf("hd_assoc_d%d_k%d", d, k))
+	q := m.Input("q", d)
+	ib := indexBits(k)
+	type entry struct {
+		dist []Net
+		idx  []Net
+	}
+	entries := make([]entry, k)
+	for c := 0; c < k; c++ {
+		cls := m.Input(fmt.Sprintf("class%d", c), d)
+		diff := make([]Net, d)
+		for i := 0; i < d; i++ {
+			diff[i] = m.Xor(q[i], cls[i])
+		}
+		entries[c] = entry{dist: popcountNets(m, diff), idx: constBus(m, c, ib)}
+	}
+	// Pad distances to a common width.
+	maxW := 0
+	for _, e := range entries {
+		if len(e.dist) > maxW {
+			maxW = len(e.dist)
+		}
+	}
+	for c := range entries {
+		for len(entries[c].dist) < maxW {
+			entries[c].dist = append(entries[c].dist, m.Const(false))
+		}
+	}
+	// Tournament reduction; on strict less the challenger wins, so the
+	// earliest minimum survives ties.
+	for len(entries) > 1 {
+		var next []entry
+		for i := 0; i+1 < len(entries); i += 2 {
+			a, b := entries[i], entries[i+1]
+			bWins := lessThan(m, b.dist, a.dist)
+			next = append(next, entry{
+				dist: muxBus(m, bWins, b.dist, a.dist),
+				idx:  muxBus(m, bWins, b.idx, a.idx),
+			})
+		}
+		if len(entries)%2 == 1 {
+			next = append(next, entries[len(entries)-1])
+		}
+		entries = next
+	}
+	m.Output("winner", entries[0].idx)
+	return m
+}
+
+// LFSR builds a Fibonacci linear-feedback shift register of the given
+// width with the supplied tap positions (bit indices into the state). It
+// clocks on every Step and outputs the full state as the random word —
+// the building block of the Bernoulli mask farms.
+func LFSR(width int, taps []int) *Module {
+	if width < 2 {
+		panic("hdl: LFSR width must be >= 2")
+	}
+	m := NewModule(fmt.Sprintf("hd_lfsr_w%d", width))
+	state := make([]Net, width)
+	for i := range state {
+		// Non-zero initial state: seed with alternating bits.
+		state[i] = m.Reg(i%2 == 0)
+	}
+	// Feedback = XOR of taps.
+	if len(taps) == 0 {
+		taps = []int{0, width - 1}
+	}
+	fb := state[taps[0]]
+	for _, t := range taps[1:] {
+		if t < 0 || t >= width {
+			panic("hdl: LFSR tap out of range")
+		}
+		fb = m.Xor(fb, state[t])
+	}
+	// Shift: state[i] <= state[i-1], state[0] <= feedback.
+	m.Wire(state[0], fb)
+	for i := 1; i < width; i++ {
+		m.Wire(state[i], state[i-1])
+	}
+	m.Output("rand", state)
+	return m
+}
+
+// BernoulliMask builds one mask-generation lane: an LFSR word compared
+// against a programmable threshold gives a Bernoulli(threshold/2^width)
+// bit per cycle — the hardware realisation of stoch's mask generator.
+func BernoulliMask(width int, taps []int) *Module {
+	m := NewModule(fmt.Sprintf("hd_bernoulli_w%d", width))
+	thresh := m.Input("thresh", width)
+	state := make([]Net, width)
+	for i := range state {
+		state[i] = m.Reg(i%2 == 0)
+	}
+	if len(taps) == 0 {
+		taps = []int{0, width - 1}
+	}
+	fb := state[taps[0]]
+	for _, t := range taps[1:] {
+		fb = m.Xor(fb, state[t])
+	}
+	m.Wire(state[0], fb)
+	for i := 1; i < width; i++ {
+		m.Wire(state[i], state[i-1])
+	}
+	m.Output("bit", []Net{lessThan(m, state, thresh)})
+	m.Output("rand", state)
+	return m
+}
+
+// PipelinedHamming builds a two-stage registered similarity unit: stage 1
+// latches the XOR difference, stage 2 exposes the popcount of the latched
+// word. Results appear one clock after the inputs — the pipelining style
+// the deep FPGA datapath uses between every operator.
+func PipelinedHamming(d int) *Module {
+	m := NewModule(fmt.Sprintf("hd_hamming_pipe_d%d", d))
+	a := m.Input("a", d)
+	b := m.Input("b", d)
+	stage := make([]Net, d)
+	for i := 0; i < d; i++ {
+		r := m.Reg(false)
+		m.Wire(r, m.Xor(a[i], b[i]))
+		stage[i] = r
+	}
+	count := popcountNets(m, stage)
+	w := countWidth(d)
+	for len(count) < w {
+		count = append(count, m.Const(false))
+	}
+	m.Output("dist", count[:w])
+	return m
+}

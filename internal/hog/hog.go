@@ -1,0 +1,214 @@
+// Package hog implements the Histogram of Oriented Gradients feature
+// extractor on the original (floating point) data representation. It is the
+// feature front-end for the DNN and SVM baselines and for HDFace
+// configuration (1), and the reference the hyperspace HOG of package hdhog
+// is validated against.
+//
+// Coordinate convention: gx is the horizontal derivative (columns), gy the
+// vertical derivative (rows); the paper's C_{i,j} indexing is row-major, so
+// its G_x corresponds to our gy — only naming differs, the histogram is
+// identical because orientation bins cover the same half circle.
+package hog
+
+import (
+	"math"
+
+	"hdface/internal/imgproc"
+)
+
+// Params configures the extractor.
+type Params struct {
+	CellSize  int  // pixels per cell side (default 8)
+	Bins      int  // orientation bins over [0, pi) (default 9)
+	BlockSize int  // cells per block side for normalisation (default 2)
+	SoftBins  bool // bilinear vote into adjacent bins (classical HOG)
+	Normalize bool // L2 block normalisation
+	Eps       float64
+}
+
+// DefaultParams returns the classical 8x8-cell, 9-bin, 2x2-block setup.
+func DefaultParams() Params {
+	return Params{CellSize: 8, Bins: 9, BlockSize: 2, SoftBins: true, Normalize: true, Eps: 1e-6}
+}
+
+// HardParams returns hard-binned, unnormalised HOG matching the arithmetic
+// the hyperspace pipeline can express; used for parity tests.
+func HardParams() Params {
+	return Params{CellSize: 8, Bins: 9, BlockSize: 2, SoftBins: false, Normalize: false, Eps: 1e-6}
+}
+
+// Stats counts floating-point work for the hardware model.
+type Stats struct {
+	Adds, Muls, Sqrts, Atans int64
+}
+
+// Total returns a flat op count with transcendental ops weighted as several
+// primitive FLOPs (sqrt ~ 4, atan2 ~ 8), matching scalar software cost.
+func (s Stats) Total() int64 {
+	return s.Adds + s.Muls + 4*s.Sqrts + 8*s.Atans
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Adds += o.Adds
+	s.Muls += o.Muls
+	s.Sqrts += o.Sqrts
+	s.Atans += o.Atans
+}
+
+// Extractor computes HOG features. The zero value is unusable; construct
+// with New.
+type Extractor struct {
+	P     Params
+	Stats Stats
+}
+
+// New returns an extractor with the given parameters, filling zero fields
+// with defaults.
+func New(p Params) *Extractor {
+	d := DefaultParams()
+	if p.CellSize <= 0 {
+		p.CellSize = d.CellSize
+	}
+	if p.Bins <= 0 {
+		p.Bins = d.Bins
+	}
+	if p.BlockSize <= 0 {
+		p.BlockSize = d.BlockSize
+	}
+	if p.Eps <= 0 {
+		p.Eps = d.Eps
+	}
+	return &Extractor{P: p}
+}
+
+// Gradient returns the centred-difference gradient at (x, y) of the
+// normalised image, with edge clamping. Each component lies in [-0.5, 0.5],
+// matching the paper's /2 scaling so hyperspace values stay in range.
+func Gradient(img *imgproc.Image, x, y int) (gx, gy float64) {
+	gx = (img.Norm(x+1, y) - img.Norm(x-1, y)) / 2
+	gy = (img.Norm(x, y+1) - img.Norm(x, y-1)) / 2
+	return
+}
+
+// CellsDim returns the cell grid size for a w x h image.
+func (e *Extractor) CellsDim(w, h int) (cw, ch int) {
+	return w / e.P.CellSize, h / e.P.CellSize
+}
+
+// FeatureLen returns the length of the feature vector for a w x h image.
+func (e *Extractor) FeatureLen(w, h int) int {
+	cw, ch := e.CellsDim(w, h)
+	if !e.P.Normalize || e.P.BlockSize <= 1 {
+		return cw * ch * e.P.Bins
+	}
+	bw, bh := cw-e.P.BlockSize+1, ch-e.P.BlockSize+1
+	if bw < 1 || bh < 1 {
+		return cw * ch * e.P.Bins
+	}
+	return bw * bh * e.P.BlockSize * e.P.BlockSize * e.P.Bins
+}
+
+// CellHistograms returns the raw per-cell orientation histograms as a
+// cw*ch x Bins matrix (row-major cells).
+func (e *Extractor) CellHistograms(img *imgproc.Image) [][]float64 {
+	cw, ch := e.CellsDim(img.W, img.H)
+	cells := make([][]float64, cw*ch)
+	for i := range cells {
+		cells[i] = make([]float64, e.P.Bins)
+	}
+	binWidth := math.Pi / float64(e.P.Bins)
+	for cy := 0; cy < ch; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			hist := cells[cy*cw+cx]
+			for py := 0; py < e.P.CellSize; py++ {
+				for px := 0; px < e.P.CellSize; px++ {
+					x := cx*e.P.CellSize + px
+					y := cy*e.P.CellSize + py
+					gx, gy := Gradient(img, x, y)
+					e.Stats.Adds += 2
+					mag := math.Hypot(gx, gy)
+					e.Stats.Muls += 2
+					e.Stats.Adds++
+					e.Stats.Sqrts++
+					if mag == 0 {
+						continue
+					}
+					theta := math.Atan2(gy, gx)
+					e.Stats.Atans++
+					if theta < 0 {
+						theta += math.Pi // unsigned orientation
+					}
+					if theta >= math.Pi {
+						theta -= math.Pi
+					}
+					pos := theta / binWidth
+					b0 := int(pos)
+					if b0 >= e.P.Bins {
+						b0 = e.P.Bins - 1
+					}
+					if e.P.SoftBins {
+						frac := pos - float64(b0)
+						b1 := (b0 + 1) % e.P.Bins
+						hist[b0] += mag * (1 - frac)
+						hist[b1] += mag * frac
+						e.Stats.Muls += 2
+						e.Stats.Adds += 2
+					} else {
+						hist[b0] += mag
+						e.Stats.Adds++
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Features returns the HOG descriptor of img: per-cell histograms, then
+// (optionally) overlapping 2x2-block L2 normalisation.
+func (e *Extractor) Features(img *imgproc.Image) []float64 {
+	cells := e.CellHistograms(img)
+	cw, ch := e.CellsDim(img.W, img.H)
+	if !e.P.Normalize || e.P.BlockSize <= 1 {
+		out := make([]float64, 0, len(cells)*e.P.Bins)
+		for _, c := range cells {
+			out = append(out, c...)
+		}
+		return out
+	}
+	bs := e.P.BlockSize
+	bw, bh := cw-bs+1, ch-bs+1
+	if bw < 1 || bh < 1 {
+		out := make([]float64, 0, len(cells)*e.P.Bins)
+		for _, c := range cells {
+			out = append(out, c...)
+		}
+		return out
+	}
+	out := make([]float64, 0, bw*bh*bs*bs*e.P.Bins)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			start := len(out)
+			var norm float64
+			for dy := 0; dy < bs; dy++ {
+				for dx := 0; dx < bs; dx++ {
+					c := cells[(by+dy)*cw+(bx+dx)]
+					out = append(out, c...)
+					for _, v := range c {
+						norm += v * v
+						e.Stats.Muls++
+						e.Stats.Adds++
+					}
+				}
+			}
+			norm = math.Sqrt(norm + e.P.Eps)
+			e.Stats.Sqrts++
+			for i := start; i < len(out); i++ {
+				out[i] /= norm
+				e.Stats.Muls++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package hog
+
+import (
+	"math"
+	"testing"
+
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+)
+
+func TestDefaultsFilled(t *testing.T) {
+	e := New(Params{})
+	if e.P.CellSize != 8 || e.P.Bins != 9 || e.P.BlockSize != 2 || e.P.Eps <= 0 {
+		t.Fatalf("defaults not applied: %+v", e.P)
+	}
+}
+
+func TestGradientFlatImageIsZero(t *testing.T) {
+	img := imgproc.NewImage(8, 8)
+	img.Fill(128)
+	gx, gy := Gradient(img, 4, 4)
+	if gx != 0 || gy != 0 {
+		t.Fatalf("flat gradient (%v, %v)", gx, gy)
+	}
+}
+
+func TestGradientDirections(t *testing.T) {
+	// Horizontal ramp: only gx nonzero and positive.
+	img := imgproc.NewImage(16, 16)
+	img.GradientFill(0, 0, 15, 0, 0, 255)
+	gx, gy := Gradient(img, 8, 8)
+	if gx <= 0 {
+		t.Fatalf("horizontal ramp gx = %v", gx)
+	}
+	if math.Abs(gy) > 1e-9 {
+		t.Fatalf("horizontal ramp gy = %v", gy)
+	}
+	// Vertical ramp.
+	img2 := imgproc.NewImage(16, 16)
+	img2.GradientFill(0, 0, 0, 15, 0, 255)
+	gx2, gy2 := Gradient(img2, 8, 8)
+	if gy2 <= 0 || math.Abs(gx2) > 1e-9 {
+		t.Fatalf("vertical ramp gradient (%v, %v)", gx2, gy2)
+	}
+}
+
+func TestGradientRange(t *testing.T) {
+	// Max possible magnitude per component is 0.5 (0->255 over 2 px).
+	img := imgproc.NewImage(3, 1)
+	img.Set(0, 0, 0)
+	img.Set(2, 0, 255)
+	gx, _ := Gradient(img, 1, 0)
+	if gx != 0.5 {
+		t.Fatalf("gx = %v, want 0.5", gx)
+	}
+}
+
+func TestCellHistogramsFlatIsZero(t *testing.T) {
+	e := New(HardParams())
+	img := imgproc.NewImage(16, 16)
+	img.Fill(100)
+	for _, c := range e.CellHistograms(img) {
+		for b, v := range c {
+			if v != 0 {
+				t.Fatalf("flat image bin %d = %v", b, v)
+			}
+		}
+	}
+}
+
+func TestCellHistogramsVerticalEdgeBin(t *testing.T) {
+	// A vertical edge (horizontal gradient) has orientation 0 -> bin 0.
+	e := New(HardParams())
+	img := imgproc.NewImage(16, 16)
+	img.FillRect(8, 0, 16, 16, 255)
+	cells := e.CellHistograms(img)
+	var hist [9]float64
+	for _, c := range cells {
+		for b, v := range c {
+			hist[b] += v
+		}
+	}
+	best := 0
+	for b, v := range hist {
+		if v > hist[best] {
+			best = b
+		}
+	}
+	if best != 0 {
+		t.Fatalf("vertical edge votes into bin %d, want 0 (%v)", best, hist)
+	}
+}
+
+func TestCellHistogramsHorizontalEdgeBin(t *testing.T) {
+	// A horizontal edge (vertical gradient) has orientation pi/2 -> middle bin.
+	e := New(HardParams())
+	img := imgproc.NewImage(16, 16)
+	img.FillRect(0, 8, 16, 16, 255)
+	cells := e.CellHistograms(img)
+	var hist [9]float64
+	for _, c := range cells {
+		for b, v := range c {
+			hist[b] += v
+		}
+	}
+	best := 0
+	for b, v := range hist {
+		if v > hist[best] {
+			best = b
+		}
+	}
+	if best != 4 { // pi/2 / (pi/9) = 4.5 -> bin 4
+		t.Fatalf("horizontal edge votes into bin %d, want 4 (%v)", best, hist)
+	}
+}
+
+func TestFeatureLenAndFeatures(t *testing.T) {
+	e := New(DefaultParams())
+	img := imgproc.NewImage(48, 48)
+	f := e.Features(img)
+	if want := e.FeatureLen(48, 48); len(f) != want {
+		t.Fatalf("feature len %d, want %d", len(f), want)
+	}
+	// 48/8=6 cells, 5x5 blocks, 2x2x9 each.
+	if len(f) != 5*5*2*2*9 {
+		t.Fatalf("unexpected feature count %d", len(f))
+	}
+}
+
+func TestFeatureLenUnnormalised(t *testing.T) {
+	e := New(HardParams())
+	if got := e.FeatureLen(48, 48); got != 6*6*9 {
+		t.Fatalf("hard feature len %d", got)
+	}
+}
+
+func TestFeaturesNormalisedBlocksUnitNorm(t *testing.T) {
+	e := New(DefaultParams())
+	r := hv.NewRNG(1)
+	img := imgproc.NewImage(32, 32)
+	for i := range img.Pix {
+		img.Pix[i] = uint8(r.Intn(256))
+	}
+	f := e.Features(img)
+	blockLen := 2 * 2 * 9
+	for b := 0; b+blockLen <= len(f); b += blockLen {
+		var n float64
+		for _, v := range f[b : b+blockLen] {
+			n += v * v
+		}
+		if math.Abs(math.Sqrt(n)-1) > 0.01 {
+			t.Fatalf("block %d norm %v, want ~1", b/blockLen, math.Sqrt(n))
+		}
+	}
+}
+
+func TestFeaturesSmallImageFallsBack(t *testing.T) {
+	// An image smaller than one block must fall back to raw histograms.
+	e := New(DefaultParams())
+	img := imgproc.NewImage(8, 8)
+	img.FillRect(4, 0, 8, 8, 255)
+	f := e.Features(img)
+	if len(f) != 9 {
+		t.Fatalf("8x8 image should give one cell (9 bins), got %d", len(f))
+	}
+}
+
+func TestSoftBinsSplitVotes(t *testing.T) {
+	// With soft binning a diagonal edge spreads mass over two bins.
+	soft := New(Params{CellSize: 8, Bins: 9, SoftBins: true})
+	hard := New(Params{CellSize: 8, Bins: 9, SoftBins: false})
+	img := imgproc.NewImage(16, 16)
+	// Diagonal edge.
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if x+y > 16 {
+				img.Set(x, y, 255)
+			}
+		}
+	}
+	fs := soft.Features(img)
+	fh := hard.Features(img)
+	nzSoft, nzHard := 0, 0
+	for i := range fs {
+		if fs[i] > 0 {
+			nzSoft++
+		}
+		if fh[i] > 0 {
+			nzHard++
+		}
+	}
+	if nzSoft <= nzHard {
+		t.Fatalf("soft binning not spreading votes: %d vs %d nonzero", nzSoft, nzHard)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	e := New(DefaultParams())
+	img := imgproc.NewImage(16, 16)
+	img.GradientFill(0, 0, 15, 15, 0, 255)
+	e.Features(img)
+	if e.Stats.Sqrts == 0 || e.Stats.Adds == 0 || e.Stats.Atans == 0 {
+		t.Fatalf("stats not counted: %+v", e.Stats)
+	}
+	if e.Stats.Total() <= e.Stats.Adds {
+		t.Fatal("Total must weight transcendentals")
+	}
+	var s Stats
+	s.Add(e.Stats)
+	s.Add(e.Stats)
+	if s.Adds != 2*e.Stats.Adds {
+		t.Fatal("Stats.Add wrong")
+	}
+}
+
+func TestFeaturesDeterministic(t *testing.T) {
+	img := imgproc.NewImage(32, 32)
+	img.GradientFill(0, 0, 31, 31, 10, 240)
+	a := New(DefaultParams()).Features(img)
+	b := New(DefaultParams()).Features(img)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("feature %d differs", i)
+		}
+	}
+}
+
+func BenchmarkFeatures48(b *testing.B) {
+	e := New(DefaultParams())
+	img := imgproc.NewImage(48, 48)
+	img.GradientFill(0, 0, 47, 47, 0, 255)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Features(img)
+	}
+}
+
+func BenchmarkFeatures128(b *testing.B) {
+	e := New(DefaultParams())
+	img := imgproc.NewImage(128, 128)
+	img.GradientFill(0, 0, 127, 127, 0, 255)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Features(img)
+	}
+}

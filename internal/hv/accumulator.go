@@ -1,0 +1,144 @@
+package hv
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator is a per-dimension integer counter used to bundle many
+// hypervectors: Add/Sub update signed counts, Sign thresholds back to a
+// binary hypervector. It is the superposition ("bundling") memory that HDC
+// class vectors are built from before binarisation.
+type Accumulator struct {
+	d      int
+	counts []int32
+	n      int // signed number of vectors accumulated (adds - subs)
+}
+
+// NewAccumulator returns an empty accumulator of dimensionality d.
+func NewAccumulator(d int) *Accumulator {
+	if d <= 0 {
+		panic("hv: dimensionality must be positive")
+	}
+	return &Accumulator{d: d, counts: make([]int32, d)}
+}
+
+// D returns the dimensionality.
+func (a *Accumulator) D() int { return a.d }
+
+// N returns the signed count of accumulated vectors.
+func (a *Accumulator) N() int { return a.n }
+
+// Counts exposes the raw per-dimension counters (mutable).
+func (a *Accumulator) Counts() []int32 { return a.counts }
+
+// Reset zeroes the accumulator.
+func (a *Accumulator) Reset() {
+	for i := range a.counts {
+		a.counts[i] = 0
+	}
+	a.n = 0
+}
+
+func (a *Accumulator) mustMatch(v *Vector) {
+	if a.d != v.d {
+		panic(fmt.Sprintf("hv: accumulator dimensionality %d vs vector %d", a.d, v.d))
+	}
+}
+
+// Add accumulates v (+1 components add 1, -1 components subtract 1).
+func (a *Accumulator) Add(v *Vector) {
+	a.mustMatch(v)
+	for i := 0; i < a.d; i++ {
+		w := v.words[i/64] >> (uint(i) % 64) & 1
+		a.counts[i] += int32(2*w) - 1
+	}
+	a.n++
+}
+
+// AddScaled accumulates round(scale) copies of v's sign pattern using an
+// integer weight. Scale may be negative.
+func (a *Accumulator) AddScaled(v *Vector, scale int32) {
+	a.mustMatch(v)
+	for i := 0; i < a.d; i++ {
+		w := v.words[i/64] >> (uint(i) % 64) & 1
+		a.counts[i] += (int32(2*w) - 1) * scale
+	}
+	a.n += int(scale)
+}
+
+// Sub removes v (inverse of Add).
+func (a *Accumulator) Sub(v *Vector) {
+	a.mustMatch(v)
+	for i := 0; i < a.d; i++ {
+		w := v.words[i/64] >> (uint(i) % 64) & 1
+		a.counts[i] -= int32(2*w) - 1
+	}
+	a.n--
+}
+
+// Sign thresholds the accumulator into a binary hypervector: positive counts
+// map to +1, negative to -1, and exact zeros are broken by tie, a caller
+// supplied tie-break vector (typically random). When tie is nil zeros map
+// to -1 deterministically. The number of ties is returned for diagnostics.
+func (a *Accumulator) Sign(tie *Vector) (*Vector, int) {
+	out := New(a.d)
+	ties := 0
+	for i := 0; i < a.d; i++ {
+		c := a.counts[i]
+		switch {
+		case c > 0:
+			out.words[i/64] |= 1 << (uint(i) % 64)
+		case c == 0:
+			ties++
+			if tie != nil && tie.words[i/64]>>(uint(i)%64)&1 == 1 {
+				out.words[i/64] |= 1 << (uint(i) % 64)
+			}
+		}
+	}
+	return out, ties
+}
+
+// Dot returns the integer dot product between the accumulated counts and a
+// binary hypervector interpreted in ±1 semantics.
+func (a *Accumulator) Dot(v *Vector) int64 {
+	a.mustMatch(v)
+	var s int64
+	for i := 0; i < a.d; i++ {
+		w := v.words[i/64] >> (uint(i) % 64) & 1
+		c := int64(a.counts[i])
+		if w == 1 {
+			s += c
+		} else {
+			s -= c
+		}
+	}
+	return s
+}
+
+// Norm returns the L2 norm of the counter vector.
+func (a *Accumulator) Norm() float64 {
+	var s float64
+	for _, c := range a.counts {
+		s += float64(c) * float64(c)
+	}
+	return math.Sqrt(s)
+}
+
+// Cos returns cosine similarity between the counters and binary vector v.
+// Returns 0 for an empty accumulator.
+func (a *Accumulator) Cos(v *Vector) float64 {
+	n := a.Norm()
+	if n == 0 {
+		return 0
+	}
+	return float64(a.Dot(v)) / (n * math.Sqrt(float64(a.d)))
+}
+
+// Clone deep-copies the accumulator.
+func (a *Accumulator) Clone() *Accumulator {
+	c := NewAccumulator(a.d)
+	copy(c.counts, a.counts)
+	c.n = a.n
+	return c
+}

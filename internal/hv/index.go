@@ -1,0 +1,104 @@
+package hv
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Index is an associative memory over labelled binary hypervectors: items
+// are stored verbatim and queried by Hamming-similarity nearest-neighbour
+// search — the HDC item-memory structure classification, tracking and
+// clean-up memories build on.
+type Index struct {
+	d      int
+	keys   []*Vector
+	labels []int
+}
+
+// NewIndex returns an empty index for dimensionality d.
+func NewIndex(d int) *Index {
+	if d <= 0 {
+		panic("hv: index dimensionality must be positive")
+	}
+	return &Index{d: d}
+}
+
+// Len returns the number of stored items.
+func (ix *Index) Len() int { return len(ix.keys) }
+
+// D returns the dimensionality.
+func (ix *Index) D() int { return ix.d }
+
+// Add stores a vector with an integer label. The vector is cloned, so the
+// caller may keep mutating its copy.
+func (ix *Index) Add(v *Vector, label int) {
+	if v.D() != ix.d {
+		panic(fmt.Sprintf("hv: index dimensionality %d, vector %d", ix.d, v.D()))
+	}
+	ix.keys = append(ix.keys, v.Clone())
+	ix.labels = append(ix.labels, label)
+}
+
+// Match is one search result.
+type Match struct {
+	Pos   int // insertion position of the stored item
+	Label int
+	Sim   float64 // Hamming similarity in [0, 1]
+}
+
+// Search returns the k most similar stored items, best first. Fewer than k
+// results are returned when the index is smaller.
+func (ix *Index) Search(q *Vector, k int) []Match {
+	if q.D() != ix.d {
+		panic(fmt.Sprintf("hv: index dimensionality %d, query %d", ix.d, q.D()))
+	}
+	if k <= 0 {
+		return nil
+	}
+	ms := make([]Match, len(ix.keys))
+	for i, key := range ix.keys {
+		ms[i] = Match{Pos: i, Label: ix.labels[i], Sim: q.HammingSim(key)}
+	}
+	sort.Slice(ms, func(a, b int) bool {
+		if ms[a].Sim != ms[b].Sim {
+			return ms[a].Sim > ms[b].Sim
+		}
+		return ms[a].Pos < ms[b].Pos
+	})
+	if k > len(ms) {
+		k = len(ms)
+	}
+	return ms[:k]
+}
+
+// Nearest returns the single best match and true, or false for an empty
+// index.
+func (ix *Index) Nearest(q *Vector) (Match, bool) {
+	ms := ix.Search(q, 1)
+	if len(ms) == 0 {
+		return Match{}, false
+	}
+	return ms[0], true
+}
+
+// Update replaces the vector stored at position pos (e.g. refreshing a
+// track's appearance template).
+func (ix *Index) Update(pos int, v *Vector) {
+	if pos < 0 || pos >= len(ix.keys) {
+		panic("hv: index position out of range")
+	}
+	if v.D() != ix.d {
+		panic("hv: dimensionality mismatch")
+	}
+	ix.keys[pos] = v.Clone()
+}
+
+// Remove deletes the item at position pos. Positions of later items shift
+// down by one, matching slice semantics.
+func (ix *Index) Remove(pos int) {
+	if pos < 0 || pos >= len(ix.keys) {
+		panic("hv: index position out of range")
+	}
+	ix.keys = append(ix.keys[:pos], ix.keys[pos+1:]...)
+	ix.labels = append(ix.labels[:pos], ix.labels[pos+1:]...)
+}

@@ -1,0 +1,149 @@
+package hv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexBasics(t *testing.T) {
+	r := NewRNG(1)
+	ix := NewIndex(512)
+	if ix.Len() != 0 || ix.D() != 512 {
+		t.Fatal("fresh index wrong")
+	}
+	protos := make([]*Vector, 4)
+	for i := range protos {
+		protos[i] = NewRand(r, 512)
+		ix.Add(protos[i], i)
+	}
+	if ix.Len() != 4 {
+		t.Fatal("Len wrong")
+	}
+	// Exact queries retrieve themselves.
+	for i, p := range protos {
+		m, ok := ix.Nearest(p)
+		if !ok || m.Label != i || m.Sim != 1 {
+			t.Fatalf("exact query %d: %+v", i, m)
+		}
+	}
+	// Noisy queries still land on the right prototype.
+	for i, p := range protos {
+		q := p.Clone()
+		q.Xor(q, NewRandBiased(r, 512, 0.2))
+		if m, _ := ix.Nearest(q); m.Label != i {
+			t.Fatalf("noisy query %d matched %d", i, m.Label)
+		}
+	}
+}
+
+func TestIndexSearchOrderingAndK(t *testing.T) {
+	r := NewRNG(2)
+	ix := NewIndex(256)
+	base := NewRand(r, 256)
+	for i, flip := range []float64{0.05, 0.15, 0.3} {
+		v := base.Clone()
+		v.Xor(v, NewRandBiased(r, 256, flip))
+		ix.Add(v, i)
+	}
+	ms := ix.Search(base, 3)
+	if len(ms) != 3 {
+		t.Fatalf("got %d matches", len(ms))
+	}
+	if ms[0].Label != 0 || ms[1].Label != 1 || ms[2].Label != 2 {
+		t.Fatalf("ordering wrong: %+v", ms)
+	}
+	if ms[0].Sim < ms[1].Sim || ms[1].Sim < ms[2].Sim {
+		t.Fatal("similarities not descending")
+	}
+	// k larger than the index truncates; k <= 0 empty.
+	if got := ix.Search(base, 10); len(got) != 3 {
+		t.Fatal("oversized k not truncated")
+	}
+	if got := ix.Search(base, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestIndexNearestEmpty(t *testing.T) {
+	ix := NewIndex(64)
+	if _, ok := ix.Nearest(New(64)); ok {
+		t.Fatal("empty index returned a match")
+	}
+}
+
+func TestIndexUpdateRemove(t *testing.T) {
+	r := NewRNG(3)
+	ix := NewIndex(128)
+	a, b := NewRand(r, 128), NewRand(r, 128)
+	ix.Add(a, 10)
+	ix.Add(b, 20)
+	// Update slot 0 to b's pattern: querying b now ties; slot 0 wins by
+	// position.
+	ix.Update(0, b)
+	if m, _ := ix.Nearest(b); m.Pos != 0 {
+		t.Fatalf("update not visible: %+v", m)
+	}
+	ix.Remove(0)
+	if ix.Len() != 1 {
+		t.Fatal("remove failed")
+	}
+	if m, _ := ix.Nearest(b); m.Label != 20 {
+		t.Fatalf("wrong survivor: %+v", m)
+	}
+}
+
+func TestIndexClonesOnAdd(t *testing.T) {
+	r := NewRNG(4)
+	ix := NewIndex(128)
+	v := NewRand(r, 128)
+	ix.Add(v, 1)
+	orig := v.Clone()
+	v.Xor(v, NewRandBiased(r, 128, 0.5)) // mutate caller copy
+	if m, _ := ix.Nearest(orig); m.Sim != 1 {
+		t.Fatal("index shares storage with caller")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	ix := NewIndex(64)
+	r := NewRNG(5)
+	for name, f := range map[string]func(){
+		"bad-d":      func() { NewIndex(0) },
+		"add-dim":    func() { ix.Add(NewRand(r, 128), 0) },
+		"search-dim": func() { ix.Search(NewRand(r, 128), 1) },
+		"update-oob": func() { ix.Update(0, NewRand(r, 64)) },
+		"remove-oob": func() { ix.Remove(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: the nearest neighbour of a stored item's noisy copy is never
+// farther than the true generator when noise is small and items are far
+// apart.
+func TestIndexNearestProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		ix := NewIndex(512)
+		items := make([]*Vector, 3)
+		for i := range items {
+			items[i] = NewRand(r, 512)
+			ix.Add(items[i], i)
+		}
+		want := int(r.Uint64() % 3)
+		q := items[want].Clone()
+		q.Xor(q, NewRandBiased(r, 512, 0.1))
+		m, ok := ix.Nearest(q)
+		return ok && m.Label == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

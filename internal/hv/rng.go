@@ -1,0 +1,138 @@
+package hv
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator used for all
+// hypervector randomness in HDFace. It is a xoshiro256** generator seeded
+// through splitmix64, which gives high-quality 64-bit words at about one
+// nanosecond per word — fast enough that Bernoulli mask generation, the hot
+// path of stochastic arithmetic, is not RNG-bound.
+//
+// RNG is deliberately not safe for concurrent use; callers that fan work out
+// across goroutines derive independent child generators with Split.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances the given state and returns the next output. It is
+// used only to expand a seed into the xoshiro state.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from seed. Two RNGs built from the same
+// seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := new(RNG)
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator to the stream defined by seed.
+func (r *RNG) Reseed(seed uint64) {
+	st := seed
+	r.s0 = splitmix64(&st)
+	r.s1 = splitmix64(&st)
+	r.s2 = splitmix64(&st)
+	r.s3 = splitmix64(&st)
+	// xoshiro must not start from the all-zero state.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("hv: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation. The slight modulo
+	// bias of the plain multiply-shift is removed by the rejection loop.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Split derives an independent child generator. The child stream is a
+// deterministic function of the parent state, and drawing it advances the
+// parent, so successive Splits yield distinct streams.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// Shuffle permutes the first n elements using swap (Fisher-Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

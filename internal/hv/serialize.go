@@ -1,0 +1,85 @@
+package hv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary serialisation for hypervectors and labelled feature sets, used to
+// cache extracted features between runs (feature extraction dominates the
+// pipeline cost, so persisting features makes repeated experiments cheap).
+//
+// Format (little endian):
+//
+//	magic "HVF1" | uint32 D | uint32 count | count x (int32 label, D/64-ceil uint64 words)
+
+var magic = [4]byte{'H', 'V', 'F', '1'}
+
+// WriteSet serialises labelled vectors. All vectors must share one
+// dimensionality.
+func WriteSet(w io.Writer, vs []*Vector, labels []int) error {
+	if len(vs) == 0 || len(vs) != len(labels) {
+		return errors.New("hv: vectors and labels must be non-empty and aligned")
+	}
+	d := vs[0].D()
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := []uint32{uint32(d), uint32(len(vs))}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for i, v := range vs {
+		if v.D() != d {
+			return fmt.Errorf("hv: vector %d has D=%d, want %d", i, v.D(), d)
+		}
+		if err := binary.Write(w, binary.LittleEndian, int32(labels[i])); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, v.Words()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSet deserialises a feature set written by WriteSet.
+func ReadSet(r io.Reader) ([]*Vector, []int, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, nil, err
+	}
+	if m != magic {
+		return nil, nil, errors.New("hv: bad magic")
+	}
+	var hdr [2]uint32
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, nil, err
+	}
+	d, count := int(hdr[0]), int(hdr[1])
+	if d <= 0 || d > 1<<24 || count <= 0 || count > 1<<24 {
+		return nil, nil, fmt.Errorf("hv: implausible header d=%d count=%d", d, count)
+	}
+	words := (d + 63) / 64
+	vs := make([]*Vector, 0, count)
+	labels := make([]int, 0, count)
+	for i := 0; i < count; i++ {
+		var label int32
+		if err := binary.Read(r, binary.LittleEndian, &label); err != nil {
+			return nil, nil, fmt.Errorf("hv: item %d label: %w", i, err)
+		}
+		buf := make([]uint64, words)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, nil, fmt.Errorf("hv: item %d words: %w", i, err)
+		}
+		v, err := FromWords(d, buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		vs = append(vs, v)
+		labels = append(labels, int(label))
+	}
+	return vs, labels, nil
+}

@@ -1,0 +1,90 @@
+package hv
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWriteReadSetRoundTrip(t *testing.T) {
+	r := NewRNG(1)
+	var vs []*Vector
+	var labels []int
+	for i := 0; i < 9; i++ {
+		vs = append(vs, NewRand(r, 200)) // non-word-aligned D
+		labels = append(labels, i%3)
+	}
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, vs, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, gotLabels, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 {
+		t.Fatalf("got %d vectors", len(got))
+	}
+	for i := range vs {
+		if !got[i].Equal(vs[i]) {
+			t.Fatalf("vector %d changed", i)
+		}
+		if gotLabels[i] != labels[i] {
+			t.Fatalf("label %d changed", i)
+		}
+	}
+}
+
+func TestWriteSetValidation(t *testing.T) {
+	r := NewRNG(2)
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, nil, nil); err == nil {
+		t.Fatal("accepted empty set")
+	}
+	vs := []*Vector{NewRand(r, 64), NewRand(r, 128)}
+	if err := WriteSet(&buf, vs, []int{0, 1}); err == nil {
+		t.Fatal("accepted mixed dimensionalities")
+	}
+	if err := WriteSet(&buf, vs[:1], []int{0, 1}); err == nil {
+		t.Fatal("accepted misaligned labels")
+	}
+}
+
+func TestReadSetRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("HVF1"), // truncated header
+		append([]byte("HVF1"), make([]byte, 8)...),        // zero d/count
+		append([]byte("HVF1"), 0, 0, 0, 0xff, 1, 0, 0, 0), // huge d
+	}
+	for i, data := range cases {
+		if _, _, err := ReadSet(bytes.NewReader(data)); err == nil {
+			t.Fatalf("case %d decoded", i)
+		}
+	}
+	// Truncated payload.
+	r := NewRNG(3)
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, []*Vector{NewRand(r, 128)}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, _, err := ReadSet(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+}
+
+// Property: permutation is an isometry of Hamming distance.
+func TestPermuteIsometry(t *testing.T) {
+	r := NewRNG(4)
+	for trial := 0; trial < 30; trial++ {
+		d := 256
+		a, b := NewRand(r, d), NewRand(r, d)
+		k := 1 + r.Intn(d-1)
+		pa := New(d).Permute(a, k)
+		pb := New(d).Permute(b, k)
+		if pa.Hamming(pb) != a.Hamming(b) {
+			t.Fatalf("permutation changed Hamming distance at k=%d", k)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package imgproc
+
+import "strings"
+
+// ASCII renders the image as terminal art with one character per sampled
+// pixel, dark-to-bright over a 10-step ramp — lets CLI demos show a face
+// without an image viewer. The image is subsampled to at most maxW
+// columns, preserving aspect ratio (terminal cells are ~2x taller than
+// wide, so rows advance twice as fast).
+func (m *Image) ASCII(maxW int) string {
+	if maxW <= 0 {
+		maxW = 64
+	}
+	ramp := []byte(" .:-=+*#%@")
+	step := 1
+	for m.W/step > maxW {
+		step++
+	}
+	var b strings.Builder
+	for y := 0; y < m.H; y += 2 * step {
+		for x := 0; x < m.W; x += step {
+			idx := int(m.At(x, y)) * (len(ramp) - 1) / 255
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

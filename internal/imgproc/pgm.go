@@ -1,0 +1,134 @@
+package imgproc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WritePGM encodes the image in binary PGM (P5) format, the simplest
+// portable grayscale container; any image viewer opens it, which is all the
+// Figure 6 visualisation needs.
+func (m *Image) WritePGM(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", m.W, m.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(m.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes the image to a file path.
+func (m *Image) SavePGM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WritePGM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPGM decodes a binary (P5) or ASCII (P2) PGM stream.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" && magic != "P2" {
+		return nil, fmt.Errorf("imgproc: unsupported magic %q", magic)
+	}
+	w, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	h, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxv, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<28 {
+		return nil, fmt.Errorf("imgproc: bad dimensions %dx%d", w, h)
+	}
+	if maxv <= 0 || maxv > 255 {
+		return nil, fmt.Errorf("imgproc: unsupported maxval %d", maxv)
+	}
+	img := NewImage(w, h)
+	if magic == "P5" {
+		if _, err := io.ReadFull(br, img.Pix); err != nil {
+			return nil, fmt.Errorf("imgproc: short pixel data: %w", err)
+		}
+	} else {
+		for i := range img.Pix {
+			v, err := pgmInt(br)
+			if err != nil {
+				return nil, fmt.Errorf("imgproc: pixel %d: %w", i, err)
+			}
+			img.Pix[i] = uint8(v)
+		}
+	}
+	if maxv != 255 {
+		scale := 255.0 / float64(maxv)
+		for i, p := range img.Pix {
+			img.Pix[i] = clampU8(float64(p) * scale)
+		}
+	}
+	return img, nil
+}
+
+// LoadPGM reads a PGM file from disk.
+func LoadPGM(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPGM(f)
+}
+
+// pgmToken reads the next whitespace-delimited token, skipping # comments.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && err == io.EOF {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func pgmInt(br *bufio.Reader) (int, error) {
+	tok, err := pgmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(tok)
+}

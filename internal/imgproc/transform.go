@@ -1,0 +1,118 @@
+package imgproc
+
+import "math"
+
+// Geometric and photometric transforms used for data augmentation and the
+// detection experiments.
+
+// FlipH returns the horizontally mirrored image.
+func (m *Image) FlipH() *Image {
+	out := NewImage(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			out.Pix[y*m.W+x] = m.Pix[y*m.W+(m.W-1-x)]
+		}
+	}
+	return out
+}
+
+// FlipV returns the vertically mirrored image.
+func (m *Image) FlipV() *Image {
+	out := NewImage(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		copy(out.Pix[y*m.W:(y+1)*m.W], m.Pix[(m.H-1-y)*m.W:(m.H-y)*m.W])
+	}
+	return out
+}
+
+// Rotate returns the image rotated by theta radians about its centre with
+// bilinear sampling; uncovered corners take the edge-clamped source value.
+func (m *Image) Rotate(theta float64) *Image {
+	out := NewImage(m.W, m.H)
+	sin, cos := math.Sincos(-theta) // inverse mapping
+	cx, cy := float64(m.W-1)/2, float64(m.H-1)/2
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			dx, dy := float64(x)-cx, float64(y)-cy
+			sx := cx + dx*cos - dy*sin
+			sy := cy + dx*sin + dy*cos
+			out.Pix[y*m.W+x] = m.bilinear(sx, sy)
+		}
+	}
+	return out
+}
+
+// bilinear samples the image at a fractional coordinate with edge clamping.
+func (m *Image) bilinear(x, y float64) uint8 {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	fx, fy := x-float64(x0), y-float64(y0)
+	p00 := float64(m.At(x0, y0))
+	p10 := float64(m.At(x0+1, y0))
+	p01 := float64(m.At(x0, y0+1))
+	p11 := float64(m.At(x0+1, y0+1))
+	return clampU8(p00*(1-fx)*(1-fy) + p10*fx*(1-fy) + p01*(1-fx)*fy + p11*fx*fy)
+}
+
+// Translate returns the image shifted by (dx, dy) pixels with edge-clamped
+// fill.
+func (m *Image) Translate(dx, dy int) *Image {
+	out := NewImage(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			out.Pix[y*m.W+x] = m.At(x-dx, y-dy)
+		}
+	}
+	return out
+}
+
+// AdjustBrightness adds delta to every pixel, saturating.
+func (m *Image) AdjustBrightness(delta int) *Image {
+	out := NewImage(m.W, m.H)
+	for i, p := range m.Pix {
+		out.Pix[i] = clampU8(float64(int(p) + delta))
+	}
+	return out
+}
+
+// AdjustContrast scales pixel deviations from 128 by factor, saturating.
+func (m *Image) AdjustContrast(factor float64) *Image {
+	out := NewImage(m.W, m.H)
+	for i, p := range m.Pix {
+		out.Pix[i] = clampU8(128 + (float64(p)-128)*factor)
+	}
+	return out
+}
+
+// Equalize applies global histogram equalisation, spreading the intensity
+// distribution over the full 8-bit range.
+func (m *Image) Equalize() *Image {
+	var hist [256]int
+	for _, p := range m.Pix {
+		hist[p]++
+	}
+	var cdf [256]int
+	run := 0
+	for i, h := range hist {
+		run += h
+		cdf[i] = run
+	}
+	// Find the first nonzero CDF value for normalisation.
+	cdfMin := 0
+	for _, v := range cdf {
+		if v > 0 {
+			cdfMin = v
+			break
+		}
+	}
+	n := len(m.Pix)
+	out := NewImage(m.W, m.H)
+	if n == cdfMin { // constant image
+		copy(out.Pix, m.Pix)
+		return out
+	}
+	for i, p := range m.Pix {
+		out.Pix[i] = clampU8(float64(cdf[p]-cdfMin) / float64(n-cdfMin) * 255)
+	}
+	return out
+}

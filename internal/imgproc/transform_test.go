@@ -1,0 +1,196 @@
+package imgproc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func checker(w, h int) *Image {
+	m := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if (x+y)%2 == 0 {
+				m.Set(x, y, 200)
+			} else {
+				m.Set(x, y, 40)
+			}
+		}
+	}
+	return m
+}
+
+func TestFlipHInvolution(t *testing.T) {
+	m := checker(7, 5)
+	m.Set(0, 0, 255)
+	f := m.FlipH()
+	if f.At(6, 0) != 255 {
+		t.Fatal("corner did not move")
+	}
+	if !f.FlipH().Equal(m) {
+		t.Fatal("double horizontal flip != identity")
+	}
+}
+
+func TestFlipVInvolution(t *testing.T) {
+	m := checker(7, 5)
+	m.Set(0, 0, 255)
+	f := m.FlipV()
+	if f.At(0, 4) != 255 {
+		t.Fatal("corner did not move")
+	}
+	if !f.FlipV().Equal(m) {
+		t.Fatal("double vertical flip != identity")
+	}
+}
+
+func TestRotateZeroIsIdentity(t *testing.T) {
+	m := checker(9, 9)
+	if !m.Rotate(0).Equal(m) {
+		t.Fatal("rotate(0) changed image")
+	}
+}
+
+func TestRotateQuarterTurn(t *testing.T) {
+	// A horizontal bar becomes vertical under a 90 degree rotation.
+	m := NewImage(21, 21)
+	m.FillRect(2, 9, 19, 12, 255)
+	r := m.Rotate(math.Pi / 2)
+	if r.At(10, 4) != 255 || r.At(10, 16) != 255 {
+		t.Fatalf("bar not vertical after rotation: %d %d", r.At(10, 4), r.At(10, 16))
+	}
+	if r.At(4, 10) != 255 { // centre column still covered
+		t.Log("note: centre sampling", r.At(4, 10))
+	}
+}
+
+func TestRotatePreservesConstant(t *testing.T) {
+	m := NewImage(16, 16)
+	m.Fill(99)
+	r := m.Rotate(0.7)
+	for i, p := range r.Pix {
+		if p != 99 {
+			t.Fatalf("pixel %d changed to %d", i, p)
+		}
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	m := NewImage(8, 8)
+	m.Set(2, 2, 255)
+	tr := m.Translate(3, 1)
+	if tr.At(5, 3) != 255 {
+		t.Fatal("pixel did not move")
+	}
+	// Edge fill comes from clamping.
+	m2 := NewImage(4, 4)
+	m2.Set(0, 0, 77)
+	m2.Fill(77)
+	if tr2 := m2.Translate(2, 2); tr2.At(0, 0) != 77 {
+		t.Fatal("clamped fill wrong")
+	}
+}
+
+func TestAdjustBrightness(t *testing.T) {
+	m := NewImage(4, 4)
+	m.Fill(100)
+	if got := m.AdjustBrightness(50).At(0, 0); got != 150 {
+		t.Fatalf("brightness +50 = %d", got)
+	}
+	if got := m.AdjustBrightness(200).At(0, 0); got != 255 {
+		t.Fatalf("saturation high = %d", got)
+	}
+	if got := m.AdjustBrightness(-200).At(0, 0); got != 0 {
+		t.Fatalf("saturation low = %d", got)
+	}
+}
+
+func TestAdjustContrast(t *testing.T) {
+	m := NewImage(2, 1)
+	m.Set(0, 0, 78)  // 128 - 50
+	m.Set(1, 0, 178) // 128 + 50
+	c := m.AdjustContrast(2)
+	if c.At(0, 0) != 28 || c.At(1, 0) != 228 {
+		t.Fatalf("contrast x2 = %d, %d", c.At(0, 0), c.At(1, 0))
+	}
+	flat := m.AdjustContrast(0)
+	if flat.At(0, 0) != 128 || flat.At(1, 0) != 128 {
+		t.Fatal("contrast 0 should collapse to mid-gray")
+	}
+}
+
+func TestEqualizeSpreadsRange(t *testing.T) {
+	// A low-contrast ramp must span the full range after equalisation.
+	m := NewImage(16, 16)
+	m.GradientFill(0, 0, 15, 15, 100, 140)
+	e := m.Equalize()
+	var lo, hi uint8 = 255, 0
+	for _, p := range e.Pix {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if hi-lo < 200 {
+		t.Fatalf("equalised range only %d", hi-lo)
+	}
+}
+
+func TestEqualizeConstantImage(t *testing.T) {
+	m := NewImage(8, 8)
+	m.Fill(42)
+	if !m.Equalize().Equal(m) {
+		t.Fatal("constant image changed by equalisation")
+	}
+}
+
+func BenchmarkRotate(b *testing.B) {
+	m := checker(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Rotate(0.3)
+	}
+}
+
+func TestASCII(t *testing.T) {
+	m := NewImage(16, 8)
+	m.FillRect(8, 0, 16, 8, 255)
+	art := m.ASCII(16)
+	lines := 0
+	for _, line := range splitLines(art) {
+		if len(line) != 16 {
+			t.Fatalf("line width %d, want 16: %q", len(line), line)
+		}
+		if line[0] != ' ' || line[15] != '@' {
+			t.Fatalf("ramp mapping wrong: %q", line)
+		}
+		lines++
+	}
+	if lines != 4 { // 8 rows / 2 (cell aspect)
+		t.Fatalf("lines %d, want 4", lines)
+	}
+	// Subsampling respects maxW.
+	big := NewImage(128, 16)
+	art2 := big.ASCII(32)
+	for _, line := range splitLines(art2) {
+		if len(line) > 32 {
+			t.Fatalf("line exceeds maxW: %d", len(line))
+		}
+	}
+	// Zero maxW falls back to 64.
+	if NewImage(8, 4).ASCII(0) == "" {
+		t.Fatal("default maxW produced nothing")
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package noise implements the fault-injection machinery behind the
+// paper's robustness study (Table 2 and the Section 2 motivation): random
+// bit errors applied to packed hypervectors, to quantised DNN weight codes
+// and to IEEE-754 float feature words. Error rate r means each bit of the
+// target representation flips independently with probability r.
+package noise
+
+import (
+	"math"
+
+	"hdface/internal/hv"
+	"hdface/internal/nn"
+)
+
+// Injector draws reproducible fault patterns.
+type Injector struct {
+	rng *hv.RNG
+}
+
+// New returns an injector seeded by seed.
+func New(seed uint64) *Injector {
+	return &Injector{rng: hv.NewRNG(seed ^ 0xfa017)}
+}
+
+// FlipVector flips each bit of v independently with probability rate and
+// returns the number of flips.
+func (in *Injector) FlipVector(v *hv.Vector, rate float64) int {
+	if rate <= 0 {
+		return 0
+	}
+	mask := hv.NewRandBiased(in.rng, v.D(), rate)
+	flips := mask.OnesCount()
+	v.Xor(v, mask)
+	return flips
+}
+
+// FlipVectors applies FlipVector to every vector.
+func (in *Injector) FlipVectors(vs []*hv.Vector, rate float64) int {
+	total := 0
+	for _, v := range vs {
+		total += in.FlipVector(v, rate)
+	}
+	return total
+}
+
+// FlipQuantized flips each weight bit of the quantised network with
+// probability rate and re-syncs the inference weights. Returns the flip
+// count.
+func (in *Injector) FlipQuantized(q *nn.Quantized, rate float64) int {
+	if rate <= 0 {
+		return 0
+	}
+	flips := 0
+	for t, codes := range q.Codes() {
+		for i := range codes {
+			for b := 0; b < q.Bits; b++ {
+				if in.rng.Float64() < rate {
+					q.FlipBit(t, i, b)
+					flips++
+				}
+			}
+		}
+	}
+	q.Sync()
+	return flips
+}
+
+// FlipFloats flips each of the 64 bits of every float64 independently with
+// probability rate — the "feature extraction on original data
+// representation" failure mode of the paper's Section 2 motivation. NaN
+// and Inf results are squashed to 0 (a real system would fault or saturate;
+// squashing is the charitable choice for the baseline).
+func (in *Injector) FlipFloats(xs []float64, rate float64) int {
+	if rate <= 0 {
+		return 0
+	}
+	flips := 0
+	for i, x := range xs {
+		bits := math.Float64bits(x)
+		for b := 0; b < 64; b++ {
+			if in.rng.Float64() < rate {
+				bits ^= 1 << uint(b)
+				flips++
+			}
+		}
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		xs[i] = v
+	}
+	return flips
+}
+
+// FlipFloatMatrix applies FlipFloats row-wise.
+func (in *Injector) FlipFloatMatrix(m [][]float64, rate float64) int {
+	total := 0
+	for _, row := range m {
+		total += in.FlipFloats(row, rate)
+	}
+	return total
+}
+
+// FlipFixed8 flips bits in an 8-bit fixed-point rendering of the values:
+// each value is quantised to lo + code*(hi-lo)/255, each of the 8 code bits
+// flips independently with probability rate, and the value is dequantised
+// back. This models bit errors on the feature memories of embedded
+// pipelines, which store normalised feature maps fixed-point rather than as
+// IEEE-754 words (where a single exponent flip is catastrophic).
+func (in *Injector) FlipFixed8(xs []float64, lo, hi float64, rate float64) int {
+	if rate <= 0 || hi <= lo {
+		return 0
+	}
+	flips := 0
+	scale := (hi - lo) / 255
+	for i, x := range xs {
+		t := (x - lo) / (hi - lo)
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+		code := uint8(t*255 + 0.5)
+		for b := 0; b < 8; b++ {
+			if in.rng.Float64() < rate {
+				code ^= 1 << uint(b)
+				flips++
+			}
+		}
+		xs[i] = lo + float64(code)*scale
+	}
+	return flips
+}
+
+// FlipFixed8Matrix applies FlipFixed8 row-wise.
+func (in *Injector) FlipFixed8Matrix(m [][]float64, lo, hi float64, rate float64) int {
+	total := 0
+	for _, row := range m {
+		total += in.FlipFixed8(row, lo, hi, rate)
+	}
+	return total
+}
+
+// FlipImagePixels flips each bit of each 8-bit pixel with probability rate
+// — models faults on the raw sensor data path.
+func (in *Injector) FlipImagePixels(pix []uint8, rate float64) int {
+	if rate <= 0 {
+		return 0
+	}
+	flips := 0
+	for i, p := range pix {
+		for b := 0; b < 8; b++ {
+			if in.rng.Float64() < rate {
+				p ^= 1 << uint(b)
+				flips++
+			}
+		}
+		pix[i] = p
+	}
+	return flips
+}

@@ -1,0 +1,417 @@
+package stoch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const testD = 8192
+
+func newTestCodec() *Codec { return NewCodec(testD, 12345) }
+
+func TestConstructDecodeRoundTrip(t *testing.T) {
+	c := newTestCodec()
+	for _, a := range []float64{-1, -0.75, -0.5, -0.25, 0, 0.25, 0.5, 0.75, 1} {
+		v := c.Construct(a)
+		got := c.Decode(v)
+		if math.Abs(got-a) > 0.05 {
+			t.Errorf("Decode(Construct(%v)) = %v", a, got)
+		}
+	}
+}
+
+func TestConstructClamps(t *testing.T) {
+	c := newTestCodec()
+	if got := c.Decode(c.Construct(3)); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Construct(3) decodes to %v, want 1", got)
+	}
+	if got := c.Decode(c.Construct(-3)); math.Abs(got+1) > 1e-9 {
+		t.Fatalf("Construct(-3) decodes to %v, want -1", got)
+	}
+}
+
+func TestConstructExtremes(t *testing.T) {
+	c := newTestCodec()
+	if !c.Construct(1).Equal(c.One()) {
+		t.Fatal("Construct(1) != V1")
+	}
+	if !c.Construct(-1).Equal(c.MinusOne()) {
+		t.Fatal("Construct(-1) != -V1")
+	}
+}
+
+func TestZeroIsOrthogonalToOne(t *testing.T) {
+	c := newTestCodec()
+	v0 := c.Construct(0)
+	if got := c.Decode(v0); math.Abs(got) > 0.05 {
+		t.Fatalf("V0 decodes to %v, want ~0", got)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	c := newTestCodec()
+	v := c.Construct(0.6)
+	if got := c.Decode(c.Neg(v)); math.Abs(got+0.6) > 0.05 {
+		t.Fatalf("Neg decodes to %v, want ~-0.6", got)
+	}
+}
+
+func TestWeightedAvg(t *testing.T) {
+	c := newTestCodec()
+	cases := []struct{ p, a, b float64 }{
+		{0.5, 0.8, -0.4},
+		{0.25, 1, -1},
+		{0.9, 0.1, 0.7},
+		{0, 0.5, -0.5},
+		{1, 0.5, -0.5},
+	}
+	for _, tc := range cases {
+		va, vb := c.Construct(tc.a), c.Construct(tc.b)
+		got := c.Decode(c.WeightedAvg(tc.p, va, vb))
+		want := tc.p*tc.a + (1-tc.p)*tc.b
+		if math.Abs(got-want) > 0.06 {
+			t.Errorf("avg(p=%v, %v, %v) = %v, want %v", tc.p, tc.a, tc.b, got, want)
+		}
+	}
+}
+
+func TestWeightedAvgPanicsOnBadWeight(t *testing.T) {
+	c := newTestCodec()
+	v := c.Construct(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for p=1.5")
+		}
+	}()
+	c.WeightedAvg(1.5, v, v)
+}
+
+func TestAddSubScaledSemantics(t *testing.T) {
+	c := newTestCodec()
+	a, b := 0.6, -0.2
+	va, vb := c.Construct(a), c.Construct(b)
+	if got, want := c.Decode(c.Add(va, vb)), (a+b)/2; math.Abs(got-want) > 0.05 {
+		t.Fatalf("Add = %v, want %v", got, want)
+	}
+	if got, want := c.Decode(c.Sub(va, vb)), (a-b)/2; math.Abs(got-want) > 0.05 {
+		t.Fatalf("Sub = %v, want %v", got, want)
+	}
+}
+
+func TestSubOfEqualVectorsIsZero(t *testing.T) {
+	// Even with the *same* vector (fully correlated), the fresh selection
+	// mask makes Sub(v, v) decode to ~0.
+	c := newTestCodec()
+	v := c.Construct(0.4)
+	if got := c.Decode(c.Sub(v, v)); math.Abs(got) > 0.05 {
+		t.Fatalf("Sub(v,v) = %v, want ~0", got)
+	}
+}
+
+func TestMul(t *testing.T) {
+	c := newTestCodec()
+	cases := [][2]float64{{0.5, 0.5}, {0.9, -0.7}, {-0.6, -0.8}, {1, 0.3}, {0, 0.9}}
+	for _, tc := range cases {
+		va, vb := c.Construct(tc[0]), c.Construct(tc[1])
+		got := c.Decode(c.Mul(va, vb))
+		want := tc[0] * tc[1]
+		if math.Abs(got-want) > 0.06 {
+			t.Errorf("Mul(%v, %v) = %v, want %v", tc[0], tc[1], got, want)
+		}
+	}
+}
+
+func TestMulByOneIsIdentity(t *testing.T) {
+	c := newTestCodec()
+	v := c.Construct(0.37)
+	got := c.Mul(c.One(), v)
+	if !got.Equal(v) {
+		t.Fatal("V1 * Va != Va exactly")
+	}
+}
+
+func TestMulCorrelationArtefact(t *testing.T) {
+	// Documents the correlation hazard: multiplying a vector by itself
+	// without decorrelation yields exactly V1 (the number 1).
+	c := newTestCodec()
+	v := c.Construct(0.3)
+	if !c.Mul(v, v).Equal(c.One()) {
+		t.Fatal("expected Mul(v, v) == V1 (correlation artefact)")
+	}
+}
+
+func TestDecorrelatePreservesValueExactly(t *testing.T) {
+	c := newTestCodec()
+	for _, a := range []float64{-0.9, -0.3, 0, 0.42, 0.8} {
+		v := c.Construct(a)
+		w := c.Decorrelate(v)
+		if c.Decode(w) != c.Decode(v) {
+			t.Fatalf("decorrelate changed decoded value for a=%v", a)
+		}
+		if w.Equal(v) {
+			t.Fatalf("decorrelate returned identical bits for a=%v", a)
+		}
+	}
+}
+
+func TestSquare(t *testing.T) {
+	c := newTestCodec()
+	for _, a := range []float64{-0.9, -0.5, 0, 0.3, 0.7, 1} {
+		v := c.Construct(a)
+		got := c.Decode(c.Square(v))
+		if math.Abs(got-a*a) > 0.07 {
+			t.Errorf("Square(%v) = %v, want %v", a, got, a*a)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := newTestCodec()
+	v := c.Construct(0.8)
+	if got := c.Decode(c.Scale(0.5, v)); math.Abs(got-0.4) > 0.06 {
+		t.Fatalf("Scale(0.5, 0.8) = %v, want 0.4", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	c := newTestCodec()
+	a, b := c.Construct(0.7), c.Construct(0.2)
+	if c.Compare(a, b) != 1 {
+		t.Fatal("0.7 > 0.2 not detected")
+	}
+	if c.Compare(b, a) != -1 {
+		t.Fatal("0.2 < 0.7 not detected")
+	}
+	x, y := c.Construct(0.5), c.Construct(0.5)
+	if got := c.Compare(x, y); got != 0 {
+		t.Fatalf("equal values compared as %d", got)
+	}
+}
+
+func TestSignAbs(t *testing.T) {
+	c := newTestCodec()
+	if c.Sign(c.Construct(0.5)) != 1 || c.Sign(c.Construct(-0.5)) != -1 {
+		t.Fatal("Sign wrong on clear values")
+	}
+	if c.Sign(c.Construct(0)) != 0 {
+		t.Fatal("Sign(0) != 0")
+	}
+	if got := c.Decode(c.Abs(c.Construct(-0.6))); math.Abs(got-0.6) > 0.05 {
+		t.Fatalf("Abs(-0.6) = %v", got)
+	}
+	if got := c.Decode(c.Abs(c.Construct(0.6))); math.Abs(got-0.6) > 0.05 {
+		t.Fatalf("Abs(0.6) = %v", got)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	c := NewCodec(16384, 99)
+	for _, a := range []float64{0.04, 0.16, 0.25, 0.5, 0.81, 1} {
+		v := c.Construct(a)
+		got := c.Decode(c.Sqrt(v))
+		if math.Abs(got-math.Sqrt(a)) > 0.1 {
+			t.Errorf("Sqrt(%v) = %v, want %v", a, got, math.Sqrt(a))
+		}
+	}
+}
+
+func TestSqrtOfZeroIsSmall(t *testing.T) {
+	c := newTestCodec()
+	got := c.Decode(c.Sqrt(c.Construct(0)))
+	if got > 0.25 {
+		t.Fatalf("Sqrt(0) = %v, want small", got)
+	}
+}
+
+func TestDiv(t *testing.T) {
+	c := NewCodec(16384, 7)
+	cases := [][2]float64{{0.2, 0.8}, {0.5, 0.9}, {-0.3, 0.6}, {0.4, -0.8}, {-0.2, -0.4}}
+	for _, tc := range cases {
+		va, vb := c.Construct(tc[0]), c.Construct(tc[1])
+		got := c.Decode(c.Div(va, vb))
+		want := tc[0] / tc[1]
+		if math.Abs(got-want) > 0.12 {
+			t.Errorf("Div(%v, %v) = %v, want %v", tc[0], tc[1], got, want)
+		}
+	}
+}
+
+func TestDivByStatisticalZeroSaturates(t *testing.T) {
+	c := newTestCodec()
+	got := c.Decode(c.Div(c.Construct(0.5), c.Construct(0)))
+	if math.Abs(got-1) > 0.1 {
+		t.Fatalf("x/0 = %v, want saturation to 1", got)
+	}
+}
+
+func TestForkSharesBasis(t *testing.T) {
+	c := newTestCodec()
+	f := c.Fork()
+	if !f.One().Equal(c.One()) {
+		t.Fatal("fork has different basis")
+	}
+	// Values constructed by the fork must decode correctly in the parent.
+	v := f.Construct(0.5)
+	if got := c.Decode(v); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("cross-codec decode = %v", got)
+	}
+}
+
+func TestErrorShrinksWithDimensionality(t *testing.T) {
+	// The Figure 2 trend: relative error decreases with D.
+	errAt := func(d int) float64 {
+		c := NewCodec(d, 5)
+		var sum float64
+		const trials = 40
+		for i := 0; i < trials; i++ {
+			a := -0.9 + 1.8*float64(i)/trials
+			b := 0.9 - 1.8*float64(i)/trials
+			got := c.Decode(c.Mul(c.Construct(a), c.Construct(b)))
+			sum += math.Abs(got - a*b)
+		}
+		return sum / trials
+	}
+	small, large := errAt(512), errAt(16384)
+	if large >= small {
+		t.Fatalf("error did not shrink with D: %v (512) vs %v (16k)", small, large)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := newTestCodec()
+	before := c.Stats
+	v := c.Construct(0.5)
+	w := c.Construct(-0.5)
+	c.Add(v, w)
+	c.Mul(v, w)
+	c.Decode(v)
+	if c.Stats.Constructs-before.Constructs != 2 {
+		t.Fatalf("constructs counted %d", c.Stats.Constructs-before.Constructs)
+	}
+	if c.Stats.Averages-before.Averages != 1 {
+		t.Fatal("averages not counted")
+	}
+	if c.Stats.Muls-before.Muls != 1 {
+		t.Fatal("muls not counted")
+	}
+	if c.Stats.Decodes-before.Decodes != 1 {
+		t.Fatal("decodes not counted")
+	}
+	if c.Stats.TotalWords() == before.TotalWords() {
+		t.Fatal("word counters idle")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Constructs: 1, XorWords: 10}
+	b := Stats{Constructs: 2, XorWords: 5, Muls: 3}
+	a.Add(b)
+	if a.Constructs != 3 || a.XorWords != 15 || a.Muls != 3 {
+		t.Fatalf("Stats.Add wrong: %+v", a)
+	}
+}
+
+// Property: for random pairs, Mul commutes (bit-exact, since XOR commutes).
+func TestMulCommutativeProperty(t *testing.T) {
+	c := newTestCodec()
+	f := func(x, y uint8) bool {
+		a := float64(x)/255*2 - 1
+		b := float64(y)/255*2 - 1
+		va, vb := c.Construct(a), c.Construct(b)
+		return c.Mul(va, vb).Equal(c.Mul(vb, va))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoded construction error is within 6 sigma for random values.
+func TestConstructErrorBoundProperty(t *testing.T) {
+	c := newTestCodec()
+	bound := 6 / math.Sqrt(float64(testD))
+	f := func(x uint16) bool {
+		a := float64(x)/65535*2 - 1
+		got := c.Decode(c.Construct(a))
+		return math.Abs(got-a) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: negation is an exact involution on the decoded value.
+func TestNegInvolutionProperty(t *testing.T) {
+	c := newTestCodec()
+	f := func(x uint8) bool {
+		a := float64(x)/255*2 - 1
+		v := c.Construct(a)
+		return c.Neg(c.Neg(v)).Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConstruct(b *testing.B) {
+	c := NewCodec(4096, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Construct(0.37)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	c := NewCodec(4096, 1)
+	x, y := c.Construct(0.5), c.Construct(-0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Mul(x, y)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	c := NewCodec(4096, 1)
+	x, y := c.Construct(0.5), c.Construct(-0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(x, y)
+	}
+}
+
+func BenchmarkSqrt(b *testing.B) {
+	c := NewCodec(4096, 1)
+	v := c.Construct(0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Sqrt(v)
+	}
+}
+
+// BenchmarkSqrtIterations is the DESIGN.md ablation: search depth 2..12.
+func BenchmarkSqrtIterations(b *testing.B) {
+	for _, iters := range []int{2, 4, 8, 12} {
+		b.Run(itoa(iters), func(b *testing.B) {
+			c := NewCodec(4096, 1, WithSqrtIterations(iters))
+			v := c.Construct(0.5)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Sqrt(v)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,72 @@
+// Package stoch implements HDFace's stochastic arithmetic over binary
+// hypervectors (paper Section 4): real numbers in [-1, 1] are represented as
+// D-dimensional binary hypervectors and processed with word-parallel bitwise
+// kernels.
+//
+// # Representation
+//
+// Fix a random basis hypervector V1 ("the number 1"). A hypervector Va
+// represents the number a when the similarity delta(Va, V1) = a, where
+// delta(x, y) = x.y / D is the normalised +-1 dot product. Equivalently, Va
+// differs from V1 on a flip mask M with bit density q = (1-a)/2:
+//
+//	Va = V1 ^ M,  density(M) = (1 - a) / 2,  a = 1 - 2*density(M).
+//
+// The representation V_{-a} = -Va (bitwise NOT) follows, since negation
+// complements the flip mask.
+//
+// # Operations
+//
+// Construction (paper "Construction"): Va = ((a+1)/2) V1 (+) ((1-a)/2)(-V1),
+// realised by selecting each component from V1 with probability (1+a)/2 and
+// from -V1 otherwise, using a fresh Bernoulli mask.
+//
+// Weighted average (+): C = p*Va (+) q*Vb with p + q = 1 picks each
+// component from Va with probability p, else from Vb. Its decoded value is
+// p*a + q*b. Addition and subtraction are the p = q = 0.5 cases, yielding
+// (a+b)/2 and (a-b)/2 — stochastic arithmetic is scaled arithmetic, exactly
+// as in classical stochastic computing.
+//
+// Multiplication (x): the paper sets dimension i of Vab to V1[i] when
+// Va[i] == Vb[i] and to -V1[i] otherwise. In packed form this is a pure
+// three-way XOR:
+//
+//	Vab = V1 ^ Va ^ Vb
+//
+// because XOR with (Va ^ Vb) flips V1 exactly where the operands disagree.
+// When Va and Vb carry conditionally independent flip masks of densities
+// qa, qb, the product mask density is qa(1-qb) + qb(1-qa) and the decoded
+// value is (1-2qa)(1-2qb) = a*b.
+//
+// # Decorrelation
+//
+// The multiplication identity requires independent operand masks. Squaring
+// a vector with itself would give V1 ^ Va ^ Va = V1, i.e. the number 1 — the
+// same correlation artefact classical stochastic computing hits when a
+// bitstream is multiplied by itself, and which it solves by re-sampling or
+// delaying one stream. The hyperdimensional analogue implemented here is
+// mask rotation:
+//
+//	Decorrelate(Va) = V1 ^ rho_k(Va ^ V1)
+//
+// where rho_k is a k-step circular shift. Rotating the flip mask preserves
+// its popcount — so the decoded value is preserved exactly, not just in
+// expectation — while pairwise decorrelating the bits. Square, divide and
+// the magnitude step of the hyperspace HOG all decorrelate reused operands.
+//
+// # Division and square root
+//
+// Both are binary searches driven entirely by hypervector comparisons
+// (paper Section 4.2): maintain Vlow, Vhigh, form the midpoint with a 0.5
+// weighted average, square (or multiply by the divisor) and compare against
+// the target. Compare decodes the sign of the difference vector
+// 0.5*Va (+) 0.5*(-Vb) with a statistical margin of a few standard
+// deviations of the D-bit estimator (sigma ~ 1/sqrt(D)).
+//
+// # Error behaviour
+//
+// Every operation's decoded value is a binomial estimator with standard
+// deviation O(1/sqrt(D)); relative error therefore shrinks with
+// dimensionality, which is what Figure 2 of the paper (and the fig2
+// experiment in this repo) measures.
+package stoch

@@ -1,0 +1,96 @@
+package stoch
+
+import "math"
+
+// Analytic error model for the stochastic operations — the "statistical
+// margins of error" the paper's square-root search terminates on, made
+// explicit. Every represented value is a +-1 Bernoulli estimator over D
+// dimensions, so each operation's decoded output carries a binomial
+// standard deviation that these functions predict; the errmodel tests
+// verify the predictions against Monte Carlo measurement, and Figure 2's
+// 1/sqrt(D) trend is ConstructStd at work.
+
+// ConstructStd returns the standard deviation of Decode(Construct(a)):
+// each dimension is +-1 with mean a, so the variance of the mean of D
+// components is (1 - a^2) / D.
+func (c *Codec) ConstructStd(a float64) float64 {
+	a = clamp(a)
+	return math.Sqrt((1 - a*a) / float64(c.d))
+}
+
+// AvgStd returns the standard deviation of Decode(WeightedAvg(p, Va, Vb))
+// for freshly constructed independent operands representing a and b. Each
+// output dimension takes Va's value with probability p: a +-1 variable
+// with mean m = p*a + (1-p)*b, giving variance (1 - m^2) / D.
+func (c *Codec) AvgStd(p, a, b float64) float64 {
+	m := p*clamp(a) + (1-p)*clamp(b)
+	return math.Sqrt((1 - m*m) / float64(c.d))
+}
+
+// MulStd returns the standard deviation of Decode(Mul(Va, Vb)) for
+// independent fresh operands: the output dimensions are +-1 with mean
+// a*b, so the variance is (1 - (ab)^2) / D.
+func (c *Codec) MulStd(a, b float64) float64 {
+	m := clamp(a) * clamp(b)
+	return math.Sqrt((1 - m*m) / float64(c.d))
+}
+
+// CompareErrProb returns the expected error of Compare on two freshly
+// constructed values a > b, counting a zero (within-margin) verdict as
+// half an error. The decoded difference is ~N((a-b)/2, AvgStd), and
+// Compare's dead band spans +-margin/2 around zero, so
+//
+//	err = 0.5 * (Phi((m - diff)/sigma) + Phi(-(m + diff)/sigma))
+//
+// with m = margin/2. The normal approximation is accurate for D >= 1k.
+func (c *Codec) CompareErrProb(a, b float64) float64 {
+	if a == b {
+		return 0.5 // coin flip by construction
+	}
+	if a < b {
+		a, b = b, a
+	}
+	diff := (clamp(a) - clamp(b)) / 2
+	sigma := c.AvgStd(0.5, a, -b)
+	if sigma == 0 {
+		return 0
+	}
+	m := c.margin / 2
+	phi := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+	return 0.5 * (phi((m-diff)/sigma) + phi(-(m+diff)/sigma))
+}
+
+// SqrtMarginStd returns the expected standard deviation of the binary
+// search result of Sqrt around sqrt(a): the search stops inside the
+// comparison margin band, whose width in value units dominates for
+// practical iteration counts.
+func (c *Codec) SqrtMarginStd(a float64) float64 {
+	a = clamp(a)
+	if a < 0 {
+		a = 0
+	}
+	root := math.Sqrt(a)
+	// Margin on m^2 translates to margin/(2*root) on m; near zero the
+	// slope blows up, capped by the search interval resolution.
+	slope := 2 * root
+	if slope < 0.25 {
+		slope = 0.25
+	}
+	searchRes := 1 / math.Exp2(float64(c.sqrtIter))
+	return math.Max(c.margin/slope, searchRes)
+}
+
+// RecommendD returns the smallest power-of-two dimensionality whose
+// construction error standard deviation at a = 0 is at most target. This
+// is the sizing rule the paper's Section 4 closes with: pick D from the
+// application's error budget.
+func RecommendD(target float64) int {
+	if target <= 0 {
+		panic("stoch: error target must be positive")
+	}
+	d := 64
+	for math.Sqrt(1/float64(d)) > target && d < 1<<26 {
+		d *= 2
+	}
+	return d
+}

@@ -1,0 +1,58 @@
+package stoch_test
+
+import (
+	"fmt"
+	"math"
+
+	"hdface/internal/stoch"
+)
+
+// round quantises stochastic decodes for stable example output.
+func round(v float64) float64 { return math.Round(v*10) / 10 }
+
+// ExampleCodec_Mul multiplies two numbers entirely in hyperspace.
+func ExampleCodec_Mul() {
+	c := stoch.NewCodec(65536, 42)
+	a := c.Construct(0.5)
+	b := c.Construct(-0.8)
+	fmt.Println(round(c.Decode(c.Mul(a, b))))
+	// Output:
+	// -0.4
+}
+
+// ExampleCodec_WeightedAvg averages two numbers with a 3:1 weighting.
+func ExampleCodec_WeightedAvg() {
+	c := stoch.NewCodec(65536, 42)
+	a := c.Construct(1)
+	b := c.Construct(-1)
+	fmt.Println(round(c.Decode(c.WeightedAvg(0.75, a, b))))
+	// Output:
+	// 0.5
+}
+
+// ExampleCodec_Sqrt extracts a square root with the paper's hypervector
+// binary search.
+func ExampleCodec_Sqrt() {
+	c := stoch.NewCodec(65536, 42)
+	v := c.Construct(0.25)
+	fmt.Println(round(c.Decode(c.Sqrt(v))))
+	// Output:
+	// 0.5
+}
+
+// ExampleCodec_Compare orders two represented values.
+func ExampleCodec_Compare() {
+	c := stoch.NewCodec(16384, 42)
+	fmt.Println(c.Compare(c.Construct(0.7), c.Construct(0.2)))
+	fmt.Println(c.Compare(c.Construct(0.2), c.Construct(0.7)))
+	// Output:
+	// 1
+	// -1
+}
+
+// ExampleRecommendD sizes the dimensionality from an error budget.
+func ExampleRecommendD() {
+	fmt.Println(stoch.RecommendD(0.016))
+	// Output:
+	// 4096
+}

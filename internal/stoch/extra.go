@@ -1,0 +1,115 @@
+package stoch
+
+import "hdface/internal/hv"
+
+// Extended arithmetic built from the primitive set — the paper's Section 4
+// closes with "these arithmetic can be easily expanded"; this file does so
+// with the operations downstream feature extractors ask for next: min/max,
+// clamping, linear interpolation, powers and polynomial evaluation.
+
+// Max returns a hypervector representing max(a, b): the comparison decodes
+// the sign of the scaled difference and the winner is cloned.
+func (c *Codec) Max(a, b *hv.Vector) *hv.Vector {
+	if c.Compare(a, b) >= 0 {
+		return a.Clone()
+	}
+	return b.Clone()
+}
+
+// Min returns a hypervector representing min(a, b).
+func (c *Codec) Min(a, b *hv.Vector) *hv.Vector {
+	if c.Compare(a, b) <= 0 {
+		return a.Clone()
+	}
+	return b.Clone()
+}
+
+// Clamp returns v limited to the represented interval [lo, hi]; lo and hi
+// are plain constants (they become hypervectors only if a bound binds).
+func (c *Codec) Clamp(v *hv.Vector, lo, hi float64) *hv.Vector {
+	if lo > hi {
+		panic("stoch: Clamp bounds inverted")
+	}
+	d := c.Decode(v)
+	switch {
+	case d < lo:
+		return c.Construct(lo)
+	case d > hi:
+		return c.Construct(hi)
+	}
+	return v.Clone()
+}
+
+// Lerp returns the interpolation a + t*(b-a) for a constant t in [0, 1] —
+// exactly the weighted average with swapped weight convention.
+func (c *Codec) Lerp(a, b *hv.Vector, t float64) *hv.Vector {
+	return c.WeightedAvg(1-t, a, b)
+}
+
+// Pow returns V_{a^n} for integer n >= 1 by repeated decorrelated
+// multiplication. Error grows with n (each multiply contributes its own
+// sampling noise), so high powers want high D.
+func (c *Codec) Pow(v *hv.Vector, n int) *hv.Vector {
+	if n < 1 {
+		panic("stoch: Pow needs n >= 1")
+	}
+	out := v.Clone()
+	for i := 1; i < n; i++ {
+		// A distinct rotation per factor: reusing one fixed rotation
+		// would cancel pairs of identical masks across iterations
+		// (rho(v) XOR rho(v) = 0) and collapse v^3 back to v.
+		out = c.Mul(out, c.DecorrelateShift(v, i*c.permStep+i))
+	}
+	return out
+}
+
+// Poly evaluates the polynomial sum_i coeffs[i] * x^i at the represented
+// value of x, via a running-mean Horner scheme in hyperspace: the step for
+// coefficient i folds the constant in with weight 1/(terms so far), which
+// keeps every term at the same scale. The result represents
+// sum_i coeffs[i] x^i / len(coeffs); the returned scale (= len(coeffs))
+// recovers the polynomial value on decode. All coefficients must lie in
+// [-1, 1].
+func (c *Codec) Poly(x *hv.Vector, coeffs []float64) (v *hv.Vector, scale float64) {
+	if len(coeffs) == 0 {
+		panic("stoch: Poly needs at least one coefficient")
+	}
+	for _, co := range coeffs {
+		if co < -1 || co > 1 {
+			panic("stoch: Poly coefficients must lie in [-1, 1]")
+		}
+	}
+	m := len(coeffs)
+	v = c.Construct(coeffs[m-1])
+	for i := m - 2; i >= 0; i-- {
+		// Distinct rotation per Horner step (see Pow).
+		shifted := c.DecorrelateShift(x, (i+1)*c.permStep+i+1)
+		// v holds the uniform mean of the m-i-1 inner terms; folding the
+		// constant with weight 1/(m-i) keeps the mean uniform.
+		r := float64(m - i)
+		v = c.WeightedAvg(1/r, c.Construct(coeffs[i]), c.Mul(shifted, v))
+	}
+	return v, float64(m)
+}
+
+// AbsDiff returns a hypervector representing |a - b| / 2 — the scaled
+// absolute difference used by block-matching style feature extractors.
+func (c *Codec) AbsDiff(a, b *hv.Vector) *hv.Vector {
+	return c.Abs(c.Sub(a, b))
+}
+
+// MeanAbsDev returns the stochastic mean of |v_i - m|/2 where m is the
+// provided mean hypervector — a dispersion statistic over represented
+// values, built from balanced-tree averaging.
+func (c *Codec) MeanAbsDev(vs []*hv.Vector, mean *hv.Vector) *hv.Vector {
+	if len(vs) == 0 {
+		panic("stoch: MeanAbsDev needs at least one vector")
+	}
+	devs := make([]*hv.Vector, len(vs))
+	ws := make([]float64, len(vs))
+	for i, v := range vs {
+		devs[i] = c.AbsDiff(v, c.Decorrelate(mean))
+		ws[i] = 1
+	}
+	return c.WeightedSum(devs, ws)
+}

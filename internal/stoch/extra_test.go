@@ -1,0 +1,152 @@
+package stoch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hdface/internal/hv"
+)
+
+func TestMaxMin(t *testing.T) {
+	c := NewCodec(8192, 51)
+	a, b := c.Construct(0.7), c.Construct(0.1)
+	if got := c.Decode(c.Max(a, b)); math.Abs(got-0.7) > 0.05 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := c.Decode(c.Min(a, b)); math.Abs(got-0.1) > 0.05 {
+		t.Fatalf("min = %v", got)
+	}
+	// Symmetric arguments.
+	if got := c.Decode(c.Max(b, a)); math.Abs(got-0.7) > 0.05 {
+		t.Fatalf("max swapped = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	c := NewCodec(8192, 52)
+	if got := c.Decode(c.Clamp(c.Construct(0.9), -0.5, 0.5)); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("clamp high = %v", got)
+	}
+	if got := c.Decode(c.Clamp(c.Construct(-0.9), -0.5, 0.5)); math.Abs(got+0.5) > 0.05 {
+		t.Fatalf("clamp low = %v", got)
+	}
+	v := c.Construct(0.2)
+	if !c.Clamp(v, -0.5, 0.5).Equal(v) {
+		t.Fatal("in-range clamp must return the value unchanged")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted bounds did not panic")
+		}
+	}()
+	c.Clamp(v, 1, -1)
+}
+
+func TestLerp(t *testing.T) {
+	c := NewCodec(8192, 53)
+	a, b := c.Construct(-0.6), c.Construct(0.8)
+	for _, tt := range []float64{0, 0.25, 0.5, 1} {
+		got := c.Decode(c.Lerp(a, b, tt))
+		want := -0.6 + tt*(0.8-(-0.6))
+		if math.Abs(got-want) > 0.06 {
+			t.Fatalf("lerp(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	c := NewCodec(16384, 54)
+	v := c.Construct(0.8)
+	for n := 1; n <= 4; n++ {
+		got := c.Decode(c.Pow(v, n))
+		want := math.Pow(0.8, float64(n))
+		if math.Abs(got-want) > 0.08 {
+			t.Fatalf("pow %d = %v, want %v", n, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pow(0) did not panic")
+		}
+	}()
+	c.Pow(v, 0)
+}
+
+func TestPoly(t *testing.T) {
+	c := NewCodec(16384, 55)
+	// p(x) = 0.5 + 0.5x - 0.25x^2 at x = 0.6 -> 0.5 + 0.3 - 0.09 = 0.71.
+	x := c.Construct(0.6)
+	v, scale := c.Poly(x, []float64{0.5, 0.5, -0.25})
+	if scale != 3 {
+		t.Fatalf("scale %v, want 3", scale)
+	}
+	got := c.Decode(v) * scale
+	if math.Abs(got-0.71) > 0.15 {
+		t.Fatalf("poly = %v, want 0.71", got)
+	}
+}
+
+func TestPolyValidation(t *testing.T) {
+	c := NewCodec(256, 56)
+	x := c.Construct(0)
+	for name, f := range map[string]func(){
+		"empty":    func() { c.Poly(x, nil) },
+		"oversize": func() { c.Poly(x, []float64{2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAbsDiff(t *testing.T) {
+	c := NewCodec(8192, 57)
+	a, b := c.Construct(0.3), c.Construct(-0.5)
+	got := c.Decode(c.AbsDiff(a, b))
+	if math.Abs(got-0.4) > 0.05 {
+		t.Fatalf("absdiff = %v, want 0.4", got)
+	}
+}
+
+func TestMeanAbsDev(t *testing.T) {
+	c := NewCodec(16384, 58)
+	vals := []float64{0.2, 0.4, 0.6, 0.8}
+	mean := c.Construct(0.5)
+	vs := make([]*hv.Vector, len(vals))
+	var want float64
+	for i, a := range vals {
+		vs[i] = c.Construct(a)
+		want += math.Abs(a-0.5) / 2 / float64(len(vals))
+	}
+	got := c.Decode(c.MeanAbsDev(vs, mean))
+	if math.Abs(got-want) > 0.06 {
+		t.Fatalf("mad = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty MeanAbsDev did not panic")
+		}
+	}()
+	c.MeanAbsDev(nil, mean)
+}
+
+// Property: Max(a,b) >= both decoded inputs within tolerance.
+func TestMaxDominatesProperty(t *testing.T) {
+	c := NewCodec(8192, 59)
+	tol := 8 / math.Sqrt(8192.0)
+	f := func(x, y uint8) bool {
+		a := float64(x)/255*2 - 1
+		b := float64(y)/255*2 - 1
+		m := c.Decode(c.Max(c.Construct(a), c.Construct(b)))
+		return m >= a-tol && m >= b-tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package stoch
+
+import "hdface/internal/hv"
+
+// WeightedSum returns a hypervector representing the convex combination
+// sum_i (w_i / W) * a_i where W = sum_i w_i and all weights are
+// non-negative (negative-weight terms are expressed by negating the
+// operand first). The combination is built as a balanced tree of pairwise
+// weighted averages, which keeps the compounded selection noise O(1/D)
+// regardless of fan-in — the same construction the hyperspace HOG uses for
+// histogram means.
+//
+// It panics on empty input, negative weights, or an all-zero weight sum.
+func (c *Codec) WeightedSum(vs []*hv.Vector, ws []float64) *hv.Vector {
+	if len(vs) == 0 || len(vs) != len(ws) {
+		panic("stoch: WeightedSum needs matching non-empty vectors and weights")
+	}
+	type node struct {
+		v *hv.Vector
+		w float64
+	}
+	nodes := make([]node, 0, len(vs))
+	var total float64
+	for i, v := range vs {
+		if ws[i] < 0 {
+			panic("stoch: WeightedSum weights must be non-negative")
+		}
+		if ws[i] == 0 {
+			continue
+		}
+		nodes = append(nodes, node{v, ws[i]})
+		total += ws[i]
+	}
+	if total == 0 {
+		panic("stoch: WeightedSum weights sum to zero")
+	}
+	for len(nodes) > 1 {
+		next := nodes[:0]
+		for i := 0; i+1 < len(nodes); i += 2 {
+			a, b := nodes[i], nodes[i+1]
+			p := a.w / (a.w + b.w)
+			next = append(next, node{c.WeightedAvg(p, a.v, b.v), a.w + b.w})
+		}
+		if len(nodes)%2 == 1 {
+			next = append(next, nodes[len(nodes)-1])
+		}
+		nodes = next
+	}
+	return nodes[0].v
+}
+
+// DotConst returns a hypervector representing the normalised dot product
+// sum_i (k_i * x_i) / sum_i |k_i| between a constant kernel k and
+// represented values x — the inner loop of hyperspace convolution. Terms
+// with negative kernel weights contribute through negated operands.
+func (c *Codec) DotConst(ks []float64, xs []*hv.Vector) *hv.Vector {
+	if len(ks) == 0 || len(ks) != len(xs) {
+		panic("stoch: DotConst needs matching non-empty kernels and vectors")
+	}
+	vs := make([]*hv.Vector, 0, len(ks))
+	ws := make([]float64, 0, len(ks))
+	for i, k := range ks {
+		switch {
+		case k > 0:
+			vs = append(vs, xs[i])
+			ws = append(ws, k)
+		case k < 0:
+			vs = append(vs, c.Neg(xs[i]))
+			ws = append(ws, -k)
+		}
+	}
+	if len(vs) == 0 {
+		return c.Construct(0)
+	}
+	return c.WeightedSum(vs, ws)
+}

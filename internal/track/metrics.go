@@ -1,0 +1,116 @@
+package track
+
+import "fmt"
+
+// GroundTruth is one frame's true boxes per subject: Truth[frame][subject].
+type GroundTruth [][][4]int
+
+// MOTReport aggregates CLEAR-MOT-style tracking quality over a clip.
+type MOTReport struct {
+	Frames     int
+	Matches    int // track box matched the right subject's box
+	Misses     int // subject present but no track box overlapped it
+	FalsePos   int // track box overlapping no subject
+	IDSwitches int // a subject's matched track ID changed between frames
+}
+
+// MOTA returns the multiple-object tracking accuracy:
+// 1 - (misses + false positives + ID switches) / ground-truth objects.
+func (r MOTReport) MOTA() float64 {
+	gt := r.Matches + r.Misses
+	if gt == 0 {
+		return 0
+	}
+	return 1 - float64(r.Misses+r.FalsePos+r.IDSwitches)/float64(gt)
+}
+
+// String summarises the report.
+func (r MOTReport) String() string {
+	return fmt.Sprintf("frames=%d matches=%d misses=%d fp=%d idsw=%d mota=%.3f",
+		r.Frames, r.Matches, r.Misses, r.FalsePos, r.IDSwitches, r.MOTA())
+}
+
+// iou computes intersection-over-union of two boxes.
+func iou(a, b [4]int) float64 {
+	ix0, iy0 := maxI(a[0], b[0]), maxI(a[1], b[1])
+	ix1, iy1 := minI(a[2], b[2]), minI(a[3], b[3])
+	if ix1 <= ix0 || iy1 <= iy0 {
+		return 0
+	}
+	inter := float64((ix1 - ix0) * (iy1 - iy0))
+	areaA := float64((a[2] - a[0]) * (a[3] - a[1]))
+	areaB := float64((b[2] - b[0]) * (b[3] - b[1]))
+	u := areaA + areaB - inter
+	if u <= 0 {
+		return 0
+	}
+	return inter / u
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Evaluate scores a finished tracker against per-frame ground truth at the
+// given IoU threshold. Track boxes are looked up by the frame index they
+// were recorded at.
+func Evaluate(tk *Tracker, truth GroundTruth, iouThresh float64) MOTReport {
+	rep := MOTReport{Frames: len(truth)}
+	// Collect every track's box per frame.
+	type obs struct {
+		id  int
+		box [4]int
+	}
+	perFrame := make(map[int][]obs)
+	for _, tr := range tk.All() {
+		for i, f := range tr.Frames {
+			perFrame[f] = append(perFrame[f], obs{tr.ID, tr.Boxes[i]})
+		}
+	}
+	lastID := map[int]int{} // subject -> last matched track ID
+	for f, subjects := range truth {
+		observations := perFrame[f]
+		usedObs := make([]bool, len(observations))
+		for s, gt := range subjects {
+			if gt == ([4]int{}) {
+				continue // subject absent this frame
+			}
+			best, bestIoU := -1, iouThresh
+			for oi, o := range observations {
+				if usedObs[oi] {
+					continue
+				}
+				if v := iou(o.box, gt); v >= bestIoU {
+					best, bestIoU = oi, v
+				}
+			}
+			if best == -1 {
+				rep.Misses++
+				continue
+			}
+			usedObs[best] = true
+			rep.Matches++
+			id := observations[best].id
+			if prev, ok := lastID[s]; ok && prev != id {
+				rep.IDSwitches++
+			}
+			lastID[s] = id
+		}
+		for oi := range observations {
+			if !usedObs[oi] {
+				rep.FalsePos++
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,89 @@
+package track
+
+import (
+	"strings"
+	"testing"
+
+	"hdface/internal/hv"
+)
+
+func TestIoUHelper(t *testing.T) {
+	a := [4]int{0, 0, 10, 10}
+	if iou(a, a) != 1 {
+		t.Fatal("self iou != 1")
+	}
+	if iou(a, [4]int{20, 20, 30, 30}) != 0 {
+		t.Fatal("disjoint iou != 0")
+	}
+	if got := iou(a, [4]int{5, 0, 15, 10}); got < 0.3 || got > 0.35 {
+		t.Fatalf("half-overlap iou %v", got)
+	}
+}
+
+func TestEvaluatePerfectTracking(t *testing.T) {
+	r := hv.NewRNG(41)
+	_, sample := ident(r, 1024)
+	tk := New(Config{}, 42)
+	var truth GroundTruth
+	for f := 0; f < 6; f++ {
+		box := boxAt(10+8*f, 20)
+		tk.Step([]Detection{{Box: box, Feature: sample()}})
+		truth = append(truth, [][4]int{box})
+	}
+	rep := Evaluate(tk, truth, 0.5)
+	if rep.Matches != 6 || rep.Misses != 0 || rep.FalsePos != 0 || rep.IDSwitches != 0 {
+		t.Fatalf("perfect clip scored %+v", rep)
+	}
+	if rep.MOTA() != 1 {
+		t.Fatalf("MOTA %v, want 1", rep.MOTA())
+	}
+	if !strings.Contains(rep.String(), "mota=1.000") {
+		t.Fatalf("summary %q", rep.String())
+	}
+}
+
+func TestEvaluateCountsMissesAndFalsePositives(t *testing.T) {
+	r := hv.NewRNG(43)
+	_, sample := ident(r, 1024)
+	tk := New(Config{}, 44)
+	// Frame 0: detection far from truth -> miss + false positive.
+	tk.Step([]Detection{{Box: boxAt(300, 300), Feature: sample()}})
+	truth := GroundTruth{[][4]int{boxAt(10, 10)}}
+	rep := Evaluate(tk, truth, 0.5)
+	if rep.Misses != 1 || rep.FalsePos != 1 || rep.Matches != 0 {
+		t.Fatalf("scored %+v", rep)
+	}
+	if rep.MOTA() >= 0 {
+		t.Fatalf("MOTA %v should be negative", rep.MOTA())
+	}
+}
+
+func TestEvaluateDetectsIDSwitch(t *testing.T) {
+	r := hv.NewRNG(45)
+	_, sampleA := ident(r, 1024)
+	_, sampleB := ident(r, 1024)
+	// A positional gate small enough that the subject's jump severs the
+	// track and appearance different enough to spawn a new ID.
+	tk := New(Config{MaxDist: 20}, 46)
+	b0 := boxAt(10, 10)
+	tk.Step([]Detection{{Box: b0, Feature: sampleA()}})
+	b1 := boxAt(16, 10) // overlaps truth, but different identity appearance
+	tk.Step([]Detection{{Box: b1, Feature: sampleB()}})
+	truth := GroundTruth{[][4]int{b0}, [][4]int{b1}}
+	rep := Evaluate(tk, truth, 0.5)
+	if rep.IDSwitches != 1 {
+		t.Fatalf("expected 1 ID switch, got %+v", rep)
+	}
+}
+
+func TestEvaluateAbsentSubject(t *testing.T) {
+	tk := New(Config{}, 47)
+	truth := GroundTruth{[][4]int{{}}} // subject absent (zero box)
+	rep := Evaluate(tk, truth, 0.5)
+	if rep.Misses != 0 || rep.Matches != 0 {
+		t.Fatalf("absent subject scored %+v", rep)
+	}
+	if rep.MOTA() != 0 {
+		t.Fatalf("empty MOTA %v", rep.MOTA())
+	}
+}

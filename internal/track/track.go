@@ -1,0 +1,208 @@
+// Package track implements multi-object face tracking over detection
+// streams — the surveillance use case the paper's introduction motivates.
+// Detections carry an appearance hypervector (produced by any hdface
+// feature front-end); association combines holographic appearance
+// similarity with positional gating, so identity survives detector noise
+// exactly the way the underlying representation survives bit errors.
+package track
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hdface/internal/hv"
+)
+
+// Detection is one detector output in a frame.
+type Detection struct {
+	Box     [4]int // x0, y0, x1, y1
+	Feature *hv.Vector
+}
+
+// Config tunes the tracker.
+type Config struct {
+	// MaxMisses retires a track after this many consecutive unmatched
+	// frames (default 3).
+	MaxMisses int
+	// MinSim is the appearance similarity gate in [0, 1] (default 0.55,
+	// Hamming similarity).
+	MinSim float64
+	// MaxDist is the positional gate: centre distance in pixels between a
+	// detection and the track's last box (default 48).
+	MaxDist float64
+	// Blend is the appearance template update rate: 0 keeps the first
+	// template, 1 always replaces it (default 0.5 — majority merge).
+	Blend float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxMisses == 0 {
+		c.MaxMisses = 3
+	}
+	if c.MinSim == 0 {
+		c.MinSim = 0.55
+	}
+	if c.MaxDist == 0 {
+		c.MaxDist = 48
+	}
+	if c.Blend == 0 {
+		c.Blend = 0.5
+	}
+	return c
+}
+
+// Track is one tracked identity.
+type Track struct {
+	ID     int
+	Boxes  [][4]int // one entry per matched frame
+	Frames []int    // frame index of each box
+	// Template is the appearance hypervector (merged over matches).
+	Template *hv.Vector
+	Misses   int
+	retired  bool
+}
+
+// Last returns the most recent box.
+func (t *Track) Last() [4]int { return t.Boxes[len(t.Boxes)-1] }
+
+// Tracker maintains active and retired tracks across frames.
+type Tracker struct {
+	cfg     Config
+	rng     *hv.RNG
+	frame   int
+	nextID  int
+	active  []*Track
+	retired []*Track
+}
+
+// New returns a tracker.
+func New(cfg Config, seed uint64) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults(), rng: hv.NewRNG(seed ^ 0x7ac)}
+}
+
+// Active returns the live tracks.
+func (t *Tracker) Active() []*Track { return t.active }
+
+// Retired returns tracks dropped for inactivity.
+func (t *Tracker) Retired() []*Track { return t.retired }
+
+// All returns every track ever created, active first.
+func (t *Tracker) All() []*Track {
+	out := append([]*Track(nil), t.active...)
+	return append(out, t.retired...)
+}
+
+func center(b [4]int) (float64, float64) {
+	return float64(b[0]+b[2]) / 2, float64(b[1]+b[3]) / 2
+}
+
+func dist(a, b [4]int) float64 {
+	ax, ay := center(a)
+	bx, by := center(b)
+	return math.Hypot(ax-bx, ay-by)
+}
+
+// candidate is one feasible (track, detection) pairing.
+type candidate struct {
+	track, det int
+	score      float64
+}
+
+// Step ingests one frame of detections, returning the tracks matched or
+// spawned this frame.
+func (t *Tracker) Step(dets []Detection) []*Track {
+	defer func() { t.frame++ }()
+	// Score all feasible pairs.
+	var cands []candidate
+	for ti, tr := range t.active {
+		for di, d := range dets {
+			if d.Feature == nil {
+				panic("track: detection without feature")
+			}
+			pd := dist(tr.Last(), d.Box)
+			if pd > t.cfg.MaxDist {
+				continue
+			}
+			sim := tr.Template.HammingSim(d.Feature)
+			if sim < t.cfg.MinSim {
+				continue
+			}
+			// Combined score: appearance dominates, position breaks ties.
+			cands = append(cands, candidate{ti, di, sim - 0.001*pd/t.cfg.MaxDist})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+
+	matchedTrack := map[int]bool{}
+	matchedDet := map[int]bool{}
+	var touched []*Track
+	for _, c := range cands {
+		if matchedTrack[c.track] || matchedDet[c.det] {
+			continue
+		}
+		matchedTrack[c.track] = true
+		matchedDet[c.det] = true
+		tr := t.active[c.track]
+		d := dets[c.det]
+		tr.Boxes = append(tr.Boxes, d.Box)
+		tr.Frames = append(tr.Frames, t.frame)
+		tr.Misses = 0
+		t.mergeTemplate(tr, d.Feature)
+		touched = append(touched, tr)
+	}
+
+	// Unmatched detections spawn tracks.
+	for di, d := range dets {
+		if matchedDet[di] {
+			continue
+		}
+		tr := &Track{
+			ID:       t.nextID,
+			Boxes:    [][4]int{d.Box},
+			Frames:   []int{t.frame},
+			Template: d.Feature.Clone(),
+		}
+		t.nextID++
+		t.active = append(t.active, tr)
+		touched = append(touched, tr)
+	}
+
+	// Unmatched tracks age; stale ones retire.
+	var still []*Track
+	for ti, tr := range t.active {
+		if !matchedTrack[ti] && len(tr.Boxes) > 0 && tr.Frames[len(tr.Frames)-1] != t.frame {
+			tr.Misses++
+		}
+		if tr.Misses >= t.cfg.MaxMisses {
+			tr.retired = true
+			t.retired = append(t.retired, tr)
+			continue
+		}
+		still = append(still, tr)
+	}
+	t.active = still
+	return touched
+}
+
+// mergeTemplate folds a new appearance into the track template: a random
+// Blend-fraction of dimensions adopt the new feature — the hypervector
+// analogue of an exponential moving average.
+func (t *Tracker) mergeTemplate(tr *Track, f *hv.Vector) {
+	if t.cfg.Blend >= 1 {
+		tr.Template = f.Clone()
+		return
+	}
+	if t.cfg.Blend <= 0 {
+		return
+	}
+	mask := hv.NewRandBiased(t.rng, f.D(), t.cfg.Blend)
+	merged := hv.New(f.D()).Select(mask, f, tr.Template)
+	tr.Template = merged
+}
+
+// String summarises tracker state.
+func (t *Tracker) String() string {
+	return fmt.Sprintf("track.Tracker{frame:%d, active:%d, retired:%d}",
+		t.frame, len(t.active), len(t.retired))
+}

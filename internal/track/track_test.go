@@ -1,0 +1,185 @@
+package track
+
+import (
+	"strings"
+	"testing"
+
+	"hdface/internal/hv"
+)
+
+// ident builds a stable appearance prototype and a noisy-sample generator.
+func ident(r *hv.RNG, d int) (proto *hv.Vector, sample func() *hv.Vector) {
+	proto = hv.NewRand(r, d)
+	return proto, func() *hv.Vector {
+		v := proto.Clone()
+		v.Xor(v, hv.NewRandBiased(r, d, 0.1))
+		return v
+	}
+}
+
+func boxAt(x, y int) [4]int { return [4]int{x, y, x + 48, y + 48} }
+
+func TestSingleTargetKeepsID(t *testing.T) {
+	r := hv.NewRNG(1)
+	_, sample := ident(r, 1024)
+	tk := New(Config{}, 2)
+	for f := 0; f < 10; f++ {
+		tk.Step([]Detection{{Box: boxAt(10+8*f, 20), Feature: sample()}})
+	}
+	if len(tk.Active()) != 1 {
+		t.Fatalf("active tracks %d, want 1", len(tk.Active()))
+	}
+	tr := tk.Active()[0]
+	if tr.ID != 0 || len(tr.Boxes) != 10 {
+		t.Fatalf("track fragmented: id=%d boxes=%d", tr.ID, len(tr.Boxes))
+	}
+}
+
+func TestTwoTargetsKeepDistinctIDs(t *testing.T) {
+	r := hv.NewRNG(3)
+	_, sampleA := ident(r, 1024)
+	_, sampleB := ident(r, 1024)
+	tk := New(Config{}, 4)
+	for f := 0; f < 8; f++ {
+		tk.Step([]Detection{
+			{Box: boxAt(10+6*f, 10), Feature: sampleA()},
+			{Box: boxAt(200-6*f, 120), Feature: sampleB()},
+		})
+	}
+	if len(tk.Active()) != 2 {
+		t.Fatalf("active tracks %d, want 2", len(tk.Active()))
+	}
+	a, b := tk.Active()[0], tk.Active()[1]
+	if a.ID == b.ID {
+		t.Fatal("tracks share an ID")
+	}
+	if len(a.Boxes) != 8 || len(b.Boxes) != 8 {
+		t.Fatalf("fragmented: %d / %d boxes", len(a.Boxes), len(b.Boxes))
+	}
+}
+
+func TestAppearanceSeparatesCrossingTargets(t *testing.T) {
+	// Two targets pass near each other; appearance must keep identities
+	// apart even when both are within the positional gate.
+	r := hv.NewRNG(5)
+	protoA, sampleA := ident(r, 2048)
+	_, sampleB := ident(r, 2048)
+	tk := New(Config{MaxDist: 100}, 6)
+	for f := 0; f < 9; f++ {
+		tk.Step([]Detection{
+			{Box: boxAt(10+10*f, 50), Feature: sampleA()},
+			{Box: boxAt(90-10*f, 50), Feature: sampleB()},
+		})
+	}
+	if len(tk.Active()) != 2 {
+		t.Fatalf("active %d, want 2", len(tk.Active()))
+	}
+	// Track 0 must still match identity A's appearance better.
+	tr0 := tk.Active()[0]
+	if sim := tr0.Template.HammingSim(protoA); sim < 0.7 {
+		t.Fatalf("track 0 template drifted from identity A: %v", sim)
+	}
+	// And its trajectory must be monotone rightward (A's motion).
+	xs := tr0.Boxes
+	for i := 1; i < len(xs); i++ {
+		if xs[i][0] < xs[i-1][0] {
+			t.Fatalf("track 0 switched identity at step %d: %v", i, xs)
+		}
+	}
+}
+
+func TestTrackRetiresAfterMisses(t *testing.T) {
+	r := hv.NewRNG(7)
+	_, sample := ident(r, 512)
+	tk := New(Config{MaxMisses: 2}, 8)
+	tk.Step([]Detection{{Box: boxAt(10, 10), Feature: sample()}})
+	tk.Step(nil)
+	tk.Step(nil)
+	if len(tk.Active()) != 0 {
+		t.Fatal("track not retired after misses")
+	}
+	if len(tk.Retired()) != 1 {
+		t.Fatal("retired list empty")
+	}
+	if len(tk.All()) != 1 {
+		t.Fatal("All() incomplete")
+	}
+}
+
+func TestMissedThenReacquiredWithinBudget(t *testing.T) {
+	r := hv.NewRNG(9)
+	_, sample := ident(r, 1024)
+	tk := New(Config{MaxMisses: 3}, 10)
+	tk.Step([]Detection{{Box: boxAt(10, 10), Feature: sample()}})
+	tk.Step(nil) // one miss
+	tk.Step([]Detection{{Box: boxAt(20, 10), Feature: sample()}})
+	if len(tk.Active()) != 1 || len(tk.Active()[0].Boxes) != 2 {
+		t.Fatalf("reacquisition failed: %+v", tk)
+	}
+	if tk.Active()[0].Misses != 0 {
+		t.Fatal("miss counter not reset")
+	}
+}
+
+func TestPositionalGateSpawnsNewTrack(t *testing.T) {
+	// Same appearance but teleported far away: the positional gate must
+	// force a new identity.
+	r := hv.NewRNG(11)
+	_, sample := ident(r, 512)
+	tk := New(Config{MaxDist: 30}, 12)
+	tk.Step([]Detection{{Box: boxAt(0, 0), Feature: sample()}})
+	tk.Step([]Detection{{Box: boxAt(500, 500), Feature: sample()}})
+	if len(tk.Active()) != 2 {
+		t.Fatalf("teleport did not spawn: %d active", len(tk.Active()))
+	}
+}
+
+func TestAppearanceGateSpawnsNewTrack(t *testing.T) {
+	r := hv.NewRNG(13)
+	_, sampleA := ident(r, 512)
+	_, sampleB := ident(r, 512)
+	tk := New(Config{}, 14)
+	tk.Step([]Detection{{Box: boxAt(10, 10), Feature: sampleA()}})
+	// Same place, different face.
+	tk.Step([]Detection{{Box: boxAt(12, 10), Feature: sampleB()}})
+	if len(tk.Active()) != 2 {
+		t.Fatalf("appearance gate failed: %d active", len(tk.Active()))
+	}
+}
+
+func TestBlendModes(t *testing.T) {
+	r := hv.NewRNG(15)
+	a, b := hv.NewRand(r, 512), hv.NewRand(r, 512)
+	// Blend 1: template replaced.
+	tk := New(Config{Blend: 1, MinSim: 0.01, MaxDist: 1000}, 16)
+	tk.Step([]Detection{{Box: boxAt(0, 0), Feature: a}})
+	tk.Step([]Detection{{Box: boxAt(1, 0), Feature: b}})
+	if !tk.Active()[0].Template.Equal(b) {
+		t.Fatal("blend=1 did not replace template")
+	}
+	// Blend -1 (negative => keep): template unchanged.
+	tk2 := New(Config{Blend: -1, MinSim: 0.01, MaxDist: 1000}, 17)
+	tk2.Step([]Detection{{Box: boxAt(0, 0), Feature: a}})
+	tk2.Step([]Detection{{Box: boxAt(1, 0), Feature: b}})
+	if !tk2.Active()[0].Template.Equal(a) {
+		t.Fatal("blend<=0 did not keep template")
+	}
+}
+
+func TestStepPanicsOnNilFeature(t *testing.T) {
+	tk := New(Config{}, 18)
+	tk.Step([]Detection{{Box: boxAt(0, 0), Feature: hv.NewRand(hv.NewRNG(1), 64)}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil feature did not panic")
+		}
+	}()
+	tk.Step([]Detection{{Box: boxAt(0, 0)}})
+}
+
+func TestStringSummary(t *testing.T) {
+	tk := New(Config{}, 19)
+	if !strings.Contains(tk.String(), "active:0") {
+		t.Fatalf("summary %q", tk.String())
+	}
+}
