@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test bench check fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full hygiene gate: gofmt -l, go vet, go test -race (see scripts/check.sh).
+check:
+	./scripts/check.sh
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...

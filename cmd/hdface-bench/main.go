@@ -15,10 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"hdface/internal/experiments"
+	"hdface/internal/obs"
+	"hdface/internal/obscli"
 )
 
 func main() {
@@ -30,7 +33,12 @@ func main() {
 		list  = flag.Bool("list", false, "list experiments and exit")
 		csv   = flag.String("csv", "", "directory to export experiment data as CSV (runs the tabular experiments)")
 	)
+	of := obscli.Register(flag.CommandLine)
 	flag.Parse()
+	of.Activate(map[string]string{
+		"cmd": "bench", "exp": *exp, "seed": strconv.FormatUint(*seed, 10),
+		"quick": strconv.FormatBool(*quick),
+	})
 
 	if *list {
 		for _, r := range experiments.All() {
@@ -46,6 +54,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("CSV data written to %s\n", *csv)
+		if err := of.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "hdface-bench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *out != "" {
@@ -71,10 +83,17 @@ func main() {
 
 	for _, r := range runners {
 		start := time.Now()
-		if err := r.Run(os.Stdout, opts); err != nil {
+		sp := obs.StartSpan("exp_" + r.Name)
+		err := r.Run(os.Stdout, opts)
+		sp.End()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "hdface-bench: %s: %v\n", r.Name, err)
 			os.Exit(1)
 		}
 		fmt.Printf("[%s completed in %v]\n", r.Name, time.Since(start).Round(time.Millisecond))
+	}
+	if err := of.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "hdface-bench:", err)
+		os.Exit(1)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -22,6 +23,7 @@ import (
 	"hdface/internal/hdc"
 	"hdface/internal/hv"
 	"hdface/internal/imgproc"
+	"hdface/internal/obscli"
 )
 
 func fatal(err error) {
@@ -43,7 +45,7 @@ func specFor(name string) (dataset.Spec, error) {
 
 // buildPipeline assembles the pipeline used by train/eval/detect so the
 // three subcommands agree on configuration.
-func buildPipeline(d, workingSize int, mode string, seed uint64) (*hdface.Pipeline, error) {
+func buildPipeline(d, workingSize, workers int, mode string, seed uint64) (*hdface.Pipeline, error) {
 	var m hdface.Mode
 	switch strings.ToLower(mode) {
 	case "stoch", "":
@@ -53,7 +55,17 @@ func buildPipeline(d, workingSize int, mode string, seed uint64) (*hdface.Pipeli
 	default:
 		return nil, fmt.Errorf("unknown mode %q (stoch, orig)", mode)
 	}
-	return hdface.New(hdface.Config{D: d, Mode: m, WorkingSize: workingSize, Seed: seed, Workers: 1}), nil
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	return hdface.New(hdface.Config{D: d, Mode: m, WorkingSize: workingSize, Seed: seed, Workers: workers}), nil
+}
+
+// workersFlag installs the shared -workers flag (satellite of the obs PR:
+// the CLI used to hard-code Workers: 1, leaving the pipeline's parallelism
+// unused).
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", runtime.NumCPU(), "feature-extraction parallelism")
 }
 
 func cmdTrain(args []string) error {
@@ -68,10 +80,19 @@ func cmdTrain(args []string) error {
 	modelPath := fs.String("model", "model.hdc", "output model path")
 	featPath := fs.String("features", "", "train from a feature cache written by the features subcommand (skips rendering and extraction)")
 	k := fs.Int("k", 0, "class count when training from a feature cache (0 = infer from labels)")
+	workers := workersFlag(fs)
+	of := obscli.Register(fs)
 	fs.Parse(args)
+	of.Activate(map[string]string{
+		"cmd": "train", "dataset": *dsName, "mode": *mode,
+		"d": strconv.Itoa(*d), "seed": strconv.FormatUint(*seed, 10),
+	})
 
 	if *featPath != "" {
-		return trainFromCache(*featPath, *modelPath, *k, *seed)
+		if err := trainFromCache(*featPath, *modelPath, *k, *seed); err != nil {
+			return err
+		}
+		return of.Finish()
 	}
 
 	spec, err := specFor(*dsName)
@@ -87,7 +108,7 @@ func cmdTrain(args []string) error {
 	for i, s := range ds.Train {
 		imgs[i], labels[i] = s.Image, s.Label
 	}
-	p, err := buildPipeline(*d, *workingSize, *mode, *seed)
+	p, err := buildPipeline(*d, *workingSize, *workers, *mode, *seed)
 	if err != nil {
 		return err
 	}
@@ -107,8 +128,14 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return p.Model().Save(f)
+	if err := p.Model().Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return of.Finish()
 }
 
 // trainFromCache trains a classifier directly on cached hypervector
@@ -157,7 +184,13 @@ func cmdFeatures(args []string) error {
 	workingSize := fs.Int("size", 48, "working raster size")
 	seed := fs.Uint64("seed", 7, "random seed")
 	out := fs.String("out", "features.hvf", "output cache path")
+	workers := workersFlag(fs)
+	of := obscli.Register(fs)
 	fs.Parse(args)
+	of.Activate(map[string]string{
+		"cmd": "features", "dataset": *dsName, "mode": *mode,
+		"d": strconv.Itoa(*d), "seed": strconv.FormatUint(*seed, 10),
+	})
 
 	spec, err := specFor(*dsName)
 	if err != nil {
@@ -172,7 +205,7 @@ func cmdFeatures(args []string) error {
 	for i, s := range ds.Train {
 		imgs[i], labels[i] = s.Image, s.Label
 	}
-	p, err := buildPipeline(*d, *workingSize, *mode, *seed)
+	p, err := buildPipeline(*d, *workingSize, *workers, *mode, *seed)
 	if err != nil {
 		return err
 	}
@@ -189,7 +222,7 @@ func cmdFeatures(args []string) error {
 		return err
 	}
 	fmt.Printf("%d features (D=%d) cached to %s\n", len(feats), *d, *out)
-	return nil
+	return of.Finish()
 }
 
 func cmdEval(args []string) error {
@@ -201,7 +234,13 @@ func cmdEval(args []string) error {
 	workingSize := fs.Int("size", 48, "working raster size")
 	seed := fs.Uint64("seed", 7, "random seed (must match training for feature compatibility)")
 	modelPath := fs.String("model", "model.hdc", "model path")
+	workers := workersFlag(fs)
+	of := obscli.Register(fs)
 	fs.Parse(args)
+	of.Activate(map[string]string{
+		"cmd": "eval", "dataset": *dsName, "mode": *mode,
+		"d": strconv.Itoa(*d), "seed": strconv.FormatUint(*seed, 10),
+	})
 
 	spec, err := specFor(*dsName)
 	if err != nil {
@@ -220,7 +259,7 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := buildPipeline(*d, *workingSize, *mode, *seed)
+	p, err := buildPipeline(*d, *workingSize, *workers, *mode, *seed)
 	if err != nil {
 		return err
 	}
@@ -232,7 +271,7 @@ func cmdEval(args []string) error {
 	}
 	fmt.Printf("accuracy on %d fresh %s samples: %.3f\n",
 		len(ds.Test), ds.Name, float64(correct)/float64(len(ds.Test)))
-	return nil
+	return of.Finish()
 }
 
 func cmdScene(args []string) error {
@@ -261,7 +300,13 @@ func cmdDetect(args []string) error {
 	nms := fs.Float64("nms", 0.3, "non-maximum suppression IoU threshold (negative disables)")
 	workingSize := fs.Int("size", 48, "working raster size")
 	seed := fs.Uint64("seed", 7, "random seed (must match training)")
+	workers := workersFlag(fs)
+	of := obscli.Register(fs)
 	fs.Parse(args)
+	of.Activate(map[string]string{
+		"cmd": "detect", "scene": *scenePath, "mode": *mode,
+		"d": strconv.Itoa(*d), "seed": strconv.FormatUint(*seed, 10),
+	})
 
 	img, err := imgproc.LoadPGM(*scenePath)
 	if err != nil {
@@ -279,7 +324,7 @@ func cmdDetect(args []string) error {
 	if model.K != 2 {
 		return fmt.Errorf("detect needs a binary face model, got %d classes", model.K)
 	}
-	p, err := buildPipeline(*d, *workingSize, *mode, *seed)
+	p, err := buildPipeline(*d, *workingSize, *workers, *mode, *seed)
 	if err != nil {
 		return err
 	}
@@ -304,7 +349,10 @@ func cmdDetect(args []string) error {
 			b.X0, b.Y0, b.X1, b.Y1, b.Score, b.Scale)
 	}
 	fmt.Printf("%d detections; overlay written to %s\n", len(boxes), *out)
-	return overlay.SavePGM(*out)
+	if err := overlay.SavePGM(*out); err != nil {
+		return err
+	}
+	return of.Finish()
 }
 
 func main() {

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
+
+	"hdface/internal/obs"
 )
 
 func TestSpecFor(t *testing.T) {
@@ -18,17 +22,32 @@ func TestSpecFor(t *testing.T) {
 }
 
 func TestBuildPipeline(t *testing.T) {
-	if _, err := buildPipeline(512, 24, "stoch", 1); err != nil {
+	if _, err := buildPipeline(512, 24, 1, "stoch", 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildPipeline(512, 24, "orig", 1); err != nil {
+	if _, err := buildPipeline(512, 24, 1, "orig", 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildPipeline(512, 24, "", 1); err != nil {
+	if _, err := buildPipeline(512, 24, 1, "", 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildPipeline(512, 24, "bogus", 1); err == nil {
+	if _, err := buildPipeline(512, 24, 1, "bogus", 1); err == nil {
 		t.Fatal("accepted unknown mode")
+	}
+	// Workers <= 0 falls back to NumCPU instead of the old hard-coded 1.
+	p, err := buildPipeline(512, 24, 0, "stoch", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config().Workers != runtime.NumCPU() {
+		t.Fatalf("workers fallback = %d, want NumCPU", p.Config().Workers)
+	}
+	p, err = buildPipeline(512, 24, 3, "stoch", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config().Workers != 3 {
+		t.Fatalf("workers = %d, want 3", p.Config().Workers)
 	}
 }
 
@@ -110,5 +129,54 @@ func TestFeatureCacheWorkflow(t *testing.T) {
 func TestTrainFromCacheValidation(t *testing.T) {
 	if err := trainFromCache("/nonexistent.hvf", "/tmp/x.hdc", 0, 1); err == nil {
 		t.Fatal("missing cache accepted")
+	}
+}
+
+// TestEvalStatsJSON drives train + eval with the observability flags on and
+// checks that the JSON snapshot round-trips and contains the per-stage
+// timings and stochastic-op counters the acceptance criteria name.
+func TestEvalStatsJSON(t *testing.T) {
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	dir := t.TempDir()
+	model := filepath.Join(dir, "emo.hdc")
+	snapPath := filepath.Join(dir, "eval.json")
+	if err := cmdTrain([]string{
+		"-dataset", "emotion", "-d", "512", "-n", "14", "-test", "7",
+		"-size", "24", "-model", model}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := cmdEval([]string{
+		"-dataset", "emotion", "-d", "512", "-n", "7", "-size", "24",
+		"-model", model, "-workers", "2", "-stats", "-stats-json", snapPath}); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if snap.Schema != obs.Schema {
+		t.Fatalf("schema = %q, want %q", snap.Schema, obs.Schema)
+	}
+	for _, stage := range []string{"extract", "predict"} {
+		st, ok := snap.Stages[stage]
+		if !ok || st.Count == 0 {
+			t.Fatalf("stage %q missing from snapshot: %+v", stage, snap.Stages)
+		}
+	}
+	if snap.Counters[`hdface_stoch_ops_total{op="avg"}`] == 0 {
+		t.Fatal("stochastic op counters not recorded")
+	}
+	if snap.Gauges["hdface_pipeline_workers"] != 2 {
+		t.Fatalf("workers gauge = %v, want 2", snap.Gauges["hdface_pipeline_workers"])
+	}
+	if snap.Meta["cmd"] != "eval" {
+		t.Fatalf("meta = %+v", snap.Meta)
 	}
 }

@@ -38,7 +38,18 @@ import (
 	"hdface/internal/hog"
 	"hdface/internal/hv"
 	"hdface/internal/imgproc"
+	"hdface/internal/obs"
 	"hdface/internal/stoch"
+)
+
+// Pipeline-level observability: stage spans cover the coarse phases
+// (extract, encode, fit, evaluate; internal/hdc adds hdc_bootstrap,
+// hdc_adaptive and predict), while the worker gauge records the effective
+// extraction parallelism. All of it is inert unless obs is enabled.
+var (
+	obsWorkers = obs.NewGauge("hdface_pipeline_workers", "configured feature-extraction parallelism")
+	obsImages  = obs.NewCounter("hdface_pipeline_images_total", "images run through feature extraction")
+	obsEncMACs = obs.NewCounter("hdface_pipeline_encoder_macs_total", "projection-encoder multiply-accumulates")
 )
 
 // Image is the grayscale raster type consumed by pipelines.
@@ -148,6 +159,7 @@ type Pipeline struct {
 // New builds a pipeline from the configuration.
 func New(cfg Config) *Pipeline {
 	cfg = cfg.withDefaults()
+	obsWorkers.Set(float64(cfg.Workers))
 	p := &Pipeline{cfg: cfg, hogParams: hog.DefaultParams()}
 	switch cfg.Mode {
 	case ModeStochHOG, ModeStochHAAR, ModeStochConv:
@@ -200,6 +212,10 @@ func (p *Pipeline) ensureEncoder(img *Image) {
 
 // Feature maps one image to its hypervector.
 func (p *Pipeline) Feature(img *Image) *hv.Vector {
+	sp := obs.StartSpan("extract")
+	defer sp.End()
+	sp.AddItems(1)
+	obsImages.Inc()
 	img = p.prepare(img)
 	switch p.cfg.Mode {
 	case ModeStochHOG:
@@ -221,10 +237,24 @@ func (p *Pipeline) Feature(img *Image) *hv.Vector {
 		e := hog.New(p.hogParams)
 		feats := e.Features(img)
 		p.hogStats.Add(e.Stats)
-		v := p.enc.Encode(feats)
-		p.encMACs += int64(p.enc.D()) * int64(p.enc.Features())
+		v := p.encode(feats)
 		return v
 	}
+}
+
+// encode maps an original-space feature vector to hyperspace through the
+// projection encoder, under its own stage span.
+func (p *Pipeline) encode(feats []float64) *hv.Vector {
+	sp := obs.StartSpan("encode")
+	defer sp.End()
+	sp.AddItems(1)
+	v := p.enc.Encode(feats)
+	macs := int64(p.enc.D()) * int64(p.enc.Features())
+	p.mu.Lock()
+	p.encMACs += macs
+	p.mu.Unlock()
+	obsEncMACs.Add(macs)
+	return v
 }
 
 // harvest folds a (possibly forked) extractor's counters into the pipeline.
@@ -254,12 +284,16 @@ func (p *Pipeline) Features(imgs []*Image) []*hv.Vector {
 	if len(imgs) == 0 {
 		return out
 	}
+	sp := obs.StartSpan("extract_batch")
+	defer sp.End()
+	sp.AddItems(int64(len(imgs)))
 	workers := p.cfg.Workers
 	if workers > len(imgs) {
 		workers = len(imgs)
 	}
 	switch p.cfg.Mode {
 	case ModeStochHOG:
+		obsImages.Add(int64(len(imgs)))
 		// Pre-warm positional IDs so forks never mutate shared state.
 		probe := p.prepare(imgs[0])
 		p.hdExt.WarmIDs(probe.W, probe.H)
@@ -288,6 +322,7 @@ func (p *Pipeline) Features(imgs []*Image) []*hv.Vector {
 		return out
 	}
 	// ModeOrigHOG: encoder is shared read-only after creation.
+	obsImages.Add(int64(len(imgs)))
 	p.ensureEncoder(p.prepare(imgs[0]))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -296,16 +331,13 @@ func (p *Pipeline) Features(imgs []*Image) []*hv.Vector {
 		go func(w int) {
 			defer wg.Done()
 			e := hog.New(p.hogParams)
-			var macs int64
 			for i := w; i < len(imgs); i += workers {
 				img := p.prepare(imgs[i])
 				feats := e.Features(img)
-				out[i] = p.enc.Encode(feats)
-				macs += int64(p.enc.D()) * int64(p.enc.Features())
+				out[i] = p.encode(feats)
 			}
 			mu.Lock()
 			p.hogStats.Add(e.Stats)
-			p.encMACs += macs
 			mu.Unlock()
 		}(w)
 	}
@@ -318,6 +350,9 @@ func (p *Pipeline) Fit(imgs []*Image, labels []int, numClasses int) error {
 	if len(imgs) == 0 || len(imgs) != len(labels) {
 		return fmt.Errorf("hdface: %d images vs %d labels", len(imgs), len(labels))
 	}
+	sp := obs.StartSpan("fit")
+	defer sp.End()
+	sp.AddItems(int64(len(imgs)))
 	feats := p.Features(imgs)
 	opts := p.cfg.Train
 	if opts.Seed == 0 {
@@ -363,6 +398,9 @@ func (p *Pipeline) Evaluate(imgs []*Image, labels []int) float64 {
 	if len(imgs) == 0 {
 		return 0
 	}
+	sp := obs.StartSpan("evaluate")
+	defer sp.End()
+	sp.AddItems(int64(len(imgs)))
 	feats := p.Features(imgs)
 	return p.model.Accuracy(feats, labels)
 }

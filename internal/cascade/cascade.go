@@ -13,10 +13,40 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"hdface/internal/haar"
 	"hdface/internal/imgproc"
+	"hdface/internal/obs"
 )
+
+// Observability series for the attentional cascade. Rejections are counted
+// per cascade stage (lazily created, one labelled series per stage index)
+// so the early-rejection economy — most windows dying in the cheap first
+// stages — is visible in the -stats report. They record nothing unless obs
+// is enabled.
+var (
+	obsCWindows   = obs.NewCounter("hdface_cascade_windows_total", "windows classified by the cascade")
+	obsCAccepts   = obs.NewCounter("hdface_cascade_accepts_total", "windows accepted by every cascade stage")
+	obsCFeatEvals = obs.NewCounter("hdface_cascade_feature_evals_total", "HAAR feature evaluations during classification")
+
+	stageRejectsMu sync.Mutex
+	stageRejects   []*obs.Counter
+)
+
+// stageRejectCounter returns the labelled rejection counter for cascade
+// stage i, creating intermediate stages as needed. Only called when obs is
+// enabled, keeping fmt and the lock off the disabled path.
+func stageRejectCounter(i int) *obs.Counter {
+	stageRejectsMu.Lock()
+	defer stageRejectsMu.Unlock()
+	for len(stageRejects) <= i {
+		stageRejects = append(stageRejects, obs.NewCounter(
+			fmt.Sprintf(`hdface_cascade_stage_rejections_total{stage="%d"}`, len(stageRejects)),
+			"windows rejected at this cascade stage"))
+	}
+	return stageRejects[i]
+}
 
 // Stump is a one-feature threshold classifier: sign * (x[Feature] - Thresh).
 type Stump struct {
@@ -261,11 +291,17 @@ func (d *Detector) Classify(img *imgproc.Image) bool {
 	ext := haar.Extractor{Win: d.Win, Bank: d.Bank}
 	x := ext.Features(img)
 	d.FeatureEvals += int64(len(x))
-	for _, st := range d.Stages {
+	obsCWindows.Inc()
+	obsCFeatEvals.Add(int64(len(x)))
+	for i, st := range d.Stages {
 		if st.Score(x) < 0 {
+			if obs.Enabled() {
+				stageRejectCounter(i).Inc()
+			}
 			return false
 		}
 	}
+	obsCAccepts.Inc()
 	return true
 }
 

@@ -10,6 +10,18 @@ import (
 	"sort"
 
 	"hdface/internal/imgproc"
+	"hdface/internal/obs"
+)
+
+// Observability series for the sliding-window sweep: how many windows the
+// pyramid produced, how many the scorer accepted, and what NMS kept. They
+// record nothing unless obs is enabled.
+var (
+	obsWindows    = obs.NewCounter("hdface_detect_windows_scanned_total", "windows scored across all pyramid levels")
+	obsHits       = obs.NewCounter("hdface_detect_windows_hit_total", "windows the scorer accepted")
+	obsNMSIn      = obs.NewCounter("hdface_detect_nms_input_total", "boxes entering non-maximum suppression")
+	obsNMSKept    = obs.NewCounter("hdface_detect_nms_survivors_total", "boxes surviving non-maximum suppression")
+	obsRunWindows = obs.NewHistogram("hdface_detect_windows_per_run", "windows scanned per detection sweep", obs.SizeBuckets)
 )
 
 // Box is one detection in original-image coordinates.
@@ -76,6 +88,9 @@ func (p Params) withDefaults() Params {
 // detections in original coordinates, best score first.
 func Run(img *imgproc.Image, score Scorer, p Params) []Box {
 	p = p.withDefaults()
+	sp := obs.StartSpan("detect_sweep")
+	defer sp.End()
+	var windows int64
 	var raw []Box
 	for _, s := range p.Scales {
 		if s <= 0 {
@@ -92,10 +107,12 @@ func Run(img *imgproc.Image, score Scorer, p Params) []Box {
 		}
 		for y := 0; y+p.Win <= level.H; y += p.Stride {
 			for x := 0; x+p.Win <= level.W; x += p.Stride {
+				windows++
 				hit, conf := score(level.Crop(x, y, p.Win, p.Win))
 				if !hit {
 					continue
 				}
+				obsHits.Inc()
 				raw = append(raw, Box{
 					X0:    int(float64(x) * s),
 					Y0:    int(float64(y) * s),
@@ -107,6 +124,9 @@ func Run(img *imgproc.Image, score Scorer, p Params) []Box {
 			}
 		}
 	}
+	obsWindows.Add(windows)
+	obsRunWindows.Observe(float64(windows))
+	sp.AddItems(windows)
 	if p.NMSIoU < 0 {
 		sort.Slice(raw, func(i, j int) bool { return raw[i].Score > raw[j].Score })
 		return raw
@@ -118,6 +138,7 @@ func Run(img *imgproc.Image, score Scorer, p Params) []Box {
 // descending score order; any remaining box overlapping a kept box by at
 // least iou is dropped.
 func NMS(boxes []Box, iou float64) []Box {
+	obsNMSIn.Add(int64(len(boxes)))
 	sorted := append([]Box(nil), boxes...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
 	var kept []Box
@@ -133,6 +154,7 @@ func NMS(boxes []Box, iou float64) []Box {
 			kept = append(kept, b)
 		}
 	}
+	obsNMSKept.Add(int64(len(kept)))
 	return kept
 }
 

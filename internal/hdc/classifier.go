@@ -16,6 +16,18 @@ import (
 	"math"
 
 	"hdface/internal/hv"
+	"hdface/internal/obs"
+)
+
+// Observability counters: live, process-global mirrors of the per-model
+// Stats fields, so training and inference work is visible while a run is
+// still in flight. They record nothing unless obs is enabled.
+var (
+	obsSims      = obs.NewCounter("hdface_hdc_similarities_total", "query/class similarity evaluations")
+	obsBootAdds  = obs.NewCounter("hdface_hdc_bootstrap_adds_total", "bootstrap class-vector accumulations")
+	obsBootSkips = obs.NewCounter("hdface_hdc_bootstrap_skips_total", "bootstrap samples skipped as redundant")
+	obsAdaptive  = obs.NewCounter("hdface_hdc_adaptive_updates_total", "adaptive (retrain) class-vector updates")
+	obsEpochs    = obs.NewCounter("hdface_hdc_epochs_total", "adaptive refinement epochs run")
 )
 
 // TrainOpts configures Train.
@@ -126,11 +138,15 @@ func (m *Model) Scores(v *hv.Vector) []float64 {
 		out[c] = m.cos(c, v)
 		m.Stats.Similarities++
 	}
+	obsSims.Add(int64(m.K))
 	return out
 }
 
 // Predict returns the class with the highest similarity to v.
 func (m *Model) Predict(v *hv.Vector) int {
+	sp := obs.StartSpan("predict")
+	defer sp.End()
+	sp.AddItems(1)
 	scores := m.Scores(v)
 	best := 0
 	for c, s := range scores {
@@ -148,10 +164,14 @@ func (m *Model) PredictBinary(v *hv.Vector) int {
 	if m.Bin == nil {
 		panic("hdc: PredictBinary before Finalize")
 	}
+	sp := obs.StartSpan("predict_binary")
+	defer sp.End()
+	sp.AddItems(1)
 	best, bestSim := 0, math.Inf(-1)
 	for c, cv := range m.Bin {
 		sim := cv.HammingSim(v)
 		m.Stats.Similarities++
+		obsSims.Inc()
 		if sim > bestSim {
 			best, bestSim = c, sim
 		}
@@ -190,6 +210,8 @@ func Train(features []*hv.Vector, labels []int, k int, opts TrainOpts) *Model {
 	// Bootstrap pass: memorise each sample unless the model already
 	// recognises it with margin — the paper's "eliminates redundant
 	// information memorization ... to eliminate overfitting".
+	boot := obs.StartSpan("hdc_bootstrap")
+	boot.AddItems(int64(len(features)))
 	for i, f := range features {
 		y := labels[i]
 		scores := m.Scores(f)
@@ -201,15 +223,22 @@ func Train(features []*hv.Vector, labels []int, k int, opts TrainOpts) *Model {
 		}
 		if scores[y]-runnerUp >= opts.BootstrapMargin {
 			m.Stats.BootstrapSkips++
+			obsBootSkips.Inc()
 			continue
 		}
 		m.addScaled(y, f, opts.LR)
 		m.Stats.BootstrapAdds++
+		obsBootAdds.Inc()
 	}
+	boot.End()
 
 	// Adaptive refinement: mistake-weighted bidirectional updates.
+	adapt := obs.StartSpan("hdc_adaptive")
+	defer adapt.End()
 	for e := 0; e < opts.Epochs; e++ {
 		m.Stats.Epochs++
+		obsEpochs.Inc()
+		adapt.AddItems(int64(len(features)))
 		mistakes := 0
 		for i, f := range features {
 			y := labels[i]
@@ -233,6 +262,7 @@ func Train(features []*hv.Vector, labels []int, k int, opts TrainOpts) *Model {
 						w := 0.5 * opts.LR * (opts.Margin - gap) / opts.Margin
 						m.addScaled(y, f, w)
 						m.Stats.AdaptiveSteps++
+						obsAdaptive.Inc()
 					}
 				}
 				continue
@@ -243,6 +273,7 @@ func Train(features []*hv.Vector, labels []int, k int, opts TrainOpts) *Model {
 			m.addScaled(y, f, w)
 			m.addScaled(pred, f, -w)
 			m.Stats.AdaptiveSteps++
+			obsAdaptive.Inc()
 		}
 		if mistakes == 0 {
 			break

@@ -32,6 +32,7 @@ import (
 
 	"hdface/internal/hv"
 	"hdface/internal/imgproc"
+	"hdface/internal/obs"
 	"hdface/internal/stoch"
 )
 
@@ -374,6 +375,12 @@ const weightScale = 64
 // that buries fine class margins under the 1/sqrt(D) sampling noise.
 func (e *Extractor) Feature(img *imgproc.Image) *hv.Vector {
 	cells := e.CellHistogramHVs(img)
+	// The bundling below is the stoch-mode counterpart of the projection
+	// encoder: it maps the extracted histogram into the final feature
+	// hypervector, so it carries the "encode" stage span.
+	sp := obs.StartSpan("encode")
+	defer sp.End()
+	sp.AddItems(1)
 	d := e.codec.D()
 	acc := hv.NewAccumulator(d)
 	bound := hv.New(d)

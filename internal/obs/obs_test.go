@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentHammer pounds every metric kind from many goroutines; run
+// under -race (scripts/check.sh does) to prove the registry is
+// concurrency-safe, and check the totals to prove no update is lost.
+func TestConcurrentHammer(t *testing.T) {
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	c := NewCounter("hammer_total", "t")
+	g := NewGauge("hammer_gauge", "t")
+	h := NewHistogram("hammer_hist", "t", []float64{1, 10, 100})
+
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(w))
+				h.Observe(float64(i % 20))
+				sp := StartSpan("hammer_stage")
+				sp.AddItems(1)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	snap := TakeSnapshot()
+	st := snap.Stages["hammer_stage"]
+	if st.Count != workers*iters || st.Items != workers*iters {
+		t.Fatalf("stage = %+v, want count=items=%d", st, workers*iters)
+	}
+	if g.Value() >= workers {
+		t.Fatalf("gauge = %v, want < %d", g.Value(), workers)
+	}
+	var sum int64
+	hs := snap.Histograms["hammer_hist"]
+	for _, n := range hs.Counts {
+		sum += n
+	}
+	if sum != hs.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, hs.Count)
+	}
+}
+
+// TestHistogramBuckets pins down bucket placement: values land in the
+// first bucket whose upper bound is >= the value, overflow in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	h := NewHistogram("bucket_hist", "t", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 2, 10, 11} {
+		h.Observe(v)
+	}
+	snap := TakeSnapshot().Histograms["bucket_hist"]
+	want := []int64{2, 2, 1} // {0.5,1}, {2,10}, {11}
+	if !reflect.DeepEqual(snap.Counts, want) {
+		t.Fatalf("counts = %v, want %v", snap.Counts, want)
+	}
+	if snap.Sum != 24.5 || snap.Count != 5 {
+		t.Fatalf("sum/count = %v/%d", snap.Sum, snap.Count)
+	}
+}
+
+// TestSnapshotDeterminism: with recording quiesced, repeated snapshots are
+// identical, and the JSON form round-trips losslessly through
+// encoding/json (the -stats-json acceptance criterion).
+func TestSnapshotDeterminism(t *testing.T) {
+	Enable()
+	NewCounter("det_total", "t").Add(42)
+	NewGauge("det_gauge", "t").Set(2.5)
+	NewHistogram("det_hist", "t", []float64{0.5, 5}).Observe(0.25)
+	getStage("det_stage").record(1_500_000_000, 10, 3, 4096)
+	Disable()
+	defer Reset()
+
+	a, b := TakeSnapshot(), TakeSnapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("consecutive snapshots differ")
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("JSON marshalling is not deterministic")
+	}
+	var back Snapshot
+	if err := json.Unmarshal(ja, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, back) {
+		t.Fatalf("JSON round-trip lost data:\n got %+v\nwant %+v", back, a)
+	}
+	st := a.Stages["det_stage"]
+	if st.TotalSeconds != 1.5 || st.MeanSeconds != 1.5 || st.Items != 10 || st.AllocBytes != 4096 {
+		t.Fatalf("stage snapshot = %+v", st)
+	}
+}
+
+// TestPrometheusGolden checks the exposition writer against a literal
+// snapshot, covering label folding, cumulative buckets and stage export.
+func TestPrometheusGolden(t *testing.T) {
+	snap := Snapshot{
+		Schema: Schema,
+		Counters: map[string]int64{
+			`test_ops_total{op="mul"}`: 3,
+			`test_ops_total{op="add"}`: 5,
+			"test_plain_total":         7,
+		},
+		Gauges: map[string]float64{"test_workers": 4},
+		Histograms: map[string]HistogramSnapshot{
+			"test_latency_seconds": {
+				Bounds: []float64{0.1, 1},
+				Counts: []int64{2, 1, 1},
+				Count:  4,
+				Sum:    2.5,
+			},
+		},
+		Stages: map[string]StageSnapshot{
+			"extract": {Count: 2, Items: 10, TotalSeconds: 1.5, MeanSeconds: 0.75, MaxSeconds: 1},
+		},
+	}
+	var sb strings.Builder
+	if _, err := snap.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE test_ops_total counter
+test_ops_total{op="add"} 5
+test_ops_total{op="mul"} 3
+# TYPE test_plain_total counter
+test_plain_total 7
+# TYPE test_workers gauge
+test_workers 4
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 2
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 2.5
+test_latency_seconds_count 4
+# TYPE hdface_stage_calls_total counter
+hdface_stage_calls_total{stage="extract"} 2
+# TYPE hdface_stage_seconds_total counter
+hdface_stage_seconds_total{stage="extract"} 1.5
+# TYPE hdface_stage_items_total counter
+hdface_stage_items_total{stage="extract"} 10
+# TYPE hdface_stage_max_seconds gauge
+hdface_stage_max_seconds{stage="extract"} 1
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestWriteToSmoke exercises the package-level registry exposition.
+func TestWriteToSmoke(t *testing.T) {
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	NewCounter("smoke_total", "t").Inc()
+	var sb strings.Builder
+	if _, err := WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "smoke_total 1") {
+		t.Fatalf("exposition missing series:\n%s", sb.String())
+	}
+}
+
+// TestDisabledRecordsNothing: with instrumentation off, recording calls
+// are dropped and spans are nil.
+func TestDisabledRecordsNothing(t *testing.T) {
+	Disable()
+	defer Reset()
+	c := NewCounter("off_total", "t")
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("disabled counter recorded")
+	}
+	h := NewHistogram("off_hist", "t", nil)
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Fatal("disabled histogram recorded")
+	}
+	if sp := StartSpan("off_stage"); sp != nil {
+		t.Fatal("disabled StartSpan returned a live span")
+	}
+	if _, ok := TakeSnapshot().Stages["off_stage"]; ok {
+		t.Fatal("disabled span registered a stage")
+	}
+}
+
+// TestDisabledPathAllocFree is the regression test for the disabled fast
+// path: counters, gauges, histograms and spans must not allocate when
+// instrumentation is off, so tier-1 benchmarks are unaffected.
+func TestDisabledPathAllocFree(t *testing.T) {
+	Disable()
+	c := NewCounter("alloc_total", "t")
+	g := NewGauge("alloc_gauge", "t")
+	h := NewHistogram("alloc_hist", "t", nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(0.5)
+		sp := StartSpan("alloc_stage")
+		sp.AddItems(1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestReset clears values but keeps handles usable.
+func TestReset(t *testing.T) {
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	c := NewCounter("reset_total", "t")
+	c.Add(9)
+	StartSpan("reset_stage").End()
+	Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset did not zero the counter")
+	}
+	if len(TakeSnapshot().Stages) != 0 {
+		t.Fatal("Reset did not drop stages")
+	}
+	c.Inc() // handle still live
+	if c.Value() != 1 {
+		t.Fatal("handle dead after Reset")
+	}
+}
+
+// TestIdempotentRegistration: same name returns the same handle.
+func TestIdempotentRegistration(t *testing.T) {
+	defer Reset()
+	if NewCounter("idem_total", "a") != NewCounter("idem_total", "b") {
+		t.Fatal("duplicate counter registration")
+	}
+	if NewGauge("idem_gauge", "a") != NewGauge("idem_gauge", "b") {
+		t.Fatal("duplicate gauge registration")
+	}
+	if NewHistogram("idem_hist", "a", nil) != NewHistogram("idem_hist", "b", []float64{1}) {
+		t.Fatal("duplicate histogram registration")
+	}
+}
+
+// TestWriteReportSmoke: the human report mentions stages and counters.
+func TestWriteReportSmoke(t *testing.T) {
+	snap := Snapshot{
+		Schema:   Schema,
+		Counters: map[string]int64{"rep_total": 12},
+		Gauges:   map[string]float64{"rep_gauge": 3},
+		Stages: map[string]StageSnapshot{
+			"extract": {Count: 4, Items: 4, TotalSeconds: 0.5, MeanSeconds: 0.125, MaxSeconds: 0.25},
+		},
+	}
+	var sb strings.Builder
+	if err := snap.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"extract", "rep_total", "rep_gauge", "== stages =="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

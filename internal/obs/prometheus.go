@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteTo writes the current registry state in Prometheus text exposition
+// format (the CLI's -pprof server mounts this under /metrics).
+func WriteTo(w io.Writer) (int64, error) {
+	return TakeSnapshot().WritePrometheus(w)
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format, version 0.0.4. Output is deterministic: families and series are
+// sorted, histogram buckets are cumulative, and stage records are exported
+// as hdface_stage_* series labelled by stage name.
+func (s Snapshot) WritePrometheus(w io.Writer) (int64, error) {
+	var b strings.Builder
+
+	writeFamilies(&b, "counter", s.Counters, func(v int64) string {
+		return strconv.FormatInt(v, 10)
+	})
+	writeFamilies(&b, "gauge", s.Gauges, formatFloat)
+
+	histNames := sortedKeys(s.Histograms)
+	seenHist := map[string]bool{}
+	for _, name := range histNames {
+		h := s.Histograms[name]
+		family, labels := splitSeries(name)
+		if !seenHist[family] {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", family)
+			seenHist[family] = true
+		}
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n",
+				family, labelPrefix(labels), formatFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{%sle=\"+Inf\"} %d\n", family, labelPrefix(labels), h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", family, wrapLabels(labels), formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", family, wrapLabels(labels), h.Count)
+	}
+
+	stageNames := sortedKeys(s.Stages)
+	if len(stageNames) > 0 {
+		fmt.Fprintln(&b, "# TYPE hdface_stage_calls_total counter")
+		for _, n := range stageNames {
+			fmt.Fprintf(&b, "hdface_stage_calls_total{stage=%q} %d\n", n, s.Stages[n].Count)
+		}
+		fmt.Fprintln(&b, "# TYPE hdface_stage_seconds_total counter")
+		for _, n := range stageNames {
+			fmt.Fprintf(&b, "hdface_stage_seconds_total{stage=%q} %s\n", n, formatFloat(s.Stages[n].TotalSeconds))
+		}
+		fmt.Fprintln(&b, "# TYPE hdface_stage_items_total counter")
+		for _, n := range stageNames {
+			fmt.Fprintf(&b, "hdface_stage_items_total{stage=%q} %d\n", n, s.Stages[n].Items)
+		}
+		fmt.Fprintln(&b, "# TYPE hdface_stage_max_seconds gauge")
+		for _, n := range stageNames {
+			fmt.Fprintf(&b, "hdface_stage_max_seconds{stage=%q} %s\n", n, formatFloat(s.Stages[n].MaxSeconds))
+		}
+		var withAllocs []string
+		for _, n := range stageNames {
+			if s.Stages[n].Mallocs > 0 || s.Stages[n].AllocBytes > 0 {
+				withAllocs = append(withAllocs, n)
+			}
+		}
+		if len(withAllocs) > 0 {
+			fmt.Fprintln(&b, "# TYPE hdface_stage_mallocs_total counter")
+			for _, n := range withAllocs {
+				fmt.Fprintf(&b, "hdface_stage_mallocs_total{stage=%q} %d\n", n, s.Stages[n].Mallocs)
+			}
+			fmt.Fprintln(&b, "# TYPE hdface_stage_alloc_bytes_total counter")
+			for _, n := range withAllocs {
+				fmt.Fprintf(&b, "hdface_stage_alloc_bytes_total{stage=%q} %d\n", n, s.Stages[n].AllocBytes)
+			}
+		}
+	}
+
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// writeFamilies emits one flat metric kind (counters or gauges), grouping
+// label-carrying series under a single TYPE line per family.
+func writeFamilies[V int64 | float64](b *strings.Builder, kind string, series map[string]V, format func(V) string) {
+	type entry struct{ family, labels, name string }
+	entries := make([]entry, 0, len(series))
+	for name := range series {
+		family, labels := splitSeries(name)
+		entries = append(entries, entry{family, labels, name})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].family != entries[j].family {
+			return entries[i].family < entries[j].family
+		}
+		return entries[i].labels < entries[j].labels
+	})
+	lastFamily := ""
+	for _, e := range entries {
+		if e.family != lastFamily {
+			fmt.Fprintf(b, "# TYPE %s %s\n", e.family, kind)
+			lastFamily = e.family
+		}
+		fmt.Fprintf(b, "%s%s %s\n", e.family, wrapLabels(e.labels), format(series[e.name]))
+	}
+}
+
+// labelPrefix returns `labels,` when labels is non-empty, for merging with
+// a trailing le label.
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// wrapLabels re-braces an embedded label set, or returns "" when empty.
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns the sorted key set of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Schema identifies the snapshot JSON layout; bump on breaking changes.
+// EXPERIMENTS.md documents the schema for trajectory tooling.
+const Schema = "hdface-obs/v1"
+
+// Snapshot is a point-in-time copy of the whole registry: a typed,
+// JSON-serialisable struct with deterministic marshalling (encoding/json
+// sorts map keys). Zero-valued series are included so schemas stay stable
+// across runs that exercise different paths.
+type Snapshot struct {
+	Schema     string                       `json:"schema"`
+	Meta       map[string]string            `json:"meta,omitempty"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Stages     map[string]StageSnapshot     `json:"stages"`
+}
+
+// HistogramSnapshot is one histogram's state. Counts has len(Bounds)+1
+// entries; the last is the +Inf overflow bucket. Counts are per-bucket
+// (not cumulative); the Prometheus writer accumulates them.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// StageSnapshot is one stage's aggregated span record.
+type StageSnapshot struct {
+	Count        int64   `json:"count"`
+	Items        int64   `json:"items,omitempty"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+	Mallocs      int64   `json:"mallocs,omitempty"`
+	AllocBytes   int64   `json:"alloc_bytes,omitempty"`
+}
+
+// TakeSnapshot copies the current registry state. It is safe to call
+// concurrently with recording; each series is read atomically (the
+// snapshot as a whole is not a single consistent cut, which only matters
+// while load is actively running).
+func TakeSnapshot() Snapshot {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	s := Snapshot{
+		Schema:     Schema,
+		Counters:   make(map[string]int64, len(reg.counts)),
+		Gauges:     make(map[string]float64, len(reg.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(reg.hists)),
+		Stages:     make(map[string]StageSnapshot, len(reg.stages)),
+	}
+	for name, c := range reg.counts {
+		s.Counters[name] = c.v.Load()
+	}
+	for name, g := range reg.gauges {
+		s.Gauges[name] = math.Float64frombits(g.bits.Load())
+	}
+	for name, h := range reg.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.count.Load(),
+			Sum:    math.Float64frombits(h.sumBits.Load()),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	for name, st := range reg.stages {
+		count := st.count.Load()
+		total := float64(st.totalNS.Load()) / 1e9
+		ss := StageSnapshot{
+			Count:        count,
+			Items:        st.items.Load(),
+			TotalSeconds: total,
+			MaxSeconds:   float64(st.maxNS.Load()) / 1e9,
+			Mallocs:      st.mallocs.Load(),
+			AllocBytes:   st.allocBytes.Load(),
+		}
+		if count > 0 {
+			ss.MeanSeconds = total / float64(count)
+		}
+		s.Stages[name] = ss
+	}
+	return s
+}
+
+// WriteReport prints the human-readable per-stage report behind the CLI's
+// -stats flag: a stage timing table (busiest first), then non-zero
+// counters, gauges and histogram summaries.
+func (s Snapshot) WriteReport(w io.Writer) error {
+	names := make([]string, 0, len(s.Stages))
+	for n := range s.Stages {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := s.Stages[names[i]], s.Stages[names[j]]
+		if a.TotalSeconds != b.TotalSeconds {
+			return a.TotalSeconds > b.TotalSeconds
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > 0 {
+		if _, err := fmt.Fprintf(w, "== stages ==\n%-24s %8s %12s %12s %12s %10s\n",
+			"stage", "calls", "total", "mean", "max", "items"); err != nil {
+			return err
+		}
+		for _, n := range names {
+			st := s.Stages[n]
+			line := fmt.Sprintf("%-24s %8d %12s %12s %12s %10d",
+				n, st.Count, fmtSeconds(st.TotalSeconds), fmtSeconds(st.MeanSeconds),
+				fmtSeconds(st.MaxSeconds), st.Items)
+			if st.Mallocs > 0 {
+				line += fmt.Sprintf("  %d allocs / %s", st.Mallocs, fmtBytes(st.AllocBytes))
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+
+	var counterNames []string
+	for n, v := range s.Counters {
+		if v != 0 {
+			counterNames = append(counterNames, n)
+		}
+	}
+	sort.Strings(counterNames)
+	if len(counterNames) > 0 {
+		if _, err := fmt.Fprintln(w, "== counters =="); err != nil {
+			return err
+		}
+		for _, n := range counterNames {
+			if _, err := fmt.Fprintf(w, "%-56s %14d\n", n, s.Counters[n]); err != nil {
+				return err
+			}
+		}
+	}
+
+	var gaugeNames []string
+	for n, v := range s.Gauges {
+		if v != 0 {
+			gaugeNames = append(gaugeNames, n)
+		}
+	}
+	sort.Strings(gaugeNames)
+	if len(gaugeNames) > 0 {
+		if _, err := fmt.Fprintln(w, "== gauges =="); err != nil {
+			return err
+		}
+		for _, n := range gaugeNames {
+			if _, err := fmt.Fprintf(w, "%-56s %14g\n", n, s.Gauges[n]); err != nil {
+				return err
+			}
+		}
+	}
+
+	var histNames []string
+	for n, h := range s.Histograms {
+		if h.Count != 0 {
+			histNames = append(histNames, n)
+		}
+	}
+	sort.Strings(histNames)
+	if len(histNames) > 0 {
+		if _, err := fmt.Fprintln(w, "== histograms =="); err != nil {
+			return err
+		}
+		for _, n := range histNames {
+			h := s.Histograms[n]
+			if _, err := fmt.Fprintf(w, "%-56s n=%d mean=%g\n", n, h.Count, h.Sum/float64(h.Count)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fmtSeconds renders a duration in seconds with a human unit.
+func fmtSeconds(s float64) string {
+	d := time.Duration(s * 1e9)
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	case d < time.Minute:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+	return d.Round(time.Millisecond).String()
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(b int64) string {
+	switch {
+	case b < 1<<10:
+		return fmt.Sprintf("%dB", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	}
+	return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+}
+
+// splitSeries splits a registered name into its metric family and embedded
+// label set: "x_total{op=\"mul\"}" -> ("x_total", `op="mul"`).
+func splitSeries(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// trackAllocs gates the (expensive) runtime.ReadMemStats capture around
+// spans; see SetTrackAllocs.
+var trackAllocs atomic.Bool
+
+// SetTrackAllocs switches per-span allocation accounting on or off. It is
+// off by default because ReadMemStats briefly stops the world; turn it on
+// only for profiling runs (the CLI's -stats-allocs flag). Deltas are
+// process-global, so concurrent spans attribute each other's allocations —
+// treat the numbers as indicative, exact only for serial phases.
+func SetTrackAllocs(on bool) { trackAllocs.Store(on) }
+
+// Stage aggregates every span recorded under one stage name: call count,
+// total/max wall time, item throughput and (when enabled) allocation
+// deltas. All fields are atomics, so spans from concurrent workers fold in
+// without locking.
+type Stage struct {
+	name       string
+	count      atomic.Int64
+	totalNS    atomic.Int64
+	maxNS      atomic.Int64
+	items      atomic.Int64
+	mallocs    atomic.Int64
+	allocBytes atomic.Int64
+}
+
+// getStage returns the stage registered under name, creating it on first
+// use. Unlike metric handles, stages are created lazily by StartSpan, so
+// only stages that actually ran appear in snapshots.
+func getStage(name string) *Stage {
+	reg.mu.RLock()
+	st, ok := reg.stages[name]
+	reg.mu.RUnlock()
+	if ok {
+		return st
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if st, ok = reg.stages[name]; ok {
+		return st
+	}
+	st = &Stage{name: name}
+	reg.stages[name] = st
+	return st
+}
+
+// record folds one finished span into the stage.
+func (st *Stage) record(durNS, items, mallocs, allocBytes int64) {
+	st.count.Add(1)
+	st.totalNS.Add(durNS)
+	for {
+		old := st.maxNS.Load()
+		if durNS <= old || st.maxNS.CompareAndSwap(old, durNS) {
+			break
+		}
+	}
+	st.items.Add(items)
+	st.mallocs.Add(mallocs)
+	st.allocBytes.Add(allocBytes)
+}
+
+// Span is one in-flight timed region. StartSpan returns nil when
+// instrumentation is disabled, and every method is nil-safe, so the
+// idiomatic call pattern costs a single atomic load on the disabled path:
+//
+//	sp := obs.StartSpan("extract")
+//	defer sp.End()
+type Span struct {
+	stage        *Stage
+	start        time.Time
+	items        int64
+	allocTracked bool
+	startMallocs uint64
+	startBytes   uint64
+}
+
+// StartSpan opens a span under the named stage. The returned span is nil
+// (a valid no-op) when instrumentation is disabled.
+func StartSpan(name string) *Span {
+	if !armed.Load() {
+		return nil
+	}
+	sp := &Span{stage: getStage(name), start: time.Now()}
+	if trackAllocs.Load() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		sp.allocTracked = true
+		sp.startMallocs = ms.Mallocs
+		sp.startBytes = ms.TotalAlloc
+	}
+	return sp
+}
+
+// AddItems attributes n processed items (images, windows, samples) to the
+// span, surfacing per-item throughput in the report.
+func (s *Span) AddItems(n int64) {
+	if s == nil {
+		return
+	}
+	s.items += n
+}
+
+// End closes the span and folds it into its stage.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := int64(time.Since(s.start))
+	var mallocs, bytes int64
+	if s.allocTracked {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mallocs = int64(ms.Mallocs - s.startMallocs)
+		bytes = int64(ms.TotalAlloc - s.startBytes)
+	}
+	s.stage.record(dur, s.items, mallocs, bytes)
+}

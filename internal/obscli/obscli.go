@@ -1,0 +1,96 @@
+// Package obscli wires the observability layer (internal/obs) into the
+// repo's command-line binaries with a shared flag set:
+//
+//	-stats           print a per-stage timing/counter report after the run
+//	-stats-json F    write the obs snapshot (schema hdface-obs/v1) to F
+//	-stats-allocs    record per-stage allocation deltas (implies -stats)
+//	-pprof ADDR      serve net/http/pprof plus Prometheus /metrics on ADDR
+//
+// All three hdface binaries register the same flags, so trajectory tooling
+// sees one snapshot schema regardless of which binary produced it (the
+// schema is documented in EXPERIMENTS.md).
+package obscli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+
+	"hdface/internal/obs"
+)
+
+// Flags carries the parsed observability flags of one binary invocation.
+type Flags struct {
+	Stats       bool
+	StatsJSON   string
+	StatsAllocs bool
+	PprofAddr   string
+	meta        map[string]string
+}
+
+// Register installs the shared observability flags on a flag set.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Stats, "stats", false, "print a per-stage timing/counter report after the run")
+	fs.StringVar(&f.StatsJSON, "stats-json", "", "write the observability snapshot as JSON to this path")
+	fs.BoolVar(&f.StatsAllocs, "stats-allocs", false, "record per-stage allocation deltas (slower; implies -stats)")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. :6060)")
+	return f
+}
+
+// Active reports whether any snapshot output was requested.
+func (f *Flags) Active() bool {
+	return f.Stats || f.StatsJSON != "" || f.StatsAllocs
+}
+
+// Activate enables instrumentation (and the pprof server) before the run.
+// meta is recorded verbatim into the snapshot for trajectory tooling. Call
+// it after flag parsing and before any pipeline construction, so
+// construction-time gauges (worker counts) are captured.
+func (f *Flags) Activate(meta map[string]string) {
+	f.meta = meta
+	if f.PprofAddr != "" {
+		obs.Enable() // live /metrics needs the registry recording
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			obs.WriteTo(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(f.PprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "obs: pprof server:", err)
+			}
+		}()
+	}
+	if f.Active() {
+		obs.Enable()
+		obs.SetTrackAllocs(f.StatsAllocs)
+	}
+}
+
+// Finish emits the requested reports after the run: the human report on
+// stdout and/or the JSON snapshot file.
+func (f *Flags) Finish() error {
+	if !f.Active() {
+		return nil
+	}
+	snap := obs.TakeSnapshot()
+	snap.Meta = f.meta
+	if f.Stats || f.StatsAllocs {
+		if err := snap.WriteReport(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if f.StatsJSON != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(f.StatsJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

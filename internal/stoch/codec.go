@@ -5,6 +5,23 @@ import (
 	"math"
 
 	"hdface/internal/hv"
+	"hdface/internal/obs"
+)
+
+// Per-primitive observability counters, mirroring the Stats fields so the
+// cost of stochastic arithmetic is attributable per primitive across all
+// live codecs (Stats is per-codec and harvested; these are process-global
+// and live). They record nothing unless obs is enabled.
+var (
+	obsConstructs = obs.NewCounter(`hdface_stoch_ops_total{op="construct"}`, "stochastic value constructions")
+	obsAverages   = obs.NewCounter(`hdface_stoch_ops_total{op="avg"}`, "stochastic weighted averages (incl. add/sub)")
+	obsMuls       = obs.NewCounter(`hdface_stoch_ops_total{op="mul"}`, "stochastic multiplications")
+	obsSqrts      = obs.NewCounter(`hdface_stoch_ops_total{op="sqrt"}`, "stochastic square roots")
+	obsDivs       = obs.NewCounter(`hdface_stoch_ops_total{op="div"}`, "stochastic divisions")
+	obsCompares   = obs.NewCounter(`hdface_stoch_ops_total{op="compare"}`, "stochastic comparisons")
+	obsDecodes    = obs.NewCounter(`hdface_stoch_ops_total{op="decode"}`, "hypervector decodes")
+	obsDecorrs    = obs.NewCounter(`hdface_stoch_ops_total{op="decorr"}`, "decorrelations")
+	obsWords      = obs.NewCounter("hdface_stoch_kernel_words_total", "64-bit words through bitwise kernels")
 )
 
 // Stats counts the primitive operations a Codec has executed. The hardware
@@ -165,6 +182,8 @@ func (c *Codec) Construct(a float64) *hv.Vector {
 	a = clamp(a)
 	c.Stats.Constructs++
 	c.Stats.MaskWords += int64((c.d + 63) / 64)
+	obsConstructs.Inc()
+	obsWords.Add(2 * int64((c.d+63)/64))
 	// Select from V1 with probability (1+a)/2, else from -V1. Selecting
 	// from -V1 means flipping, so the flip mask is Bernoulli((1-a)/2).
 	out := hv.NewRandBiased(c.rng, c.d, (1-a)/2)
@@ -177,12 +196,15 @@ func (c *Codec) Construct(a float64) *hv.Vector {
 func (c *Codec) Decode(v *hv.Vector) float64 {
 	c.Stats.Decodes++
 	c.Stats.PopWords += int64((c.d + 63) / 64)
+	obsDecodes.Inc()
+	obsWords.Add(int64((c.d + 63) / 64))
 	return v.Cos(c.one)
 }
 
 // Neg returns a fresh hypervector for -a given Va.
 func (c *Codec) Neg(v *hv.Vector) *hv.Vector {
 	c.Stats.XorWords += int64((c.d + 63) / 64)
+	obsWords.Add(int64((c.d + 63) / 64))
 	return v.Neg()
 }
 
@@ -196,6 +218,8 @@ func (c *Codec) WeightedAvg(p float64, a, b *hv.Vector) *hv.Vector {
 	w := int64((c.d + 63) / 64)
 	c.Stats.MaskWords += w
 	c.Stats.SelectWords += w
+	obsAverages.Inc()
+	obsWords.Add(2 * w)
 	c.mask.RandBiased(c.rng, p)
 	return hv.New(c.d).Select(c.mask, a, b)
 }
@@ -208,6 +232,7 @@ func (c *Codec) Add(a, b *hv.Vector) *hv.Vector {
 // Sub returns V_{(a-b)/2} — the scaled stochastic difference.
 func (c *Codec) Sub(a, b *hv.Vector) *hv.Vector {
 	c.Stats.XorWords += int64((c.d + 63) / 64)
+	obsWords.Add(int64((c.d + 63) / 64))
 	c.tmpA.Not(b)
 	return c.WeightedAvg(0.5, a, c.tmpA)
 }
@@ -217,6 +242,8 @@ func (c *Codec) Sub(a, b *hv.Vector) *hv.Vector {
 func (c *Codec) Mul(a, b *hv.Vector) *hv.Vector {
 	c.Stats.Muls++
 	c.Stats.XorWords += 2 * int64((c.d+63)/64)
+	obsMuls.Inc()
+	obsWords.Add(2 * int64((c.d+63)/64))
 	return hv.New(c.d).Xor3(c.one, a, b)
 }
 
@@ -229,6 +256,8 @@ func (c *Codec) Decorrelate(v *hv.Vector) *hv.Vector {
 	w := int64((c.d + 63) / 64)
 	c.Stats.XorWords += 2 * w
 	c.Stats.PermWords += w
+	obsDecorrs.Inc()
+	obsWords.Add(3 * w)
 	c.tmpA.Xor(v, c.one)
 	out := hv.New(c.d).Permute(c.tmpA, c.permStep)
 	return out.Xor(out, c.one)
@@ -246,6 +275,8 @@ func (c *Codec) DecorrelateShift(v *hv.Vector, k int) *hv.Vector {
 	w := int64((c.d + 63) / 64)
 	c.Stats.XorWords += 2 * w
 	c.Stats.PermWords += w
+	obsDecorrs.Inc()
+	obsWords.Add(3 * w)
 	c.tmpA.Xor(v, c.one)
 	out := hv.New(c.d).Permute(c.tmpA, k)
 	return out.Xor(out, c.one)
@@ -268,6 +299,7 @@ func (c *Codec) Scale(r float64, v *hv.Vector) *hv.Vector {
 // 0.5a (+) 0.5(-b).
 func (c *Codec) Compare(a, b *hv.Vector) int {
 	c.Stats.Compares++
+	obsCompares.Inc()
 	diff := c.Sub(a, b) // represents (a-b)/2
 	v := c.Decode(diff)
 	switch {
@@ -306,6 +338,7 @@ func (c *Codec) Abs(v *hv.Vector) *hv.Vector {
 // (within noise of zero) yield V_0.
 func (c *Codec) Sqrt(v *hv.Vector) *hv.Vector {
 	c.Stats.Sqrts++
+	obsSqrts.Inc()
 	low := c.Construct(0)
 	high := c.one.Clone()
 	var mid *hv.Vector
@@ -329,6 +362,7 @@ func (c *Codec) Sqrt(v *hv.Vector) *hv.Vector {
 // |m*b - a|. Signs are handled by searching on magnitudes.
 func (c *Codec) Div(a, b *hv.Vector) *hv.Vector {
 	c.Stats.Divs++
+	obsDivs.Inc()
 	sa, sb := c.Sign(a), c.Sign(b)
 	if sb == 0 {
 		// Division by (statistical) zero: saturate to the sign of a.
