@@ -6,6 +6,7 @@ package hdface_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"hdface"
@@ -270,7 +271,66 @@ func BenchmarkDetectRun(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		detect.Run(imgs[0], scorer, detect.Params{Win: 48, Stride: 24})
+		if _, err := detect.Run(imgs[0], scorer, detect.Params{Win: 48, Stride: 24}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectSweep prices a full HDFace detection sweep on a 512x512
+// scene at three pyramid scales — the workload the cell-grid engine
+// exists for. "serial" is the legacy path (crop + full re-extraction per
+// window through Pipeline.Feature); "cellgrid" reuses each level's cell
+// hypervectors across windows on one worker; "cellgrid-wN" adds the
+// worker pool.
+func BenchmarkDetectSweep(b *testing.B) {
+	imgs, labels := benchImages(16, 48)
+	p := hdface.New(hdface.Config{D: 2048, Seed: 21, Workers: 1, Stride: 3})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		b.Fatal(err)
+	}
+	scene := dataset.GenerateScene(512, 512, 48, 3, 22)
+	params := detect.Params{Win: 48, Stride: 24, Scales: []float64{1, 1.5, 2}, NMSIoU: 0.3}
+	model := p.Model()
+
+	b.Run("serial", func(b *testing.B) {
+		legacy := func(win *imgproc.Image) (bool, float64) {
+			sc := model.Scores(p.Feature(win))
+			return sc[1] > sc[0], sc[1] - sc[0]
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := detect.Run(scene.Image, legacy, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	workerCounts := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		name := "cellgrid"
+		if workers > 1 {
+			name = "cellgrid-w" + itoa(workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			scorer, err := p.DetectScorer(nil, 48)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pp := params
+			pp.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := detect.Sweep(scene.Image, scorer, pp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	if runtime.NumCPU() < 4 {
+		b.Log("host has fewer than 4 CPUs: the multi-worker sub-benchmark exercises the pool without wall-clock speedup")
 	}
 }
 

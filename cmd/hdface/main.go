@@ -336,12 +336,19 @@ func cmdDetect(args []string) error {
 		}
 		scaleList = append(scaleList, v)
 	}
-	scorer := func(window *imgproc.Image) (bool, float64) {
-		sc := model.Scores(p.Feature(window))
-		return sc[1] > sc[0], sc[1] - sc[0]
+	scorer, err := p.DetectScorer(model, *win)
+	if err != nil {
+		return err
 	}
-	boxes := detect.Run(img, scorer, detect.Params{
-		Win: *win, Stride: *stride, Scales: scaleList, NMSIoU: *nms})
+	boxes, stats, err := detect.Sweep(img, scorer, detect.Params{
+		Win: *win, Stride: *stride, Scales: scaleList, NMSIoU: *nms,
+		Workers: p.Config().Workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("swept %d windows over %d levels (%d level-prepared, %d crop-fallback, %d workers, %d levels skipped)\n",
+		stats.Windows, stats.Levels, stats.PreparedWindows, stats.FallbackWindows,
+		stats.Workers, stats.SkippedLevels)
 	overlay := img.Clone()
 	for _, b := range boxes {
 		overlay.StrokeRect(b.X0, b.Y0, b.X1, b.Y1, 255)

@@ -1,0 +1,210 @@
+package hdface
+
+import (
+	"fmt"
+
+	"hdface/internal/detect"
+	"hdface/internal/hdc"
+	"hdface/internal/hdhog"
+	"hdface/internal/hog"
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+	"hdface/internal/obs"
+)
+
+// Detection-scorer observability: how many sweep windows were assembled
+// from cached cell-grid hypervectors versus paid for a full per-window
+// extraction. A healthy StochHOG sweep is almost entirely grid windows;
+// fallback extractions signal a geometry mismatch (working size, stride
+// off the cell lattice) worth fixing.
+var (
+	obsGridWindows = obs.NewCounter("hdface_detect_grid_windows_total", "sweep windows assembled from cached cell-grid hypervectors")
+	obsFullWindows = obs.NewCounter("hdface_detect_full_extractions_total", "sweep windows that required a full per-window feature extraction")
+)
+
+// Seed salts separating the detection scorer's random streams from the
+// pipeline's training streams and from each other.
+const (
+	saltDetect = 0xdE7Ec7
+	saltLevel  = 0x11e7
+	saltGrid   = 0x611d
+)
+
+// FaceScorer adapts a trained binary pipeline to the detection sweep. It
+// implements detect.GridScorer: for ModeStochHOG it prepares each pyramid
+// level once as a hyperspace HOG cell grid and assembles window features
+// from the cached cell hypervectors, and it clones itself per sweep worker.
+// Every per-window random stream is reseeded from the window's deterministic
+// index, so sweep output is byte-identical for any worker count.
+//
+// The other modes still satisfy the contract — ScoreWindow extracts from
+// raw pixels — but their extractors share one codec stream, so Fork returns
+// nil and sweeps over them run single-worker.
+type FaceScorer struct {
+	p     *Pipeline
+	model *hdc.Model
+	win   int
+	// geom is the square geometry features are extracted at: the pipeline
+	// working size when configured (matching training), else the window.
+	geom int
+	seed uint64
+
+	ext *hog.Extractor   // ModeOrigHOG: private classical-HOG extractor
+	hd  *hdhog.Extractor // ModeStochHOG: private fork of the pipeline extractor
+}
+
+// DetectScorer builds a detection scorer over a trained binary model
+// (pass nil to use the pipeline's own model) for win-sized sweep windows.
+func (p *Pipeline) DetectScorer(model *hdc.Model, win int) (*FaceScorer, error) {
+	if model == nil {
+		model = p.model
+	}
+	if model == nil {
+		return nil, fmt.Errorf("hdface: DetectScorer needs a trained model")
+	}
+	if model.K != 2 {
+		return nil, fmt.Errorf("hdface: DetectScorer needs a binary face/non-face model, got %d classes", model.K)
+	}
+	if win <= 0 {
+		return nil, fmt.Errorf("hdface: window size %d must be positive", win)
+	}
+	s := &FaceScorer{
+		p:     p,
+		model: model,
+		win:   win,
+		geom:  win,
+		seed:  p.cfg.Seed ^ saltDetect,
+	}
+	if p.cfg.WorkingSize > 0 {
+		s.geom = p.cfg.WorkingSize
+	}
+	switch p.cfg.Mode {
+	case ModeStochHOG:
+		// Warm the positional IDs for the extraction geometry before any
+		// fork exists, so concurrent forks only ever read the shared map —
+		// and so detection uses the same positional IDs training did.
+		p.hdExt.WarmIDs(s.geom, s.geom)
+		s.hd = p.hdExt.Fork()
+	case ModeOrigHOG:
+		// Materialise the shared projection encoder now; afterwards it is
+		// read-only and fork-safe.
+		p.ensureEncoder(imgproc.NewImage(s.geom, s.geom))
+		s.ext = hog.New(p.hogParams)
+	}
+	return s, nil
+}
+
+// ScoreWindow classifies one cropped window, the detect.WindowScorer
+// fallback contract. Grid-capable sweeps only reach it when level
+// preparation was skipped.
+func (s *FaceScorer) ScoreWindow(win *imgproc.Image) (bool, float64) {
+	switch s.p.cfg.Mode {
+	case ModeStochHOG:
+		f := s.hd.Feature(s.sized(win))
+		s.p.harvest(s.hd)
+		obsFullWindows.Inc()
+		return s.model.ScoreBinary(f)
+	case ModeOrigHOG:
+		feats := s.ext.Features(s.sized(win))
+		s.p.mu.Lock()
+		s.p.hogStats.Add(s.ext.Stats)
+		s.ext.Stats = hog.Stats{}
+		s.p.mu.Unlock()
+		obsFullWindows.Inc()
+		return s.model.ScoreBinary(s.p.encode(feats))
+	default:
+		obsFullWindows.Inc()
+		return s.model.ScoreBinary(s.p.Feature(win))
+	}
+}
+
+// sized resizes a window to the extraction geometry if needed.
+func (s *FaceScorer) sized(img *imgproc.Image) *imgproc.Image {
+	if img.W != s.geom || img.H != s.geom {
+		return img.Resize(s.geom, s.geom)
+	}
+	return img
+}
+
+// Fork implements detect.Forker. Modes whose extractor state cannot be
+// cloned (HAAR and convolution share one codec stream) return nil, which
+// clamps the sweep to one worker.
+func (s *FaceScorer) Fork() detect.WindowScorer {
+	c := *s
+	switch s.p.cfg.Mode {
+	case ModeStochHOG:
+		c.hd = s.hd.Fork()
+	case ModeOrigHOG:
+		c.ext = hog.New(s.p.hogParams)
+	default:
+		return nil
+	}
+	return &c
+}
+
+// PrepareLevel implements detect.GridScorer. For ModeStochHOG every level
+// gets a LevelScorer whose per-window streams are keyed on (level, window
+// index); when the sweep geometry sits on the cell lattice it additionally
+// extracts the level's cell grid once, with workers-way parallelism, and
+// windows are assembled from cached cells. Other modes return nil and fall
+// back to ScoreWindow.
+func (s *FaceScorer) PrepareLevel(level *imgproc.Image, levelIdx, win, workers int) detect.LevelScorer {
+	if s.p.cfg.Mode != ModeStochHOG {
+		return nil
+	}
+	l := &faceLevelScorer{
+		s:       s,
+		ext:     s.hd.Fork(),
+		level:   level,
+		win:     win,
+		lvlSeed: hv.Mix64(s.seed, saltLevel+uint64(levelIdx)),
+	}
+	cs := s.hd.P.CellSize
+	// The cell grid yields features at exactly win x win, so it applies
+	// only when that matches the geometry the model was trained at, and
+	// when windows tile whole cells.
+	if win == s.win && win == s.geom && win%cs == 0 &&
+		level.W >= win && level.H >= win {
+		l.grid = l.ext.LevelGrid(level, hv.Mix64(l.lvlSeed, saltGrid), workers)
+		l.winCells = win / cs
+		s.p.harvest(l.ext)
+	}
+	return l
+}
+
+// faceLevelScorer scores one pyramid level for a StochHOG FaceScorer.
+type faceLevelScorer struct {
+	s        *FaceScorer
+	ext      *hdhog.Extractor
+	level    *imgproc.Image
+	grid     *hdhog.CellGrid // nil when the geometry is off the cell lattice
+	win      int
+	winCells int
+	lvlSeed  uint64
+}
+
+// ScoreAt scores the window at (x, y). The extractor reseeds from the
+// window index first, making the result a pure function of (scorer state,
+// level, index) — the determinism contract the parallel sweep relies on.
+func (l *faceLevelScorer) ScoreAt(x, y, idx int) (bool, float64) {
+	l.ext.Reseed(hv.Mix64(l.lvlSeed, uint64(idx)))
+	cs := l.ext.P.CellSize
+	var f *hv.Vector
+	if l.grid != nil && x%cs == 0 && y%cs == 0 {
+		f = l.ext.WindowFeature(l.grid, x/cs, y/cs, l.winCells)
+		obsGridWindows.Inc()
+	} else {
+		f = l.ext.Feature(l.s.sized(l.level.Crop(x, y, l.win, l.win)))
+		obsFullWindows.Inc()
+	}
+	l.s.p.harvest(l.ext)
+	return l.s.model.ScoreBinary(f)
+}
+
+// Fork clones the level scorer for another sweep worker; the cell grid is
+// immutable and shared.
+func (l *faceLevelScorer) Fork() detect.LevelScorer {
+	c := *l
+	c.ext = l.ext.Fork()
+	return &c
+}

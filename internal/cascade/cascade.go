@@ -12,9 +12,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"hdface/internal/detect"
 	"hdface/internal/haar"
 	"hdface/internal/imgproc"
 	"hdface/internal/obs"
@@ -58,7 +61,12 @@ type Stump struct {
 
 // classify returns +1 or -1 for a feature vector.
 func (s Stump) classify(x []float64) int {
-	if s.Polarity*sign(x[s.Feature]-s.Thresh) >= 0 {
+	return s.classifyVal(x[s.Feature])
+}
+
+// classifyVal returns +1 or -1 for the stump's own feature value.
+func (s Stump) classifyVal(v float64) int {
+	if s.Polarity*sign(v-s.Thresh) >= 0 {
 		return 1
 	}
 	return -1
@@ -286,24 +294,100 @@ func bestStump(X [][]float64, y []int, active []int, w map[int]float64, nFeat in
 	return best, bestErr
 }
 
-// Classify runs the cascade on one window: every stage must accept.
-func (d *Detector) Classify(img *imgproc.Image) bool {
-	ext := haar.Extractor{Win: d.Win, Bank: d.Bank}
-	x := ext.Features(img)
-	d.FeatureEvals += int64(len(x))
-	obsCWindows.Inc()
-	obsCFeatEvals.Add(int64(len(x)))
+// scoreLazy runs the stage loop over a per-feature evaluator, computing
+// each HAAR feature at most once and only when a stump asks for it — the
+// attentional-cascade economy: a window rejected by stage 0 pays for stage
+// 0's features only, not the whole bank. Returns acceptance, the margin of
+// the last stage evaluated, and the number of distinct features computed.
+func (d *Detector) scoreLazy(eval func(fi int) float64) (ok bool, margin float64, evals int64) {
+	memo := make(map[int]float64, 16)
+	get := func(fi int) float64 {
+		if v, hit := memo[fi]; hit {
+			return v
+		}
+		v := eval(fi)
+		memo[fi] = v
+		return v
+	}
 	for i, st := range d.Stages {
-		if st.Score(x) < 0 {
+		var s float64
+		for _, stump := range st.Stumps {
+			s += stump.Alpha * float64(stump.classifyVal(get(stump.Feature)))
+		}
+		margin = s + st.Shift
+		if margin < 0 {
 			if obs.Enabled() {
 				stageRejectCounter(i).Inc()
 			}
-			return false
+			return false, margin, int64(len(memo))
 		}
 	}
-	obsCAccepts.Inc()
-	return true
+	return true, margin, int64(len(memo))
 }
+
+// account folds one window's outcome into the work counters (atomically —
+// detection sweeps classify windows from several goroutines).
+func (d *Detector) account(ok bool, evals int64) {
+	atomic.AddInt64(&d.FeatureEvals, evals)
+	obsCWindows.Inc()
+	obsCFeatEvals.Add(evals)
+	if ok {
+		obsCAccepts.Inc()
+	}
+}
+
+// Classify runs the cascade on one window: every stage must accept.
+func (d *Detector) Classify(img *imgproc.Image) bool {
+	ok, _ := d.ScoreWindow(img)
+	return ok
+}
+
+// ScoreWindow classifies one window and returns the margin of the last
+// stage reached, implementing detect.WindowScorer. Features are evaluated
+// lazily against the window's integral image.
+func (d *Detector) ScoreWindow(img *imgproc.Image) (bool, float64) {
+	if img.W != d.Win || img.H != d.Win {
+		img = img.Resize(d.Win, d.Win)
+	}
+	it := imgproc.NewIntegral(img)
+	ok, margin, evals := d.scoreLazy(func(fi int) float64 { return d.Bank[fi].Eval(it) })
+	d.account(ok, evals)
+	return ok, margin
+}
+
+// Fork implements detect.Forker. The detector is read-only during
+// classification (counters are atomic), so every worker shares it.
+func (d *Detector) Fork() detect.WindowScorer { return d }
+
+// PrepareLevel implements detect.GridScorer: one integral image per
+// pyramid level, shared by every window, replaces the per-window crop,
+// resize and integral rebuild. Levels whose window size differs from the
+// training window fall back to ScoreWindow (which resizes).
+func (d *Detector) PrepareLevel(level *imgproc.Image, levelIdx, win, workers int) detect.LevelScorer {
+	if win != d.Win {
+		return nil
+	}
+	return &levelCascade{d: d, it: imgproc.NewIntegral(level)}
+}
+
+// levelCascade scores windows of one pyramid level against the level's
+// shared integral image.
+type levelCascade struct {
+	d  *Detector
+	it *imgproc.Integral
+}
+
+// ScoreAt classifies the window at (x, y) by translating every bank
+// feature onto the shared integral. The arithmetic is exact, so results
+// match ScoreWindow on the cropped window bit for bit.
+func (l *levelCascade) ScoreAt(x, y, idx int) (bool, float64) {
+	ok, margin, evals := l.d.scoreLazy(func(fi int) float64 { return l.d.Bank[fi].EvalAt(l.it, x, y) })
+	l.d.account(ok, evals)
+	return ok, margin
+}
+
+// Fork implements detect.LevelScorer; the integral is read-only.
+func (l *levelCascade) Fork() detect.LevelScorer { return l }
 
 // Accuracy evaluates window classification accuracy.
 func (d *Detector) Accuracy(imgs []*imgproc.Image, labels []int) float64 {
@@ -323,18 +407,34 @@ func (d *Detector) Accuracy(imgs []*imgproc.Image, labels []int) float64 {
 	return float64(correct) / float64(len(imgs))
 }
 
-// Detect slides the cascade over a scene and returns detected boxes.
+// Detect slides the cascade over a scene and returns detected boxes in
+// row-major order. It runs on the shared sweep engine: one integral image
+// per scene, lazily evaluated stages, all CPUs — the exact same boxes the
+// old crop-per-window loop produced, much faster.
 func (d *Detector) Detect(scene *imgproc.Image, stride int) [][4]int {
 	if stride <= 0 {
 		stride = d.Win / 2
 	}
-	var out [][4]int
-	for y := 0; y+d.Win <= scene.H; y += stride {
-		for x := 0; x+d.Win <= scene.W; x += stride {
-			if d.Classify(scene.Crop(x, y, d.Win, d.Win)) {
-				out = append(out, [4]int{x, y, x + d.Win, y + d.Win})
-			}
+	boxes, _, err := detect.Sweep(scene, d, detect.Params{
+		Win:     d.Win,
+		Stride:  stride,
+		Scales:  []float64{1},
+		NMSIoU:  -1, // callers historically received every raw hit
+		Workers: runtime.NumCPU(),
+	})
+	if err != nil {
+		// Only malformed Params can fail, and ours are fixed.
+		panic(fmt.Sprintf("cascade: %v", err))
+	}
+	sort.Slice(boxes, func(i, j int) bool {
+		if boxes[i].Y0 != boxes[j].Y0 {
+			return boxes[i].Y0 < boxes[j].Y0
 		}
+		return boxes[i].X0 < boxes[j].X0
+	})
+	var out [][4]int
+	for _, b := range boxes {
+		out = append(out, [4]int{b.X0, b.Y0, b.X1, b.Y1})
 	}
 	return out
 }

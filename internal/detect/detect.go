@@ -3,25 +3,40 @@
 // original coordinates, and non-maximum suppression merges overlapping
 // hits. Any scoring function works — the HDFace pipeline, the HAAR
 // cascade, or a test stub.
+//
+// The sweep engine supports two scoring contracts. A plain WindowScorer is
+// handed cropped raw-pixel windows, one at a time. A GridScorer may
+// additionally prepare per-level state once — an integral image, or the
+// hyperspace HOG cell grid whose cell hypervectors are shared by every
+// overlapping window — and score windows from it without re-extracting.
+// Sweeps fan out over a worker pool; window indices are deterministic, so
+// scorers that reseed from them produce byte-identical results for any
+// worker count.
 package detect
 
 import (
+	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"hdface/internal/imgproc"
 	"hdface/internal/obs"
 )
 
 // Observability series for the sliding-window sweep: how many windows the
-// pyramid produced, how many the scorer accepted, and what NMS kept. They
-// record nothing unless obs is enabled.
+// pyramid produced, how many the scorer accepted, what NMS kept, how the
+// sweep was parallelised and which pyramid levels never ran. They record
+// nothing unless obs is enabled.
 var (
-	obsWindows    = obs.NewCounter("hdface_detect_windows_scanned_total", "windows scored across all pyramid levels")
-	obsHits       = obs.NewCounter("hdface_detect_windows_hit_total", "windows the scorer accepted")
-	obsNMSIn      = obs.NewCounter("hdface_detect_nms_input_total", "boxes entering non-maximum suppression")
-	obsNMSKept    = obs.NewCounter("hdface_detect_nms_survivors_total", "boxes surviving non-maximum suppression")
-	obsRunWindows = obs.NewHistogram("hdface_detect_windows_per_run", "windows scanned per detection sweep", obs.SizeBuckets)
+	obsWindows      = obs.NewCounter("hdface_detect_windows_scanned_total", "windows scored across all pyramid levels")
+	obsHits         = obs.NewCounter("hdface_detect_windows_hit_total", "windows the scorer accepted")
+	obsNMSIn        = obs.NewCounter("hdface_detect_nms_input_total", "boxes entering non-maximum suppression")
+	obsNMSKept      = obs.NewCounter("hdface_detect_nms_survivors_total", "boxes surviving non-maximum suppression")
+	obsRunWindows   = obs.NewHistogram("hdface_detect_windows_per_run", "windows scanned per detection sweep", obs.SizeBuckets)
+	obsWorkers      = obs.NewGauge("hdface_detect_workers", "effective worker count of the last detection sweep")
+	obsSkipped      = obs.NewCounter("hdface_detect_levels_skipped_total", "pyramid levels skipped because the scaled image is smaller than the window")
+	obsLevelWindows = obs.NewHistogram("hdface_detect_windows_per_level", "windows scanned per pyramid level", obs.SizeBuckets)
 )
 
 // Box is one detection in original-image coordinates.
@@ -48,10 +63,52 @@ func IoU(a, b Box) float64 {
 	return inter / union
 }
 
-// Scorer classifies one window, returning whether it is a face and a
-// confidence (higher = more face-like). Windows arrive at the detector's
-// native window size.
+// WindowScorer classifies one raw-pixel window, returning whether it is a
+// face and a confidence (higher = more face-like). Windows arrive at the
+// sweep's window size.
+type WindowScorer interface {
+	ScoreWindow(win *imgproc.Image) (bool, float64)
+}
+
+// Forker is implemented by scorers whose clones may score windows on
+// separate goroutines. Fork is called serially, before the sweep's
+// goroutines start; returning nil vetoes parallelism (a scorer whose
+// shared state cannot be cloned), clamping the sweep to one worker.
+type Forker interface {
+	Fork() WindowScorer
+}
+
+// LevelScorer scores windows of one prepared pyramid level.
+type LevelScorer interface {
+	// ScoreAt scores the window whose top-left corner is (x, y) in level
+	// coordinates. idx is the window's row-major index within the level —
+	// deterministic regardless of worker count or scheduling — so
+	// stochastic scorers reseed from it to keep sweeps reproducible.
+	ScoreAt(x, y, idx int) (bool, float64)
+	// Fork returns a clone safe to run on another goroutine. Like
+	// Forker.Fork it is called serially before scoring starts.
+	Fork() LevelScorer
+}
+
+// GridScorer is implemented by scorers that can precompute per-level state
+// (an integral image, the hyperspace HOG cell grid) and score windows from
+// it instead of from cropped pixels.
+type GridScorer interface {
+	WindowScorer
+	// PrepareLevel is called once per pyramid level, serially and in
+	// pyramid order, before scoring starts; workers is the parallelism the
+	// preparation itself may use. Returning nil falls back to per-window
+	// ScoreWindow calls for that level.
+	PrepareLevel(level *imgproc.Image, levelIdx, win, workers int) LevelScorer
+}
+
+// Scorer is the legacy function contract. It adapts to WindowScorer, but a
+// bare function cannot declare itself clone-safe, so sweeps over it run
+// single-worker.
 type Scorer func(win *imgproc.Image) (bool, float64)
+
+// ScoreWindow implements WindowScorer.
+func (s Scorer) ScoreWindow(win *imgproc.Image) (bool, float64) { return s(win) }
 
 // Params configures a detection sweep.
 type Params struct {
@@ -61,86 +118,304 @@ type Params struct {
 	Stride int
 	// Scales are pyramid downscale factors; 1 means native resolution,
 	// 2 halves the image so the effective window doubles
-	// (default {1, 1.5, 2}).
+	// (default {1, 1.5, 2}). They are deduplicated and swept in ascending
+	// order; non-positive or non-finite scales are rejected.
 	Scales []float64
 	// NMSIoU merges detections overlapping at least this much
 	// (default 0.3); set negative to disable suppression.
 	NMSIoU float64
+	// Workers is the sweep parallelism (default 1). Counts above one
+	// require the scorer to support cloning (Forker, or per-level scorers
+	// via GridScorer); otherwise the sweep clamps to one worker.
+	Workers int
 }
 
-func (p Params) withDefaults() Params {
+// normalize validates p and fills defaults.
+func (p Params) normalize() (Params, error) {
 	if p.Win == 0 {
 		p.Win = 48
 	}
+	if p.Win < 0 {
+		return p, fmt.Errorf("detect: window size %d must be positive", p.Win)
+	}
 	if p.Stride == 0 {
 		p.Stride = p.Win / 2
+		if p.Stride == 0 {
+			p.Stride = 1
+		}
+	}
+	if p.Stride < 0 {
+		return p, fmt.Errorf("detect: stride %d must be positive", p.Stride)
+	}
+	if p.Workers == 0 {
+		p.Workers = 1
+	}
+	if p.Workers < 0 {
+		return p, fmt.Errorf("detect: worker count %d must be positive", p.Workers)
 	}
 	if len(p.Scales) == 0 {
 		p.Scales = []float64{1, 1.5, 2}
+	} else {
+		ss := append([]float64(nil), p.Scales...)
+		for _, s := range ss {
+			if !(s > 0) || math.IsInf(s, 1) {
+				return p, fmt.Errorf("detect: scale %v must be positive and finite", s)
+			}
+		}
+		sort.Float64s(ss)
+		uniq := ss[:1]
+		for _, s := range ss[1:] {
+			if s != uniq[len(uniq)-1] {
+				uniq = append(uniq, s)
+			}
+		}
+		p.Scales = uniq
 	}
 	if p.NMSIoU == 0 {
 		p.NMSIoU = 0.3
 	}
-	return p
+	return p, nil
 }
 
-// Run sweeps the scorer over the image pyramid and returns suppressed
-// detections in original coordinates, best score first.
-func Run(img *imgproc.Image, score Scorer, p Params) []Box {
-	p = p.withDefaults()
+// SweepStats reports what a detection sweep did.
+type SweepStats struct {
+	Windows int64 // windows scored
+	Hits    int64 // windows the scorer accepted
+	Levels  int   // pyramid levels swept
+	// SkippedLevels counts scales dropped because the scaled image was
+	// smaller than the window (previously an invisible no-op).
+	SkippedLevels int
+	// PreparedLevels counts levels scored through a prepared LevelScorer
+	// (an integral image, a cell-hypervector grid); PreparedWindows and
+	// FallbackWindows split the window total accordingly.
+	PreparedLevels  int
+	PreparedWindows int64
+	FallbackWindows int64
+	Workers         int     // effective worker count after capability clamping
+	WindowsPerLevel []int64 // windows per swept level, in pyramid order
+}
+
+// level is one materialised pyramid level.
+type level struct {
+	img    *imgproc.Image
+	scale  float64
+	nx, ny int // window lattice extent
+	start  int // global index of the level's first window
+	ls     LevelScorer
+}
+
+// Sweep runs the scorer over the image pyramid with p.Workers-way
+// parallelism and returns suppressed detections in original coordinates,
+// best score first, plus sweep statistics. Results are deterministic for a
+// fixed (image, scorer state, Params) as long as the scorer keys its
+// randomness on the provided window indices; the worker count never
+// changes the output.
+func Sweep(img *imgproc.Image, scorer WindowScorer, p Params) ([]Box, SweepStats, error) {
+	var stats SweepStats
+	p, err := p.normalize()
+	if err != nil {
+		return nil, stats, err
+	}
 	sp := obs.StartSpan("detect_sweep")
 	defer sp.End()
-	var windows int64
-	var raw []Box
-	for _, s := range p.Scales {
-		if s <= 0 {
-			continue
-		}
+
+	// Build the pyramid and per-level state serially: Resize is cheap next
+	// to scoring, and PrepareLevel implementations parallelise internally.
+	gs, _ := scorer.(GridScorer)
+	var levels []level
+	total := 0
+	for li, s := range p.Scales {
 		w := int(float64(img.W) / s)
 		h := int(float64(img.H) / s)
 		if w < p.Win || h < p.Win {
+			stats.SkippedLevels++
+			obsSkipped.Inc()
 			continue
 		}
-		level := img
+		lv := level{img: img, scale: s}
 		if s != 1 {
-			level = img.Resize(w, h)
+			lv.img = img.Resize(w, h)
 		}
-		for y := 0; y+p.Win <= level.H; y += p.Stride {
-			for x := 0; x+p.Win <= level.W; x += p.Stride {
-				windows++
-				hit, conf := score(level.Crop(x, y, p.Win, p.Win))
-				if !hit {
-					continue
+		lv.nx = (lv.img.W-p.Win)/p.Stride + 1
+		lv.ny = (lv.img.H-p.Win)/p.Stride + 1
+		lv.start = total
+		n := lv.nx * lv.ny
+		total += n
+		if gs != nil {
+			lv.ls = gs.PrepareLevel(lv.img, li, p.Win, p.Workers)
+		}
+		if lv.ls != nil {
+			stats.PreparedLevels++
+			stats.PreparedWindows += int64(n)
+		} else {
+			stats.FallbackWindows += int64(n)
+		}
+		levels = append(levels, lv)
+		stats.WindowsPerLevel = append(stats.WindowsPerLevel, int64(n))
+		obsLevelWindows.Observe(float64(n))
+	}
+	stats.Levels = len(levels)
+	stats.Windows = int64(total)
+
+	workers := p.Workers
+	if workers > total {
+		workers = total
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Fallback levels need per-worker clones of the raw-pixel scorer; a
+	// scorer that cannot provide them caps the sweep at one worker. All
+	// forks are created serially, before any goroutine starts.
+	needWS := false
+	for _, lv := range levels {
+		if lv.ls == nil {
+			needWS = true
+		}
+	}
+	var wsForks []WindowScorer
+	if needWS && workers > 1 {
+		if f, ok := scorer.(Forker); ok {
+			wsForks = make([]WindowScorer, workers)
+			wsForks[0] = scorer
+			for w := 1; w < workers; w++ {
+				if wsForks[w] = f.Fork(); wsForks[w] == nil {
+					workers = 1
+					break
 				}
-				obsHits.Inc()
-				raw = append(raw, Box{
-					X0:    int(float64(x) * s),
-					Y0:    int(float64(y) * s),
-					X1:    int(math.Ceil(float64(x+p.Win) * s)),
-					Y1:    int(math.Ceil(float64(y+p.Win) * s)),
-					Score: conf,
-					Scale: s,
-				})
 			}
+		} else {
+			workers = 1
 		}
 	}
-	obsWindows.Add(windows)
-	obsRunWindows.Observe(float64(windows))
-	sp.AddItems(windows)
-	if p.NMSIoU < 0 {
-		sort.Slice(raw, func(i, j int) bool { return raw[i].Score > raw[j].Score })
-		return raw
+	if workers == 1 {
+		wsForks = []WindowScorer{scorer}
 	}
-	return NMS(raw, p.NMSIoU)
+	lsForks := make([][]LevelScorer, len(levels))
+	for i, lv := range levels {
+		if lv.ls == nil {
+			continue
+		}
+		row := make([]LevelScorer, workers)
+		row[0] = lv.ls
+		for w := 1; w < workers; w++ {
+			row[w] = lv.ls.Fork()
+		}
+		lsForks[i] = row
+	}
+	stats.Workers = workers
+	obsWorkers.Set(float64(workers))
+
+	// Score every window. Worker w owns the windows whose in-level index
+	// is congruent to w, and writes results by global index, so output
+	// assembly is independent of scheduling.
+	type result struct {
+		hit   bool
+		score float64
+	}
+	results := make([]result, total)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range levels {
+				lv := &levels[i]
+				var ls LevelScorer
+				var ws WindowScorer
+				if lsForks[i] != nil {
+					ls = lsForks[i][w]
+				} else {
+					ws = wsForks[w]
+				}
+				n := lv.nx * lv.ny
+				for idx := w; idx < n; idx += workers {
+					x := idx % lv.nx * p.Stride
+					y := idx / lv.nx * p.Stride
+					var hit bool
+					var conf float64
+					if ls != nil {
+						hit, conf = ls.ScoreAt(x, y, idx)
+					} else {
+						hit, conf = ws.ScoreWindow(lv.img.Crop(x, y, p.Win, p.Win))
+					}
+					results[lv.start+idx] = result{hit, conf}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var raw []Box
+	for _, lv := range levels {
+		n := lv.nx * lv.ny
+		for idx := 0; idx < n; idx++ {
+			r := results[lv.start+idx]
+			if !r.hit {
+				continue
+			}
+			x := idx % lv.nx * p.Stride
+			y := idx / lv.nx * p.Stride
+			raw = append(raw, Box{
+				X0:    int(float64(x) * lv.scale),
+				Y0:    int(float64(y) * lv.scale),
+				X1:    int(math.Ceil(float64(x+p.Win) * lv.scale)),
+				Y1:    int(math.Ceil(float64(y+p.Win) * lv.scale)),
+				Score: r.score,
+				Scale: lv.scale,
+			})
+		}
+	}
+	stats.Hits = int64(len(raw))
+	obsWindows.Add(stats.Windows)
+	obsHits.Add(stats.Hits)
+	obsRunWindows.Observe(float64(stats.Windows))
+	sp.AddItems(stats.Windows)
+	if p.NMSIoU < 0 {
+		sortBoxes(raw)
+		return raw, stats, nil
+	}
+	return NMS(raw, p.NMSIoU), stats, nil
+}
+
+// Run sweeps the scorer over the image pyramid single-worker and returns
+// suppressed detections in original coordinates, best score first. It is
+// the legacy entry point kept for function scorers; use Sweep for
+// parallelism and statistics.
+func Run(img *imgproc.Image, score Scorer, p Params) ([]Box, error) {
+	boxes, _, err := Sweep(img, score, p)
+	return boxes, err
+}
+
+// sortBoxes orders boxes deterministically: score descending, then area
+// descending, then X0 and Y0 ascending. The tie-break keeps equal-score
+// detections from reordering across runs and worker counts.
+func sortBoxes(boxes []Box) {
+	sort.SliceStable(boxes, func(i, j int) bool {
+		a, b := boxes[i], boxes[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		areaA := (a.X1 - a.X0) * (a.Y1 - a.Y0)
+		areaB := (b.X1 - b.X0) * (b.Y1 - b.Y0)
+		if areaA != areaB {
+			return areaA > areaB
+		}
+		if a.X0 != b.X0 {
+			return a.X0 < b.X0
+		}
+		return a.Y0 < b.Y0
+	})
 }
 
 // NMS performs greedy non-maximum suppression: detections are taken in
-// descending score order; any remaining box overlapping a kept box by at
-// least iou is dropped.
+// descending score order (ties broken by area, then position, so the
+// outcome is deterministic); any remaining box overlapping a kept box by
+// at least iou is dropped.
 func NMS(boxes []Box, iou float64) []Box {
 	obsNMSIn.Add(int64(len(boxes)))
 	sorted := append([]Box(nil), boxes...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	sortBoxes(sorted)
 	var kept []Box
 	for _, b := range sorted {
 		suppressed := false
@@ -164,7 +439,7 @@ func NMS(boxes []Box, iou float64) []Box {
 func MatchTruth(dets []Box, truth [][4]int, iou float64) (tp, fp, fn int) {
 	used := make([]bool, len(truth))
 	sorted := append([]Box(nil), dets...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	sortBoxes(sorted)
 	for _, d := range sorted {
 		matched := false
 		for t, box := range truth {

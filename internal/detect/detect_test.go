@@ -2,6 +2,7 @@ package detect
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"hdface/internal/imgproc"
@@ -49,6 +50,56 @@ func TestNMSKeepsBestAndSuppressesOverlaps(t *testing.T) {
 	}
 }
 
+func TestNMSDeterministicTieBreak(t *testing.T) {
+	// Equal scores: larger area wins, then smaller X0, then smaller Y0 —
+	// regardless of input order.
+	boxes := []Box{
+		{X0: 40, Y0: 0, X1: 50, Y1: 10, Score: 0.7},
+		{X0: 20, Y0: 0, X1: 30, Y1: 10, Score: 0.7},
+		{X0: 20, Y0: 20, X1: 30, Y1: 30, Score: 0.7},
+		{X0: 0, Y0: 0, X1: 12, Y1: 12, Score: 0.7}, // biggest area
+	}
+	want := []Box{boxes[3], boxes[1], boxes[2], boxes[0]}
+	for perm := 0; perm < 4; perm++ {
+		in := append([]Box(nil), boxes[perm:]...)
+		in = append(in, boxes[:perm]...)
+		got := NMS(in, 0.99)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("permutation %d reordered ties:\n got %+v\nwant %+v", perm, got, want)
+		}
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{Win: -1},
+		{Stride: -3},
+		{Workers: -2},
+		{Scales: []float64{1, 0}},
+		{Scales: []float64{-2}},
+		{Scales: []float64{math.Inf(1)}},
+		{Scales: []float64{math.NaN()}},
+	}
+	for i, p := range bad {
+		if _, err := p.normalize(); err == nil {
+			t.Errorf("params %d (%+v) should be rejected", i, p)
+		}
+	}
+	p, err := Params{Scales: []float64{2, 1, 1.5, 2}}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Scales, []float64{1, 1.5, 2}) {
+		t.Fatalf("scales not deduped+sorted: %v", p.Scales)
+	}
+	if p.Win != 48 || p.Stride != 24 || p.Workers != 1 || p.NMSIoU != 0.3 {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	if _, err := Run(imgproc.NewImage(64, 64), brightScorer, Params{Win: -5}); err == nil {
+		t.Fatal("Run should surface validation errors")
+	}
+}
+
 // brightScorer fires on windows whose mean exceeds a threshold, scoring by
 // the mean — a deterministic classifier stub.
 func brightScorer(win *imgproc.Image) (bool, float64) {
@@ -56,10 +107,19 @@ func brightScorer(win *imgproc.Image) (bool, float64) {
 	return m > 128, m
 }
 
+func mustRun(t *testing.T, img *imgproc.Image, s Scorer, p Params) []Box {
+	t.Helper()
+	boxes, err := Run(img, s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return boxes
+}
+
 func TestRunFindsBrightPatchAtNativeScale(t *testing.T) {
 	img := imgproc.NewImage(96, 96)
 	img.FillRect(24, 24, 72, 72, 255) // a 48x48 bright square
-	boxes := Run(img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1}})
+	boxes := mustRun(t, img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1}})
 	if len(boxes) == 0 {
 		t.Fatal("no detections")
 	}
@@ -75,8 +135,8 @@ func TestRunFindsLargeObjectViaPyramid(t *testing.T) {
 	// matches at scale 2.
 	img := imgproc.NewImage(192, 192)
 	img.FillRect(48, 48, 144, 144, 255)
-	native := Run(img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1}})
-	multi := Run(img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1, 2}})
+	native := mustRun(t, img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1}})
+	multi := mustRun(t, img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1, 2}})
 	gt := Box{X0: 48, Y0: 48, X1: 144, Y1: 144}
 	bestIoU := func(boxes []Box) float64 {
 		best := 0.0
@@ -105,25 +165,146 @@ func TestRunFindsLargeObjectViaPyramid(t *testing.T) {
 	}
 }
 
-func TestRunSkipsTooSmallLevels(t *testing.T) {
+func TestSweepReportsSkippedLevels(t *testing.T) {
 	img := imgproc.NewImage(60, 60)
 	img.Fill(255)
-	// Scale 2 gives a 30x30 level, smaller than the 48 window: skipped.
-	boxes := Run(img, brightScorer, Params{Win: 48, Stride: 48, Scales: []float64{1, 2, -1}})
+	// Scale 2 gives a 30x30 level, smaller than the 48 window: skipped,
+	// and the skip is visible in the sweep stats.
+	boxes, stats, err := Sweep(img, Scorer(brightScorer),
+		Params{Win: 48, Stride: 48, Scales: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, b := range boxes {
 		if b.Scale != 1 {
 			t.Fatalf("impossible scale %v", b.Scale)
 		}
+	}
+	if stats.SkippedLevels != 1 || stats.Levels != 1 {
+		t.Fatalf("stats %+v, want 1 swept + 1 skipped level", stats)
+	}
+	if len(stats.WindowsPerLevel) != 1 || stats.WindowsPerLevel[0] != stats.Windows {
+		t.Fatalf("per-level windows %v vs total %d", stats.WindowsPerLevel, stats.Windows)
+	}
+	if stats.Windows != 1 || stats.Hits != 1 {
+		t.Fatalf("60x60 at stride 48 should give 1 window, 1 hit: %+v", stats)
 	}
 }
 
 func TestRunNMSDisabled(t *testing.T) {
 	img := imgproc.NewImage(96, 48)
 	img.Fill(255)
-	with := Run(img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1}})
-	without := Run(img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1}, NMSIoU: -1})
+	with := mustRun(t, img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1}})
+	without := mustRun(t, img, brightScorer, Params{Win: 48, Stride: 24, Scales: []float64{1}, NMSIoU: -1})
 	if len(without) <= len(with) {
 		t.Fatalf("disabling NMS should keep more boxes: %d vs %d", len(without), len(with))
+	}
+}
+
+// stubScorer is a deterministic GridScorer+Forker stub: windows hit when a
+// hash of (level geometry, window index) clears a threshold, so every
+// worker count must reproduce the same boxes.
+type stubScorer struct {
+	fallback bool // make PrepareLevel decline, exercising ScoreWindow forks
+}
+
+func stubScore(w, h, idx int) (bool, float64) {
+	x := uint64(w)*0x9e3779b9 ^ uint64(h)*0x85ebca6b ^ uint64(idx)*0xc2b2ae35
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	v := float64(x%1000) / 1000
+	return v > 0.8, v
+}
+
+func (s *stubScorer) ScoreWindow(win *imgproc.Image) (bool, float64) {
+	return stubScore(win.W, win.H, int(win.Mean()))
+}
+
+func (s *stubScorer) Fork() WindowScorer { return s }
+
+type stubLevel struct{ w, h int }
+
+func (l *stubLevel) ScoreAt(x, y, idx int) (bool, float64) { return stubScore(l.w, l.h, idx) }
+func (l *stubLevel) Fork() LevelScorer                     { return l }
+
+func (s *stubScorer) PrepareLevel(level *imgproc.Image, levelIdx, win, workers int) LevelScorer {
+	if s.fallback {
+		return nil
+	}
+	return &stubLevel{w: level.W, h: level.H}
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	img := imgproc.NewImage(256, 256)
+	// Texture the image so the fallback path (which hashes window means)
+	// sees distinct windows.
+	for y := 0; y < img.H; y += 4 {
+		img.FillRect(0, y, img.W, y+2, uint8(y))
+	}
+	base := Params{Win: 32, Stride: 16, Scales: []float64{1, 1.5, 2}, NMSIoU: -1}
+	ref, refStats, err := Sweep(img, &stubScorer{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refStats.PreparedLevels != refStats.Levels || refStats.FallbackWindows != 0 {
+		t.Fatalf("stub should score every level via the grid path: %+v", refStats)
+	}
+	if refStats.Hits == 0 {
+		t.Fatal("stub produced no hits; test is vacuous")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		p := base
+		p.Workers = workers
+		got, stats, err := Sweep(img, &stubScorer{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Workers != workers {
+			t.Fatalf("workers clamped to %d, want %d", stats.Workers, workers)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("%d workers changed output:\n got %+v\nwant %+v", workers, got, ref)
+		}
+	}
+	// Same contract through the ScoreWindow fallback path: a forkable
+	// scorer keeps its workers and the output still matches single-worker.
+	fbBase := base
+	fbRef, _, err := Sweep(img, &stubScorer{fallback: true}, fbBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fbRef) == 0 {
+		t.Fatal("fallback sweep found nothing; test is vacuous")
+	}
+	fbBase.Workers = 4
+	fb, fbStats, err := Sweep(img, &stubScorer{fallback: true}, fbBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fbStats.PreparedLevels != 0 || fbStats.PreparedWindows != 0 {
+		t.Fatalf("fallback stub should not report grid levels: %+v", fbStats)
+	}
+	if fbStats.Workers != 4 {
+		t.Fatalf("forkable fallback scorer should keep 4 workers, got %d", fbStats.Workers)
+	}
+	if !reflect.DeepEqual(fb, fbRef) {
+		t.Fatalf("fallback workers changed output:\n got %+v\nwant %+v", fb, fbRef)
+	}
+}
+
+func TestSweepClampsWorkersWithoutFork(t *testing.T) {
+	img := imgproc.NewImage(96, 96)
+	img.Fill(255)
+	// A bare Scorer function cannot be forked: the sweep must fall back to
+	// one worker rather than share it across goroutines.
+	_, stats, err := Sweep(img, Scorer(brightScorer),
+		Params{Win: 48, Stride: 24, Scales: []float64{1}, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 1 {
+		t.Fatalf("unforkable scorer swept with %d workers", stats.Workers)
 	}
 }
 

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"hdface"
+	"hdface/internal/dataset"
+	"hdface/internal/detect"
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+)
+
+// DetectBenchConfig is one measured sweep configuration in BENCH_detect.json.
+type DetectBenchConfig struct {
+	Config          string  `json:"config"`
+	Workers         int     `json:"workers"`
+	Windows         int64   `json:"windows"`
+	Boxes           int     `json:"boxes"`
+	WallMS          float64 `json:"wall_ms"`
+	NsPerWindow     float64 `json:"ns_per_window"`
+	WindowsPerSec   float64 `json:"windows_per_sec"`
+	AllocsPerWindow float64 `json:"allocs_per_window"`
+}
+
+// DetectBenchReport is the BENCH_detect.json schema.
+type DetectBenchReport struct {
+	Schema  string              `json:"schema"`
+	D       int                 `json:"d"`
+	Scene   string              `json:"scene"`
+	Win     int                 `json:"win"`
+	Stride  int                 `json:"stride"`
+	Scales  []float64           `json:"scales"`
+	NumCPU  int                 `json:"num_cpu"`
+	Configs []DetectBenchConfig `json:"configs"`
+}
+
+// DetectBench measures the detection sweep three ways — the legacy serial
+// crop-and-re-extract path, the cell-grid engine on one worker, and the
+// cell-grid engine with a worker pool — and writes BENCH_detect.json. It
+// is the machine-readable counterpart of BenchmarkDetectSweep.
+func DetectBench(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	section(w, "detection sweep benchmark")
+
+	size, d := 512, 2048
+	if o.Quick {
+		size, d = 256, 1024
+	}
+	win := 48
+	params := detect.Params{Win: win, Stride: 24, Scales: []float64{1, 1.5, 2}, NMSIoU: 0.3}
+
+	// One small binary face/non-face training set at the window size.
+	r := hv.NewRNG(o.Seed ^ 0xbe7c)
+	var imgs []*imgproc.Image
+	var labels []int
+	for i := 0; i < 16; i++ {
+		if i%2 == 0 {
+			imgs = append(imgs, dataset.RenderFace(win, win, dataset.Emotion(r.Intn(7)), r))
+			labels = append(labels, 1)
+		} else {
+			imgs = append(imgs, dataset.RenderNonFace(win, win, r))
+			labels = append(labels, 0)
+		}
+	}
+	p := hdface.New(hdface.Config{D: d, Seed: o.Seed, Workers: 1, Stride: 3})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		return fmt.Errorf("detectbench: %w", err)
+	}
+	model := p.Model()
+	scene := dataset.GenerateScene(size, size, win, 3, o.Seed^0x5ce2)
+
+	report := DetectBenchReport{
+		Schema: "hdface-bench-detect/v1",
+		D:      d,
+		Scene:  fmt.Sprintf("%dx%d synthetic, 3 faces", size, size),
+		Win:    params.Win,
+		Stride: params.Stride,
+		Scales: params.Scales,
+		NumCPU: runtime.NumCPU(),
+	}
+
+	measure := func(name string, workers int, sweep func() (int64, int, error)) error {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		allocs0 := ms.Mallocs
+		start := time.Now()
+		windows, boxes, err := sweep()
+		wall := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("detectbench %s: %w", name, err)
+		}
+		runtime.ReadMemStats(&ms)
+		c := DetectBenchConfig{
+			Config:  name,
+			Workers: workers,
+			Windows: windows,
+			Boxes:   boxes,
+			WallMS:  float64(wall.Nanoseconds()) / 1e6,
+		}
+		if windows > 0 {
+			c.NsPerWindow = float64(wall.Nanoseconds()) / float64(windows)
+			c.WindowsPerSec = float64(windows) / wall.Seconds()
+			c.AllocsPerWindow = float64(ms.Mallocs-allocs0) / float64(windows)
+		}
+		report.Configs = append(report.Configs, c)
+		fmt.Fprintf(w, "%-14s workers=%d windows=%d boxes=%d wall=%.0fms ns/window=%.0f\n",
+			name, workers, windows, boxes, c.WallMS, c.NsPerWindow)
+		return nil
+	}
+
+	// Legacy path: crop every window and run the full pipeline extraction.
+	if err := measure("serial", 1, func() (int64, int, error) {
+		legacy := func(window *imgproc.Image) (bool, float64) {
+			sc := model.Scores(p.Feature(window))
+			return sc[1] > sc[0], sc[1] - sc[0]
+		}
+		boxes, stats, err := detect.Sweep(scene.Image, detect.Scorer(legacy), params)
+		return stats.Windows, len(boxes), err
+	}); err != nil {
+		return err
+	}
+	// Cell-grid engine, one worker, then the worker pool.
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		name := "cellgrid"
+		if workers > 1 {
+			name = fmt.Sprintf("cellgrid-w%d", workers)
+		} else if len(report.Configs) > 1 {
+			break // single-CPU host: the pool run would duplicate cellgrid
+		}
+		if err := measure(name, workers, func() (int64, int, error) {
+			scorer, err := p.DetectScorer(nil, win)
+			if err != nil {
+				return 0, 0, err
+			}
+			pp := params
+			pp.Workers = workers
+			boxes, stats, err := detect.Sweep(scene.Image, scorer, pp)
+			return stats.Windows, len(boxes), err
+		}); err != nil {
+			return err
+		}
+	}
+
+	serial, grid := report.Configs[0], report.Configs[1]
+	if grid.WallMS > 0 {
+		fmt.Fprintf(w, "single-worker speedup over serial: %.2fx\n", serial.WallMS/grid.WallMS)
+	}
+
+	dir := o.OutDir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_detect.json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
+}

@@ -185,6 +185,7 @@ func All() []Runner {
 		{"dimreduce", "post-training dimensionality reduction", DimReduce},
 		{"occlusion", "robustness to structured occlusion", Occlusion},
 		{"dse", "FPGA lane-budget design-space exploration", DSE},
+		{"detectbench", "detection sweep perf baseline (BENCH_detect.json)", DetectBench},
 		{"verify", "reproduction gate: assert the structural claims", Verify},
 	}
 }

@@ -125,6 +125,17 @@ func (f Feature) Eval(it *imgproc.Integral) float64 {
 	return (meanOver(it, pos) - meanOver(it, neg)) / 255
 }
 
+// EvalAt evaluates the feature translated to the window whose top-left
+// corner is (x0, y0) on a full-image integral. It equals Eval on an
+// integral of the cropped window, but shares one integral image across
+// every window of a detection sweep instead of rebuilding it per window.
+func (f Feature) EvalAt(it *imgproc.Integral, x0, y0 int) float64 {
+	g := f
+	g.X += x0
+	g.Y += y0
+	return g.Eval(it)
+}
+
 func meanOver(it *imgproc.Integral, boxes [][4]int) float64 {
 	var sum float64
 	var area int64

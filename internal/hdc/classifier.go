@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"hdface/internal/hv"
 	"hdface/internal/obs"
@@ -136,10 +137,28 @@ func (m *Model) Scores(v *hv.Vector) []float64 {
 	out := make([]float64, m.K)
 	for c := range out {
 		out[c] = m.cos(c, v)
-		m.Stats.Similarities++
 	}
+	atomic.AddInt64(&m.Stats.Similarities, int64(m.K))
 	obsSims.Add(int64(m.K))
 	return out
+}
+
+// ScoreBinary classifies with a two-class model, returning whether class 1
+// (face) outscores class 0 and the similarity margin. Unlike Scores it
+// allocates nothing and is safe for concurrent use (the class accumulators
+// are read-only after training; the work counter is atomic), which makes it
+// the scoring entry point of the parallel detection sweep.
+func (m *Model) ScoreBinary(v *hv.Vector) (bool, float64) {
+	if m.K != 2 {
+		panic(fmt.Sprintf("hdc: ScoreBinary needs a binary model, got %d classes", m.K))
+	}
+	if v.D() != m.D {
+		panic(fmt.Sprintf("hdc: query dimension %d, model %d", v.D(), m.D))
+	}
+	s0, s1 := m.cos(0, v), m.cos(1, v)
+	atomic.AddInt64(&m.Stats.Similarities, 2)
+	obsSims.Add(2)
+	return s1 > s0, s1 - s0
 }
 
 // Predict returns the class with the highest similarity to v.
@@ -170,7 +189,7 @@ func (m *Model) PredictBinary(v *hv.Vector) int {
 	best, bestSim := 0, math.Inf(-1)
 	for c, cv := range m.Bin {
 		sim := cv.HammingSim(v)
-		m.Stats.Similarities++
+		atomic.AddInt64(&m.Stats.Similarities, 1)
 		obsSims.Inc()
 		if sim > bestSim {
 			best, bestSim = c, sim

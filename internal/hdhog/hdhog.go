@@ -85,6 +85,10 @@ type Extractor struct {
 	// lazily as images of new geometries arrive.
 	ids map[[3]int]*hv.Vector
 
+	// scratch is the reusable per-dimension counter buffer of
+	// WindowFeature's bundling loop.
+	scratch []int32
+
 	// Pixels counts processed gradient sites, for the hardware model.
 	Pixels int64
 }
@@ -154,8 +158,20 @@ func (e *Extractor) Fork() *Extractor {
 	f := *e
 	f.codec = e.codec.Fork()
 	f.rng = hv.NewRNG(e.rng.Uint64())
+	f.scratch = nil
 	f.Pixels = 0
 	return &f
+}
+
+// Reseed resets the extractor's private randomness (its RNG and its codec's
+// RNG) to streams defined by seed. Afterwards the extractor's stochastic
+// output is a pure function of (seed, input), independent of what it
+// processed before — which is how the parallel detection sweep keeps
+// per-window extraction deterministic under any goroutine schedule: each
+// unit of work reseeds from its own position index before running.
+func (e *Extractor) Reseed(seed uint64) {
+	e.rng.Reseed(hv.Mix64(seed, 0x6e0e))
+	e.codec.Reseed(hv.Mix64(seed, 0xc0de))
 }
 
 // WarmIDs pre-generates the positional ID hypervectors for a w x h image so
@@ -318,41 +334,50 @@ type CellBins struct {
 // CellHistogramHVs computes the histogram hypervectors of every cell.
 func (e *Extractor) CellHistogramHVs(img *imgproc.Image) []CellBins {
 	cw, ch := img.W/e.P.CellSize, img.H/e.P.CellSize
-	c := e.codec
 	out := make([]CellBins, cw*ch)
-	st := e.P.Stride
 	for cy := 0; cy < ch; cy++ {
 		for cx := 0; cx < cw; cx++ {
-			votes := make([][]*hv.Vector, e.P.Bins)
-			for py := st / 2; py < e.P.CellSize; py += st {
-				for px := st / 2; px < e.P.CellSize; px += st {
-					x := cx*e.P.CellSize + px
-					y := cy*e.P.CellSize + py
-					gx, gy := e.GradientHV(img, x, y)
-					e.Pixels++
-					if c.Sign(gx) == 0 && c.Sign(gy) == 0 {
-						continue // statistically flat: no vote
-					}
-					bin := e.BinOf(gx, gy)
-					votes[bin] = append(votes[bin], e.MagnitudeHV(gx, gy))
-				}
-			}
-			cb := CellBins{
-				Vecs:   make([]*hv.Vector, e.P.Bins),
-				Counts: make([]int, e.P.Bins),
-			}
-			for b := 0; b < e.P.Bins; b++ {
-				if len(votes[b]) == 0 {
-					cb.Vecs[b] = c.Construct(0)
-					continue
-				}
-				cb.Vecs[b] = e.treeMean(votes[b])
-				cb.Counts[b] = len(votes[b])
-			}
-			out[cy*cw+cx] = cb
+			out[cy*cw+cx] = e.cellHist(img, cx*e.P.CellSize, cy*e.P.CellSize, false)
 		}
 	}
 	return out
+}
+
+// cellHist computes the histogram of the cell whose top-left pixel is
+// (x0, y0), sampling gradients on the stride lattice. When skipEmpty is
+// set, zero-count bins keep a nil vector instead of a Construct(0)
+// hypervector — the cell-grid path never reads them, and skipping the
+// constructions shaves a measurable slice off level precomputation.
+func (e *Extractor) cellHist(img *imgproc.Image, x0, y0 int, skipEmpty bool) CellBins {
+	c := e.codec
+	st := e.P.Stride
+	votes := make([][]*hv.Vector, e.P.Bins)
+	for py := st / 2; py < e.P.CellSize; py += st {
+		for px := st / 2; px < e.P.CellSize; px += st {
+			gx, gy := e.GradientHV(img, x0+px, y0+py)
+			e.Pixels++
+			if c.Sign(gx) == 0 && c.Sign(gy) == 0 {
+				continue // statistically flat: no vote
+			}
+			bin := e.BinOf(gx, gy)
+			votes[bin] = append(votes[bin], e.MagnitudeHV(gx, gy))
+		}
+	}
+	cb := CellBins{
+		Vecs:   make([]*hv.Vector, e.P.Bins),
+		Counts: make([]int, e.P.Bins),
+	}
+	for b := 0; b < e.P.Bins; b++ {
+		if len(votes[b]) == 0 {
+			if !skipEmpty {
+				cb.Vecs[b] = c.Construct(0)
+			}
+			continue
+		}
+		cb.Vecs[b] = e.treeMean(votes[b])
+		cb.Counts[b] = len(votes[b])
+	}
+	return cb
 }
 
 // weightScale converts a histogram value (vote count times mean magnitude,

@@ -60,6 +60,18 @@ func (r *RNG) Uint64() uint64 {
 	return result
 }
 
+// Mix64 hashes two 64-bit values into one with the splitmix64 finalizer.
+// It derives well-separated seeds from structured inputs (a base seed plus
+// a row, level or window index), so units of work can reseed their private
+// generators as pure functions of their position — the foundation of
+// scheduling-independent parallel sweeps.
+func Mix64(a, b uint64) uint64 {
+	x := a + 0x9e3779b97f4a7c15*(b+1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

@@ -153,6 +153,14 @@ func (c *Codec) Fork() *Codec {
 	return f
 }
 
+// Reseed resets the codec's private RNG to the stream defined by seed. The
+// basis and every constructed value stay valid; only the randomness of
+// subsequent stochastic operations changes. Reseeding lets a unit of work
+// (a pyramid-level cell row, a detection window) be a pure function of its
+// position, so parallel sweeps produce identical results regardless of
+// goroutine scheduling.
+func (c *Codec) Reseed(seed uint64) { c.rng.Reseed(seed) }
+
 // D returns the codec dimensionality.
 func (c *Codec) D() int { return c.d }
 

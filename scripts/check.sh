@@ -19,4 +19,7 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== detection sweep bench smoke =="
+go test -run=XXX -bench=DetectSweep -benchtime=1x .
+
 echo "OK"
