@@ -5,6 +5,7 @@
 package hdface_test
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"testing"
@@ -323,7 +324,7 @@ func BenchmarkDetectSweep(b *testing.B) {
 			pp.Workers = workers
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := detect.Sweep(scene.Image, scorer, pp); err != nil {
+				if _, _, err := detect.Sweep(context.Background(), scene.Image, scorer, pp); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"hdface"
 	"hdface/internal/dataset"
@@ -56,7 +59,7 @@ func buildPipeline(d, workingSize, workers int, mode string, seed uint64) (*hdfa
 		return nil, fmt.Errorf("unknown mode %q (stoch, orig)", mode)
 	}
 	if workers < 1 {
-		workers = runtime.NumCPU()
+		return nil, fmt.Errorf("-workers %d must be positive (default: all %d CPUs)", workers, runtime.NumCPU())
 	}
 	return hdface.New(hdface.Config{D: d, Mode: m, WorkingSize: workingSize, Seed: seed, Workers: workers}), nil
 }
@@ -300,6 +303,7 @@ func cmdDetect(args []string) error {
 	nms := fs.Float64("nms", 0.3, "non-maximum suppression IoU threshold (negative disables)")
 	workingSize := fs.Int("size", 48, "working raster size")
 	seed := fs.Uint64("seed", 7, "random seed (must match training)")
+	deadline := fs.Duration("deadline", 0, "sweep time budget; on expiry the best-so-far boxes are returned flagged DEGRADED (0 = none)")
 	workers := workersFlag(fs)
 	of := obscli.Register(fs)
 	fs.Parse(args)
@@ -340,7 +344,18 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	boxes, stats, err := detect.Sweep(img, scorer, detect.Params{
+	// SIGINT/SIGTERM cancel the detection context instead of killing the
+	// process mid-sweep: the pool drains and the boxes scored so far are
+	// still printed (and overlaid), flagged DEGRADED. A -deadline budget
+	// rides the same context.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *deadline > 0 {
+		var cancelDL context.CancelFunc
+		ctx, cancelDL = context.WithTimeout(ctx, *deadline)
+		defer cancelDL()
+	}
+	boxes, stats, err := detect.Sweep(ctx, img, scorer, detect.Params{
 		Win: *win, Stride: *stride, Scales: scaleList, NMSIoU: *nms,
 		Workers: p.Config().Workers})
 	if err != nil {
@@ -349,6 +364,10 @@ func cmdDetect(args []string) error {
 	fmt.Printf("swept %d windows over %d levels (%d level-prepared, %d crop-fallback, %d workers, %d levels skipped)\n",
 		stats.Windows, stats.Levels, stats.PreparedWindows, stats.FallbackWindows,
 		stats.Workers, stats.SkippedLevels)
+	if stats.Degraded {
+		fmt.Printf("DEGRADED: sweep stopped after %d/%d windows (%v); results are best-so-far\n",
+			stats.CompletedWindows, stats.Windows, context.Cause(ctx))
+	}
 	overlay := img.Clone()
 	for _, b := range boxes {
 		overlay.StrokeRect(b.X0, b.Y0, b.X1, b.Y1, 255)

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
-	"runtime"
 	"testing"
 
 	"hdface/internal/obs"
@@ -34,15 +33,15 @@ func TestBuildPipeline(t *testing.T) {
 	if _, err := buildPipeline(512, 24, 1, "bogus", 1); err == nil {
 		t.Fatal("accepted unknown mode")
 	}
-	// Workers <= 0 falls back to NumCPU instead of the old hard-coded 1.
-	p, err := buildPipeline(512, 24, 0, "stoch", 1)
-	if err != nil {
-		t.Fatal(err)
+	// Workers <= 0 is a user error now (the flag defaults to NumCPU); the
+	// old silent fallback hid typos like -workers 0.
+	if _, err := buildPipeline(512, 24, 0, "stoch", 1); err == nil {
+		t.Fatal("workers=0 should be rejected")
 	}
-	if p.Config().Workers != runtime.NumCPU() {
-		t.Fatalf("workers fallback = %d, want NumCPU", p.Config().Workers)
+	if _, err := buildPipeline(512, 24, -2, "stoch", 1); err == nil {
+		t.Fatal("negative workers should be rejected")
 	}
-	p, err = buildPipeline(512, 24, 3, "stoch", 1)
+	p, err := buildPipeline(512, 24, 3, "stoch", 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,6 +51,18 @@ type FaceScorer struct {
 
 	ext *hog.Extractor   // ModeOrigHOG: private classical-HOG extractor
 	hd  *hdhog.Extractor // ModeStochHOG: private fork of the pipeline extractor
+
+	// Hamming switches window scoring to the binarised class memory
+	// (hdc.Model.ScoreBinaryHamming) instead of the float cosine
+	// accumulators — the bit-serial inference mode whose packed class
+	// hypervectors are what the fault harness corrupts. The model must
+	// have been Finalized. Set before the first sweep.
+	Hamming bool
+	// OnGrid, when set, is installed as the hdhog.Extractor GridHook of
+	// every pyramid-level extraction, handing the fault harness each
+	// freshly cached cell grid to corrupt before windows are assembled
+	// from it. Set before the first sweep.
+	OnGrid func(*hdhog.CellGrid)
 }
 
 // DetectScorer builds a detection scorer over a trained binary model
@@ -103,7 +115,7 @@ func (s *FaceScorer) ScoreWindow(win *imgproc.Image) (bool, float64) {
 		f := s.hd.Feature(s.sized(win))
 		s.p.harvest(s.hd)
 		obsFullWindows.Inc()
-		return s.model.ScoreBinary(f)
+		return s.score(f)
 	case ModeOrigHOG:
 		feats := s.ext.Features(s.sized(win))
 		s.p.mu.Lock()
@@ -111,11 +123,21 @@ func (s *FaceScorer) ScoreWindow(win *imgproc.Image) (bool, float64) {
 		s.ext.Stats = hog.Stats{}
 		s.p.mu.Unlock()
 		obsFullWindows.Inc()
-		return s.model.ScoreBinary(s.p.encode(feats))
+		return s.score(s.p.encode(feats))
 	default:
 		obsFullWindows.Inc()
-		return s.model.ScoreBinary(s.p.Feature(win))
+		return s.score(s.p.Feature(win))
 	}
+}
+
+// score classifies one feature hypervector through the configured inference
+// mode: float cosine accumulators by default, the binarised class memory
+// when Hamming is set.
+func (s *FaceScorer) score(f *hv.Vector) (bool, float64) {
+	if s.Hamming {
+		return s.model.ScoreBinaryHamming(f)
+	}
+	return s.model.ScoreBinary(f)
 }
 
 // sized resizes a window to the extraction geometry if needed.
@@ -159,6 +181,7 @@ func (s *FaceScorer) PrepareLevel(level *imgproc.Image, levelIdx, win, workers i
 		win:     win,
 		lvlSeed: hv.Mix64(s.seed, saltLevel+uint64(levelIdx)),
 	}
+	l.ext.GridHook = s.OnGrid
 	cs := s.hd.P.CellSize
 	// The cell grid yields features at exactly win x win, so it applies
 	// only when that matches the geometry the model was trained at, and
@@ -198,7 +221,7 @@ func (l *faceLevelScorer) ScoreAt(x, y, idx int) (bool, float64) {
 		obsFullWindows.Inc()
 	}
 	l.s.p.harvest(l.ext)
-	return l.s.model.ScoreBinary(f)
+	return l.s.score(f)
 }
 
 // Fork clones the level scorer for another sweep worker; the cell grid is

@@ -1,6 +1,7 @@
 package hdface_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestFaceScorerSweepDeterministicAcrossWorkers(t *testing.T) {
 		}
 		pp := params
 		pp.Workers = workers
-		boxes, stats, err := detect.Sweep(scene.Image, scorer, pp)
+		boxes, stats, err := detect.Sweep(context.Background(), scene.Image, scorer, pp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +115,7 @@ func TestFaceScorerFallbackWindows(t *testing.T) {
 		}
 		pp := params
 		pp.Workers = workers
-		boxes, stats, err := detect.Sweep(scene.Image, scorer, pp)
+		boxes, stats, err := detect.Sweep(context.Background(), scene.Image, scorer, pp)
 		if err != nil {
 			t.Fatal(err)
 		}

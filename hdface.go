@@ -26,9 +26,11 @@
 package hdface
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hdface/internal/encoder"
 	"hdface/internal/haar"
@@ -280,9 +282,46 @@ func (p *Pipeline) harvestCodec(sites int64) {
 // Features maps a batch of images to hypervectors with Workers-way
 // parallelism. The result is deterministic for a fixed (Config, batch).
 func (p *Pipeline) Features(imgs []*Image) []*hv.Vector {
+	out, _ := p.FeaturesContext(context.Background(), imgs)
+	return out
+}
+
+// cancelFlag mirrors ctx cancellation into an atomic flag worker loops can
+// poll cheaply. The returned release function must be called (once the
+// guarded work is done) so the watcher goroutine exits.
+func cancelFlag(ctx context.Context) (*atomic.Bool, func()) {
+	var stop atomic.Bool
+	if ctx.Err() != nil {
+		stop.Store(true)
+	}
+	done := ctx.Done()
+	if done == nil {
+		return &stop, func() {}
+	}
+	release := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			stop.Store(true)
+		case <-release:
+		}
+	}()
+	var once sync.Once
+	return &stop, func() { once.Do(func() { close(release) }) }
+}
+
+// FeaturesContext is Features under a context: extraction workers check
+// the context between images and stop early when it is cancelled or its
+// deadline expires, in which case the error is ctx.Err() and the feature
+// slice is nil — unlike a degraded detection sweep, a training batch with
+// holes is useless, so partial extraction is an error, not a result.
+func (p *Pipeline) FeaturesContext(ctx context.Context, imgs []*Image) ([]*hv.Vector, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]*hv.Vector, len(imgs))
 	if len(imgs) == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	sp := obs.StartSpan("extract_batch")
 	defer sp.End()
@@ -291,6 +330,8 @@ func (p *Pipeline) Features(imgs []*Image) []*hv.Vector {
 	if workers > len(imgs) {
 		workers = len(imgs)
 	}
+	stop, release := cancelFlag(ctx)
+	defer release()
 	switch p.cfg.Mode {
 	case ModeStochHOG:
 		obsImages.Add(int64(len(imgs)))
@@ -307,53 +348,74 @@ func (p *Pipeline) Features(imgs []*Image) []*hv.Vector {
 			go func(w int, ext *hdhog.Extractor) {
 				defer wg.Done()
 				for i := w; i < len(imgs); i += workers {
+					if stop.Load() {
+						break
+					}
 					out[i] = ext.Feature(p.prepare(imgs[i]))
 				}
 				p.harvest(ext)
 			}(w, ext)
 		}
 		wg.Wait()
-		return out
 	case ModeStochHAAR, ModeStochConv:
 		// These extractors share one codec; run sequentially.
 		for i, img := range imgs {
+			if stop.Load() {
+				break
+			}
 			out[i] = p.Feature(img)
 		}
-		return out
+	default:
+		// ModeOrigHOG: encoder is shared read-only after creation.
+		obsImages.Add(int64(len(imgs)))
+		p.ensureEncoder(p.prepare(imgs[0]))
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				e := hog.New(p.hogParams)
+				for i := w; i < len(imgs); i += workers {
+					if stop.Load() {
+						break
+					}
+					img := p.prepare(imgs[i])
+					feats := e.Features(img)
+					out[i] = p.encode(feats)
+				}
+				mu.Lock()
+				p.hogStats.Add(e.Stats)
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
 	}
-	// ModeOrigHOG: encoder is shared read-only after creation.
-	obsImages.Add(int64(len(imgs)))
-	p.ensureEncoder(p.prepare(imgs[0]))
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			e := hog.New(p.hogParams)
-			for i := w; i < len(imgs); i += workers {
-				img := p.prepare(imgs[i])
-				feats := e.Features(img)
-				out[i] = p.encode(feats)
-			}
-			mu.Lock()
-			p.hogStats.Add(e.Stats)
-			mu.Unlock()
-		}(w)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	return out
+	return out, nil
 }
 
 // Fit extracts features for the labelled images and trains the classifier.
 func (p *Pipeline) Fit(imgs []*Image, labels []int, numClasses int) error {
+	return p.FitContext(context.Background(), imgs, labels, numClasses)
+}
+
+// FitContext is Fit under a context: cancellation aborts between feature
+// extraction batches and before training, leaving the previous model (if
+// any) untouched.
+func (p *Pipeline) FitContext(ctx context.Context, imgs []*Image, labels []int, numClasses int) error {
 	if len(imgs) == 0 || len(imgs) != len(labels) {
 		return fmt.Errorf("hdface: %d images vs %d labels", len(imgs), len(labels))
 	}
 	sp := obs.StartSpan("fit")
 	defer sp.End()
 	sp.AddItems(int64(len(imgs)))
-	feats := p.Features(imgs)
+	feats, err := p.FeaturesContext(ctx, imgs)
+	if err != nil {
+		return err
+	}
 	opts := p.cfg.Train
 	if opts.Seed == 0 {
 		opts.Seed = p.cfg.Seed

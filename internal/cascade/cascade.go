@@ -7,6 +7,7 @@
 package cascade
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -415,7 +416,7 @@ func (d *Detector) Detect(scene *imgproc.Image, stride int) [][4]int {
 	if stride <= 0 {
 		stride = d.Win / 2
 	}
-	boxes, _, err := detect.Sweep(scene, d, detect.Params{
+	boxes, _, err := detect.Sweep(context.Background(), scene, d, detect.Params{
 		Win:     d.Win,
 		Stride:  stride,
 		Scales:  []float64{1},

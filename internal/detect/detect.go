@@ -12,13 +12,28 @@
 // Sweeps fan out over a worker pool; window indices are deterministic, so
 // scorers that reseed from them produce byte-identical results for any
 // worker count.
+//
+// Sweeps are resilient. They take a context.Context and check it
+// cooperatively once per window batch: a cancelled or expired context stops
+// the sweep promptly, drains the worker pool without leaking goroutines,
+// and returns the best-so-far boxes with SweepStats.Degraded set (the
+// anytime contract — levels are scored coarse-to-fine, so an expired
+// deadline still leaves whole-scene coverage at the coarse scales). A
+// scorer that panics is contained per window: the panic becomes a typed
+// *WindowError naming the level and window instead of taking down the
+// process, the window counts as a miss, and the sweep continues.
 package detect
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hdface/internal/imgproc"
 	"hdface/internal/obs"
@@ -37,7 +52,41 @@ var (
 	obsWorkers      = obs.NewGauge("hdface_detect_workers", "effective worker count of the last detection sweep")
 	obsSkipped      = obs.NewCounter("hdface_detect_levels_skipped_total", "pyramid levels skipped because the scaled image is smaller than the window")
 	obsLevelWindows = obs.NewHistogram("hdface_detect_windows_per_level", "windows scanned per pyramid level", obs.SizeBuckets)
+	obsCancelled    = obs.NewCounter("hdface_detect_sweeps_cancelled_total", "sweeps stopped early by context cancellation or deadline")
+	obsDegraded     = obs.NewCounter("hdface_detect_degraded_returns_total", "sweeps that returned best-so-far boxes with the Degraded flag")
+	obsPanics       = obs.NewCounter("hdface_detect_scorer_panics_total", "scorer panics contained as WindowErrors")
+	obsSlack        = obs.NewHistogram("hdface_detect_deadline_slack_seconds", "deadline budget left when a deadlined sweep completed in time", obs.LatencyBuckets)
 )
+
+// cancelBatch is how many windows a worker scores between cooperative
+// cancellation checks. Scoring one window costs microseconds, so a batch
+// keeps the atomic load off the per-window fast path while still bounding
+// the reaction time to a cancelled context.
+const cancelBatch = 16
+
+// maxWindowErrors caps how many contained panics a sweep retains in full;
+// further panics are still counted in SweepStats.Panics but only the first
+// few carry stacks, keeping a pathological scorer from hoarding memory.
+const maxWindowErrors = 8
+
+// WindowError reports a scorer panic contained by the sweep: the window
+// named by level and coordinates scored as a miss, the rest of the sweep
+// continued. It is returned (possibly joined with others) as the sweep
+// error, alongside valid boxes and stats.
+type WindowError struct {
+	Level int     // index of the level in pyramid order (SweepStats.WindowsPerLevel order)
+	Scale float64 // pyramid scale of the level
+	X, Y  int     // window top-left corner in level coordinates
+	Index int     // row-major window index within the level
+	Cause any     // recovered panic value
+	Stack []byte  // stack captured at the panic site
+}
+
+// Error implements error.
+func (e *WindowError) Error() string {
+	return fmt.Sprintf("detect: scorer panicked on window %d at (%d,%d) of level %d (scale %g): %v",
+		e.Index, e.X, e.Y, e.Level, e.Scale, e.Cause)
+}
 
 // Box is one detection in original-image coordinates.
 type Box struct {
@@ -193,6 +242,19 @@ type SweepStats struct {
 	FallbackWindows int64
 	Workers         int     // effective worker count after capability clamping
 	WindowsPerLevel []int64 // windows per swept level, in pyramid order
+
+	// Degraded reports that the context was cancelled (or its deadline
+	// expired) before every window was scored: the returned boxes are the
+	// best-so-far anytime result, not the full sweep.
+	Degraded bool
+	// CompletedWindows counts windows actually scored (equals Windows
+	// unless Degraded); CompletedPerLevel splits it in WindowsPerLevel
+	// order, showing how far down the coarse-to-fine schedule the sweep
+	// got before the budget ran out.
+	CompletedWindows  int64
+	CompletedPerLevel []int64
+	// Panics counts scorer panics contained as WindowErrors.
+	Panics int64
 }
 
 // level is one materialised pyramid level.
@@ -210,7 +272,20 @@ type level struct {
 // fixed (image, scorer state, Params) as long as the scorer keys its
 // randomness on the provided window indices; the worker count never
 // changes the output.
-func Sweep(img *imgproc.Image, scorer WindowScorer, p Params) ([]Box, SweepStats, error) {
+//
+// ctx bounds the sweep: cancellation or an expired deadline stops scoring
+// within one window batch per worker, the pool drains, and Sweep returns
+// the boxes scored so far with stats.Degraded set and a nil error — the
+// anytime contract. Scoring proceeds coarse-to-fine (largest pyramid scale
+// first), so a blown budget degrades resolution, not scene coverage. A
+// panicking scorer does not abort the sweep: each panic is contained as a
+// *WindowError (joined into the returned error), the window counts as a
+// miss, and all other windows are still scored. Boxes and stats are valid
+// even when the returned error is non-nil.
+func Sweep(ctx context.Context, img *imgproc.Image, scorer WindowScorer, p Params) ([]Box, SweepStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var stats SweepStats
 	p, err := p.normalize()
 	if err != nil {
@@ -241,7 +316,10 @@ func Sweep(img *imgproc.Image, scorer WindowScorer, p Params) ([]Box, SweepStats
 		lv.start = total
 		n := lv.nx * lv.ny
 		total += n
-		if gs != nil {
+		// Level preparation (an integral image, a full cell-grid
+		// extraction) is the expensive part of the pyramid build; once the
+		// context is dead there is no budget left to spend on it.
+		if gs != nil && ctx.Err() == nil {
 			lv.ls = gs.PrepareLevel(lv.img, li, p.Win, p.Workers)
 		}
 		if lv.ls != nil {
@@ -306,6 +384,37 @@ func Sweep(img *imgproc.Image, scorer WindowScorer, p Params) ([]Box, SweepStats
 	stats.Workers = workers
 	obsWorkers.Set(float64(workers))
 
+	// Anytime schedule: score levels coarse-to-fine (largest scale, i.e.
+	// fewest windows, first). Assembly below still walks levels in pyramid
+	// order, so a completed sweep is byte-identical to the historical
+	// fine-first order; only what survives a blown budget changes.
+	order := make([]int, len(levels))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return levels[order[a]].scale > levels[order[b]].scale
+	})
+
+	// Cooperative cancellation: a watcher translates ctx.Done into an
+	// atomic flag the workers poll once per cancelBatch windows, keeping
+	// the fast path free of mutex-guarded ctx.Err calls. The watcher is
+	// released as soon as scoring ends, so nothing leaks.
+	var stop atomic.Bool
+	if ctx.Err() != nil {
+		stop.Store(true)
+	}
+	watchDone := make(chan struct{})
+	if done := ctx.Done(); done != nil {
+		go func() {
+			select {
+			case <-done:
+				stop.Store(true)
+			case <-watchDone:
+			}
+		}()
+	}
+
 	// Score every window. Worker w owns the windows whose in-level index
 	// is congruent to w, and writes results by global index, so output
 	// assembly is independent of scheduling.
@@ -314,12 +423,16 @@ func Sweep(img *imgproc.Image, scorer WindowScorer, p Params) ([]Box, SweepStats
 		score float64
 	}
 	results := make([]result, total)
+	completed := make([]int64, len(levels)) // scored windows per level, atomic
+	var panics int64
+	var errMu sync.Mutex
+	var werrs []error
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := range levels {
+			for _, i := range order {
 				lv := &levels[i]
 				var ls LevelScorer
 				var ws WindowScorer
@@ -329,22 +442,52 @@ func Sweep(img *imgproc.Image, scorer WindowScorer, p Params) ([]Box, SweepStats
 					ws = wsForks[w]
 				}
 				n := lv.nx * lv.ny
+				done := int64(0)
 				for idx := w; idx < n; idx += workers {
+					if done%cancelBatch == 0 && stop.Load() {
+						break
+					}
 					x := idx % lv.nx * p.Stride
 					y := idx / lv.nx * p.Stride
-					var hit bool
-					var conf float64
-					if ls != nil {
-						hit, conf = ls.ScoreAt(x, y, idx)
-					} else {
-						hit, conf = ws.ScoreWindow(lv.img.Crop(x, y, p.Win, p.Win))
+					hit, conf, werr := scoreOne(ls, ws, lv, i, x, y, idx, p.Win)
+					if werr != nil {
+						atomic.AddInt64(&panics, 1)
+						obsPanics.Inc()
+						errMu.Lock()
+						if len(werrs) < maxWindowErrors {
+							werrs = append(werrs, werr)
+						}
+						errMu.Unlock()
 					}
 					results[lv.start+idx] = result{hit, conf}
+					done++
+				}
+				atomic.AddInt64(&completed[i], done)
+				if stop.Load() {
+					// Drain the remaining levels' counters untouched; the
+					// per-level completion stats show where the budget died.
+					break
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	close(watchDone)
+
+	stats.Panics = panics
+	stats.CompletedPerLevel = completed
+	for _, c := range completed {
+		stats.CompletedWindows += c
+	}
+	stats.Degraded = stats.CompletedWindows < stats.Windows
+	if ctx.Err() != nil {
+		obsCancelled.Inc()
+	}
+	if stats.Degraded {
+		obsDegraded.Inc()
+	} else if dl, ok := ctx.Deadline(); ok {
+		obsSlack.Observe(time.Until(dl).Seconds())
+	}
 
 	var raw []Box
 	for _, lv := range levels {
@@ -367,23 +510,45 @@ func Sweep(img *imgproc.Image, scorer WindowScorer, p Params) ([]Box, SweepStats
 		}
 	}
 	stats.Hits = int64(len(raw))
-	obsWindows.Add(stats.Windows)
+	obsWindows.Add(stats.CompletedWindows)
 	obsHits.Add(stats.Hits)
-	obsRunWindows.Observe(float64(stats.Windows))
-	sp.AddItems(stats.Windows)
+	obsRunWindows.Observe(float64(stats.CompletedWindows))
+	sp.AddItems(stats.CompletedWindows)
+	err = errors.Join(werrs...)
 	if p.NMSIoU < 0 {
 		sortBoxes(raw)
-		return raw, stats, nil
+		return raw, stats, err
 	}
-	return NMS(raw, p.NMSIoU), stats, nil
+	return NMS(raw, p.NMSIoU), stats, err
+}
+
+// scoreOne scores a single window, converting a scorer panic into a typed
+// *WindowError so one bad window cannot take down the sweep. The panicked
+// window reports as a miss.
+func scoreOne(ls LevelScorer, ws WindowScorer, lv *level, li, x, y, idx, win int) (hit bool, conf float64, werr *WindowError) {
+	defer func() {
+		if r := recover(); r != nil {
+			hit, conf = false, 0
+			werr = &WindowError{
+				Level: li, Scale: lv.scale, X: x, Y: y, Index: idx,
+				Cause: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	if ls != nil {
+		hit, conf = ls.ScoreAt(x, y, idx)
+		return
+	}
+	hit, conf = ws.ScoreWindow(lv.img.Crop(x, y, win, win))
+	return
 }
 
 // Run sweeps the scorer over the image pyramid single-worker and returns
 // suppressed detections in original coordinates, best score first. It is
 // the legacy entry point kept for function scorers; use Sweep for
-// parallelism and statistics.
+// contexts, parallelism and statistics.
 func Run(img *imgproc.Image, score Scorer, p Params) ([]Box, error) {
-	boxes, _, err := Sweep(img, score, p)
+	boxes, _, err := Sweep(context.Background(), img, score, p)
 	return boxes, err
 }
 

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -170,7 +171,7 @@ func TestSweepReportsSkippedLevels(t *testing.T) {
 	img.Fill(255)
 	// Scale 2 gives a 30x30 level, smaller than the 48 window: skipped,
 	// and the skip is visible in the sweep stats.
-	boxes, stats, err := Sweep(img, Scorer(brightScorer),
+	boxes, stats, err := Sweep(context.Background(), img, Scorer(brightScorer),
 		Params{Win: 48, Stride: 48, Scales: []float64{1, 2}})
 	if err != nil {
 		t.Fatal(err)
@@ -243,7 +244,7 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 		img.FillRect(0, y, img.W, y+2, uint8(y))
 	}
 	base := Params{Win: 32, Stride: 16, Scales: []float64{1, 1.5, 2}, NMSIoU: -1}
-	ref, refStats, err := Sweep(img, &stubScorer{}, base)
+	ref, refStats, err := Sweep(context.Background(), img, &stubScorer{}, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	for _, workers := range []int{2, 3, 8} {
 		p := base
 		p.Workers = workers
-		got, stats, err := Sweep(img, &stubScorer{}, p)
+		got, stats, err := Sweep(context.Background(), img, &stubScorer{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -270,7 +271,7 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	// Same contract through the ScoreWindow fallback path: a forkable
 	// scorer keeps its workers and the output still matches single-worker.
 	fbBase := base
-	fbRef, _, err := Sweep(img, &stubScorer{fallback: true}, fbBase)
+	fbRef, _, err := Sweep(context.Background(), img, &stubScorer{fallback: true}, fbBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 		t.Fatal("fallback sweep found nothing; test is vacuous")
 	}
 	fbBase.Workers = 4
-	fb, fbStats, err := Sweep(img, &stubScorer{fallback: true}, fbBase)
+	fb, fbStats, err := Sweep(context.Background(), img, &stubScorer{fallback: true}, fbBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestSweepClampsWorkersWithoutFork(t *testing.T) {
 	img.Fill(255)
 	// A bare Scorer function cannot be forked: the sweep must fall back to
 	// one worker rather than share it across goroutines.
-	_, stats, err := Sweep(img, Scorer(brightScorer),
+	_, stats, err := Sweep(context.Background(), img, Scorer(brightScorer),
 		Params{Win: 48, Stride: 24, Scales: []float64{1}, Workers: 8})
 	if err != nil {
 		t.Fatal(err)

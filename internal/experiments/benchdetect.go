@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -120,7 +121,7 @@ func DetectBench(w io.Writer, o Options) error {
 			sc := model.Scores(p.Feature(window))
 			return sc[1] > sc[0], sc[1] - sc[0]
 		}
-		boxes, stats, err := detect.Sweep(scene.Image, detect.Scorer(legacy), params)
+		boxes, stats, err := detect.Sweep(context.Background(), scene.Image, detect.Scorer(legacy), params)
 		return stats.Windows, len(boxes), err
 	}); err != nil {
 		return err
@@ -140,7 +141,7 @@ func DetectBench(w io.Writer, o Options) error {
 			}
 			pp := params
 			pp.Workers = workers
-			boxes, stats, err := detect.Sweep(scene.Image, scorer, pp)
+			boxes, stats, err := detect.Sweep(context.Background(), scene.Image, scorer, pp)
 			return stats.Windows, len(boxes), err
 		}); err != nil {
 			return err

@@ -58,8 +58,8 @@ func TestLoadAllShapes(t *testing.T) {
 
 func TestRunnerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(all))
+	if len(all) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(all))
 	}
 	if _, ok := Get("fig4"); !ok {
 		t.Fatal("fig4 missing")
@@ -424,5 +424,47 @@ func TestVerifyGate(t *testing.T) {
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Fatalf("gate printed failures:\n%s", out)
+	}
+}
+
+func TestFaultSweep(t *testing.T) {
+	report, err := FaultSweepData(Options{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != "hdface-bench-fault/v1" {
+		t.Fatalf("schema %q", report.Schema)
+	}
+	if len(report.Dims) == 0 {
+		t.Fatal("no dimensionality sections")
+	}
+	for _, dim := range report.Dims {
+		if len(dim.Points) != len(report.BERs) {
+			t.Fatalf("D=%d: %d points for %d BERs", dim.D, len(dim.Points), len(report.BERs))
+		}
+		if dim.AccClean < 0.8 {
+			t.Fatalf("D=%d clean accuracy %v; substrate broken", dim.D, dim.AccClean)
+		}
+		for _, pt := range dim.Points {
+			if pt.ModelFlips <= 0 || pt.GridBits <= 0 {
+				t.Fatalf("D=%d BER=%v: no faults injected: %+v", dim.D, pt.BER, pt)
+			}
+			if pt.StuckBits >= pt.ModelFlips {
+				t.Fatalf("D=%d BER=%v: StuckFrac 0.25 latched %d of %d faults",
+					dim.D, pt.BER, pt.StuckBits, pt.ModelFlips)
+			}
+		}
+		// The headline claims: extreme corruption hurts the bit-serial
+		// accuracy, and self-repair recovers it (stuck-at cells bound the
+		// recovery, hence the slack against clean).
+		last := dim.Points[len(dim.Points)-1]
+		if last.AccFaulty >= dim.AccClean {
+			t.Fatalf("D=%d: BER %v did not degrade accuracy (%v vs clean %v)",
+				dim.D, last.BER, last.AccFaulty, dim.AccClean)
+		}
+		if last.AccRepaired <= last.AccFaulty {
+			t.Fatalf("D=%d: repair did not recover accuracy (%v vs faulty %v)",
+				dim.D, last.AccRepaired, last.AccFaulty)
+		}
 	}
 }

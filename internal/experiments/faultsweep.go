@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hdface"
+	"hdface/internal/dataset"
+	"hdface/internal/detect"
+	"hdface/internal/fault"
+	"hdface/internal/hdc"
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+)
+
+// FaultPoint is one (D, BER) measurement of the chaos sweep: bit-serial
+// classification accuracy and end-to-end detection F1 with the class memory
+// faulty, and again after the self-repair pass. Grid faults (the cached
+// cell hypervectors of each pyramid level) stay active through repair —
+// repair fixes the class memory, not the environment.
+type FaultPoint struct {
+	D             int     `json:"d"`
+	BER           float64 `json:"ber"`
+	ModelFlips    int     `json:"model_bits_flipped"`
+	StuckBits     int     `json:"stuck_bits"`
+	GridBits      int     `json:"grid_bits_flipped"`
+	AccFaulty     float64 `json:"acc_faulty"`
+	AccRepaired   float64 `json:"acc_repaired"`
+	F1Faulty      float64 `json:"f1_faulty"`
+	F1Repaired    float64 `json:"f1_repaired"`
+	BoxesFaulty   int     `json:"boxes_faulty"`
+	BoxesRepaired int     `json:"boxes_repaired"`
+}
+
+// FaultDim is the per-dimensionality section of BENCH_fault.json: the clean
+// bit-serial baselines the faulty points are read against.
+type FaultDim struct {
+	D        int          `json:"d"`
+	AccClean float64      `json:"acc_clean"`
+	F1Clean  float64      `json:"f1_clean"`
+	Points   []FaultPoint `json:"points"`
+}
+
+// FaultReport is the BENCH_fault.json schema.
+type FaultReport struct {
+	Schema    string     `json:"schema"`
+	Seed      uint64     `json:"seed"`
+	Win       int        `json:"win"`
+	Scene     string     `json:"scene"`
+	StuckFrac float64    `json:"stuck_frac"`
+	BERs      []float64  `json:"bers"`
+	Dims      []FaultDim `json:"dims"`
+}
+
+// faultBERs is the bit-error sweep of the chaos harness. It reaches far
+// beyond Table 2's 14% because the question here is different: not "how
+// little does HDFace lose" but "where does the holographic representation
+// finally break, and how much does self-repair claw back".
+func faultBERs(o Options) []float64 {
+	if o.Quick {
+		return []float64{0.05, 0.2, 0.4}
+	}
+	return []float64{0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
+}
+
+func faultDims(o Options) []int {
+	if o.Quick {
+		return []int{1024}
+	}
+	return []int{1024, 4096}
+}
+
+// detectionF1 converts matched detections into an F1 score.
+func detectionF1(boxes []detect.Box, truth [][4]int) float64 {
+	tp, fp, fn := detect.MatchTruth(boxes, truth, 0.5)
+	if 2*tp+fp+fn == 0 {
+		return 0
+	}
+	return float64(2*tp) / float64(2*tp+fp+fn)
+}
+
+// FaultSweepData runs the chaos harness across BER x D and returns the
+// report. For each dimensionality it trains a binary face/non-face
+// pipeline, retains the training features (the repair corpus), then for
+// each bit-error rate injects faults into the binarised class memory
+// (StuckFrac of them latched stuck-at) and into every cached pyramid cell
+// grid, measures bit-serial accuracy and detection F1, runs the
+// majority-re-bundling self-repair pass, and measures both again.
+func FaultSweepData(o Options) (*FaultReport, error) {
+	o = o.withDefaults()
+	const (
+		win       = 48
+		sceneSize = 192
+		nFaces    = 3
+		stuckFrac = 0.25
+	)
+	params := detect.Params{Win: win, Stride: 24, Scales: []float64{1, 1.5, 2}, NMSIoU: 0.3}
+	report := &FaultReport{
+		Schema:    "hdface-bench-fault/v1",
+		Seed:      o.Seed,
+		Win:       win,
+		Scene:     fmt.Sprintf("%dx%d synthetic, %d faces", sceneSize, sceneSize, nFaces),
+		StuckFrac: stuckFrac,
+		BERs:      faultBERs(o),
+	}
+
+	// Binary face/non-face corpus at the window size: a training half (also
+	// the repair corpus) and a held-out test half for accuracy.
+	r := hv.NewRNG(o.Seed ^ 0xfa57)
+	render := func(n int) ([]*imgproc.Image, []int) {
+		var imgs []*imgproc.Image
+		var labels []int
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				imgs = append(imgs, dataset.RenderFace(win, win, dataset.Emotion(r.Intn(7)), r))
+				labels = append(labels, 1)
+			} else {
+				imgs = append(imgs, dataset.RenderNonFace(win, win, r))
+				labels = append(labels, 0)
+			}
+		}
+		return imgs, labels
+	}
+	nTrain, nTest := 40, 30
+	if o.Quick {
+		nTrain, nTest = 20, 16
+	}
+	trainImgs, trainLabels := render(nTrain)
+	testImgs, testLabels := render(nTest)
+	scene := dataset.GenerateScene(sceneSize, sceneSize, win, nFaces, o.Seed^0x5ce2)
+
+	sweepF1 := func(p *hdface.Pipeline, m *hdc.Model, h *fault.Harness) (float64, int, error) {
+		scorer, err := p.DetectScorer(m, win)
+		if err != nil {
+			return 0, 0, err
+		}
+		scorer.Hamming = true
+		if h != nil {
+			scorer.OnGrid = h.GridHook()
+			h.BeginSweep()
+		}
+		boxes, _, err := detect.Sweep(context.Background(), scene.Image, scorer, params)
+		if err != nil {
+			return 0, 0, err
+		}
+		return detectionF1(boxes, scene.Faces), len(boxes), nil
+	}
+
+	for _, d := range faultDims(o) {
+		p := pipeline(o, hdface.ModeStochHOG, d)
+		// Detection windows arrive at the sweep window size; extract at the
+		// same geometry so the cell grid is reusable.
+		cfg := p.Config()
+		cfg.WorkingSize = win
+		p = hdface.New(cfg)
+		if err := p.Fit(trainImgs, trainLabels, 2); err != nil {
+			return nil, fmt.Errorf("faultsweep d=%d: %w", d, err)
+		}
+		model := p.Model()
+		// The repair corpus: retained training features. Re-extraction
+		// carries fresh stochastic sampling noise, exactly what a deployed
+		// service re-reading its enrolment set would see.
+		repairFeats := p.Features(trainImgs)
+		testFeats := p.Features(testImgs)
+
+		dim := FaultDim{
+			D:        d,
+			AccClean: binAccuracy(model, testFeats, testLabels),
+		}
+		f1, _, err := sweepF1(p, model, nil)
+		if err != nil {
+			return nil, err
+		}
+		dim.F1Clean = f1
+
+		for _, ber := range report.BERs {
+			h := fault.New(fault.Plan{BER: ber, StuckFrac: stuckFrac, Seed: o.Seed ^ uint64(d)})
+			m := cloneModelBin(model)
+			transient, stuck := h.InjectModel(m)
+			pt := FaultPoint{
+				D: d, BER: ber,
+				ModelFlips: transient + stuck,
+				StuckBits:  stuck,
+			}
+			pt.AccFaulty = binAccuracy(m, testFeats, testLabels)
+			pt.F1Faulty, pt.BoxesFaulty, err = sweepF1(p, m, h)
+			if err != nil {
+				return nil, err
+			}
+			h.Repair(m, repairFeats, trainLabels)
+			pt.AccRepaired = binAccuracy(m, testFeats, testLabels)
+			pt.F1Repaired, pt.BoxesRepaired, err = sweepF1(p, m, h)
+			if err != nil {
+				return nil, err
+			}
+			pt.GridBits = h.Stats().GridBits
+			dim.Points = append(dim.Points, pt)
+		}
+		report.Dims = append(report.Dims, dim)
+	}
+	return report, nil
+}
+
+// FaultSweep prints the chaos-harness sweep and writes BENCH_fault.json.
+func FaultSweep(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	report, err := FaultSweepData(o)
+	if err != nil {
+		return err
+	}
+	section(w, "fault sweep: bit-error chaos harness with self-repair")
+	for _, dim := range report.Dims {
+		fmt.Fprintf(w, "D=%d  clean: acc=%.3f f1=%.3f\n", dim.D, dim.AccClean, dim.F1Clean)
+		fmt.Fprintf(w, "%8s %12s %12s %10s %10s\n", "BER", "acc faulty", "acc repaired", "f1 faulty", "f1 repaired")
+		for _, pt := range dim.Points {
+			fmt.Fprintf(w, "%7.0f%% %12.3f %12.3f %10.3f %10.3f\n",
+				pt.BER*100, pt.AccFaulty, pt.AccRepaired, pt.F1Faulty, pt.F1Repaired)
+		}
+	}
+	fmt.Fprintln(w, "repair re-bundles class memory from retained features; stuck-at cells (25% of faults) persist")
+
+	dir := o.OutDir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_fault.json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,249 @@
+package fault
+
+import (
+	"testing"
+
+	"hdface/internal/hdc"
+	"hdface/internal/hdhog"
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+	"hdface/internal/stoch"
+)
+
+// synthModel trains a small binary model on noisy copies of two prototype
+// hypervectors and returns it (finalised) with its training set.
+func synthModel(t *testing.T, d int) (*hdc.Model, []*hv.Vector, []int) {
+	t.Helper()
+	r := hv.NewRNG(41)
+	protos := []*hv.Vector{hv.NewRand(r, d), hv.NewRand(r, d)}
+	var feats []*hv.Vector
+	var labels []int
+	for i := 0; i < 60; i++ {
+		c := i % 2
+		v := protos[c].Clone()
+		// ~10% bit noise per sample.
+		v.Xor(v, hv.NewRandBiased(r, d, 0.1))
+		feats = append(feats, v)
+		labels = append(labels, c)
+	}
+	m := hdc.Train(feats, labels, 2, hdc.TrainOpts{Seed: 42, Epochs: 5})
+	m.Finalize(42)
+	return m, feats, labels
+}
+
+// cloneBin returns a model sharing accumulators but owning a deep copy of
+// the binarised class memory — what injection mutates.
+func cloneBin(m *hdc.Model) *hdc.Model {
+	c := &hdc.Model{D: m.D, K: m.K, Classes: m.Classes, Bin: make([]*hv.Vector, m.K)}
+	for i, v := range m.Bin {
+		c.Bin[i] = v.Clone()
+	}
+	return c
+}
+
+func hammingAccuracy(m *hdc.Model, feats []*hv.Vector, labels []int) float64 {
+	correct := 0
+	for i, f := range feats {
+		face, _ := m.ScoreBinaryHamming(f)
+		if (face && labels[i] == 1) || (!face && labels[i] == 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(feats))
+}
+
+func TestInjectModelDeterministicAtRate(t *testing.T) {
+	clean, _, _ := synthModel(t, 4096)
+	a, b := cloneBin(clean), cloneBin(clean)
+	plan := Plan{BER: 0.1, StuckFrac: 0.5, Seed: 7}
+	tA, sA := New(plan).InjectModel(a)
+	tB, sB := New(plan).InjectModel(b)
+	if tA != tB || sA != sB {
+		t.Fatalf("same plan, different counts: (%d,%d) vs (%d,%d)", tA, sA, tB, sB)
+	}
+	for c := range a.Bin {
+		if !a.Bin[c].Equal(b.Bin[c]) {
+			t.Fatalf("class %d corrupted differently across runs", c)
+		}
+	}
+	// Every fault (transient or stuck) flipped exactly one bit.
+	flipped := 0
+	for c := range a.Bin {
+		flipped += clean.Bin[c].Hamming(a.Bin[c])
+	}
+	if flipped != tA+sA {
+		t.Fatalf("hamming %d != transient %d + stuck %d", flipped, tA, sA)
+	}
+	// The realised rate tracks BER, and StuckFrac splits it roughly in two.
+	rate := float64(flipped) / float64(2*clean.D)
+	if rate < 0.07 || rate > 0.13 {
+		t.Fatalf("realised BER %v far from 0.1", rate)
+	}
+	if sA == 0 || tA == 0 {
+		t.Fatalf("StuckFrac 0.5 should latch some and leave some transient: t=%d s=%d", tA, sA)
+	}
+}
+
+func TestInjectModelZeroRateNoop(t *testing.T) {
+	clean, _, _ := synthModel(t, 1024)
+	m := cloneBin(clean)
+	tr, st := New(Plan{BER: 0, Seed: 1}).InjectModel(m)
+	if tr != 0 || st != 0 || !m.Bin[0].Equal(clean.Bin[0]) || !m.Bin[1].Equal(clean.Bin[1]) {
+		t.Fatal("zero-BER injection mutated the model")
+	}
+}
+
+func TestRepairClearsTransientFaults(t *testing.T) {
+	clean, feats, labels := synthModel(t, 2048)
+	// Reference: what a clean model's memory looks like after the same
+	// reconsolidation (repair rebuilds from features, not from the
+	// Finalize accumulators, so the baseline must too).
+	ref := cloneBin(clean)
+	ref.Reconsolidate(feats, labels, 7)
+	h := New(Plan{BER: 0.2, StuckFrac: 0, Seed: 7})
+	m := cloneBin(clean)
+	h.InjectModel(m)
+	if m.Bin[0].Equal(ref.Bin[0]) {
+		t.Fatal("injection did nothing; test is vacuous")
+	}
+	if rebuilt := h.Repair(m, feats, labels); rebuilt != 2 {
+		t.Fatalf("rebuilt %d classes, want 2", rebuilt)
+	}
+	for c := range m.Bin {
+		if !m.Bin[c].Equal(ref.Bin[c]) {
+			t.Fatalf("class %d: transient faults survived repair (hamming %d)",
+				c, m.Bin[c].Hamming(ref.Bin[c]))
+		}
+	}
+	if h.Stats().Repairs != 1 {
+		t.Fatalf("stats: %+v", h.Stats())
+	}
+}
+
+func TestStuckFaultsSurviveRepair(t *testing.T) {
+	clean, feats, labels := synthModel(t, 2048)
+	ref := cloneBin(clean)
+	ref.Reconsolidate(feats, labels, 7)
+	h := New(Plan{BER: 0.1, StuckFrac: 1, Seed: 7})
+	m := cloneBin(clean)
+	_, stuck := h.InjectModel(m)
+	if stuck == 0 {
+		t.Fatal("StuckFrac 1 latched nothing")
+	}
+	h.Repair(m, feats, labels)
+	// Repair must NOT have restored the reference memory: the stuck cells
+	// hold their latched values.
+	diff := 0
+	for c := range m.Bin {
+		diff += m.Bin[c].Hamming(ref.Bin[c])
+	}
+	if diff == 0 {
+		t.Fatal("stuck-at faults vanished after repair")
+	}
+	if diff > stuck {
+		t.Fatalf("%d bits differ after repair, more than the %d stuck cells", diff, stuck)
+	}
+	// A second repair pass changes nothing: the memory is already at the
+	// stuck-at floor.
+	before := []*hv.Vector{m.Bin[0].Clone(), m.Bin[1].Clone()}
+	h.Repair(m, feats, labels)
+	if !m.Bin[0].Equal(before[0]) || !m.Bin[1].Equal(before[1]) {
+		t.Fatal("repair is not idempotent at the stuck-at floor")
+	}
+}
+
+func TestHammingAccuracyDegradesAndRepairs(t *testing.T) {
+	clean, feats, labels := synthModel(t, 4096)
+	cleanAcc := hammingAccuracy(clean, feats, labels)
+	if cleanAcc < 0.95 {
+		t.Fatalf("clean accuracy %v too low; synthetic task broken", cleanAcc)
+	}
+	// Moderate BER shrinks the decision margin (holographic degradation is
+	// graceful — accuracy itself may survive).
+	margin := func(m *hdc.Model) float64 {
+		var s float64
+		for i, f := range feats {
+			_, g := m.ScoreBinaryHamming(f)
+			if labels[i] == 0 {
+				g = -g
+			}
+			s += g
+		}
+		return s / float64(len(feats))
+	}
+	mild := cloneBin(clean)
+	New(Plan{BER: 0.2, StuckFrac: 0, Seed: 3}).InjectModel(mild)
+	if margin(mild) >= margin(clean) {
+		t.Fatalf("BER 0.2 did not shrink the margin: %v vs %v", margin(mild), margin(clean))
+	}
+	// BER 0.5 randomises the class memory outright: accuracy collapses.
+	h := New(Plan{BER: 0.5, StuckFrac: 0, Seed: 3})
+	m := cloneBin(clean)
+	h.InjectModel(m)
+	hurtAcc := hammingAccuracy(m, feats, labels)
+	if hurtAcc >= cleanAcc {
+		t.Fatalf("BER 0.5 did not hurt accuracy: %v vs clean %v", hurtAcc, cleanAcc)
+	}
+	h.Repair(m, feats, labels)
+	if got := hammingAccuracy(m, feats, labels); got < cleanAcc {
+		t.Fatalf("repair recovered only %v, clean was %v", got, cleanAcc)
+	}
+}
+
+func TestGridHookCorruptsDeterministically(t *testing.T) {
+	img := imgproc.NewImage(64, 64)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			img.Set(x, y, uint8((x*7+y*13)%256))
+		}
+	}
+	build := func(hook func(*hdhog.CellGrid)) *hdhog.CellGrid {
+		e := hdhog.New(stoch.NewCodec(512, 9), hdhog.DefaultParams())
+		e.GridHook = hook
+		return e.LevelGrid(img, 99, 1)
+	}
+	cleanGrid := build(nil)
+	h := New(Plan{BER: 0.25, Seed: 11})
+	hook := h.GridHook()
+	if hook == nil {
+		t.Fatal("non-zero BER returned a nil hook")
+	}
+	g1 := build(hook)
+	if h.Stats().Grids != 1 || h.Stats().GridBits == 0 {
+		t.Fatalf("hook did not record corruption: %+v", h.Stats())
+	}
+	differs := false
+	for i, cb := range g1.Cells {
+		for b, v := range cb.Vecs {
+			if v == nil {
+				continue
+			}
+			if cleanGrid.Cells[i].Vecs[b] == nil {
+				t.Fatalf("cell %d bin %d occupancy changed", i, b)
+			}
+			if !v.Equal(cleanGrid.Cells[i].Vecs[b]) {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("hooked grid identical to clean grid")
+	}
+	// BeginSweep resets the substream: the next sweep's first grid draws
+	// the same fault pattern — latched defects, not fresh soft errors.
+	h.BeginSweep()
+	g2 := build(h.GridHook())
+	for i, cb := range g1.Cells {
+		for b, v := range cb.Vecs {
+			if v == nil {
+				continue
+			}
+			if !v.Equal(g2.Cells[i].Vecs[b]) {
+				t.Fatalf("cell %d bin %d corrupted differently across sweeps", i, b)
+			}
+		}
+	}
+	if New(Plan{BER: 0}).GridHook() != nil {
+		t.Fatal("zero-BER plan should produce no hook")
+	}
+}

@@ -1,0 +1,85 @@
+package hdc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hdface/internal/hv"
+	"hdface/internal/obs"
+)
+
+var obsRepairs = obs.NewCounter("hdface_hdc_reconsolidations_total", "class hypervectors rebuilt by majority re-bundling")
+
+// ScoreBinaryHamming classifies with a two-class model on the binarised
+// class memory, returning whether class 1 (face) outscores class 0 and the
+// Hamming-similarity margin. It is the bit-serial counterpart of
+// ScoreBinary: where ScoreBinary reads the float accumulators, this reads
+// only the packed class hypervectors — the memory a bit-serial accelerator
+// actually holds, and the one the fault harness corrupts. Finalize must
+// have been called. Safe for concurrent use.
+func (m *Model) ScoreBinaryHamming(v *hv.Vector) (bool, float64) {
+	if m.K != 2 {
+		panic(fmt.Sprintf("hdc: ScoreBinaryHamming needs a binary model, got %d classes", m.K))
+	}
+	if m.Bin == nil {
+		panic("hdc: ScoreBinaryHamming before Finalize")
+	}
+	if v.D() != m.D {
+		panic(fmt.Sprintf("hdc: query dimension %d, model %d", v.D(), m.D))
+	}
+	s0, s1 := m.Bin[0].HammingSim(v), m.Bin[1].HammingSim(v)
+	atomic.AddInt64(&m.Stats.Similarities, 2)
+	obsSims.Add(2)
+	return s1 > s0, s1 - s0
+}
+
+// Reconsolidate rebuilds the binarised class memory by majority re-bundling
+// retained training features: each class hypervector becomes the bitwise
+// majority of its features (seeded tie-breaking), overwriting whatever the
+// memory held before. This is the self-repair pass of the fault-tolerance
+// study — after bit errors corrupt the class memory, one pass over retained
+// features restores a consolidated copy, no gradient retraining needed,
+// because the holographic representation keeps every feature's vote
+// recoverable from the features themselves. Classes with no retained
+// features keep their current (possibly corrupted) vectors. The float
+// accumulators are untouched. Returns the number of classes rebuilt.
+func (m *Model) Reconsolidate(features []*hv.Vector, labels []int, seed uint64) int {
+	if len(features) != len(labels) {
+		panic("hdc: features and labels misaligned")
+	}
+	accs := make([]*hv.Accumulator, m.K)
+	for i, f := range features {
+		y := labels[i]
+		if y < 0 || y >= m.K {
+			panic(fmt.Sprintf("hdc: label %d outside [0,%d)", y, m.K))
+		}
+		if f.D() != m.D {
+			panic(fmt.Sprintf("hdc: feature dimension %d, model %d", f.D(), m.D))
+		}
+		if accs[y] == nil {
+			accs[y] = hv.NewAccumulator(m.D)
+		}
+		accs[y].Add(f)
+	}
+	if m.Bin == nil {
+		m.Bin = make([]*hv.Vector, m.K)
+		for c := range m.Bin {
+			m.Bin[c] = hv.New(m.D)
+		}
+	}
+	r := hv.NewRNG(seed ^ 0x5e1f)
+	rebuilt := 0
+	for c, acc := range accs {
+		// Every class draws its tie vector so the stream stays aligned
+		// even when a class has nothing to rebuild from.
+		tie := hv.NewRand(r, m.D)
+		if acc == nil {
+			continue
+		}
+		v, _ := acc.Sign(tie)
+		m.Bin[c] = v
+		rebuilt++
+		obsRepairs.Inc()
+	}
+	return rebuilt
+}

@@ -97,7 +97,32 @@ func (e *Extractor) LevelGrid(img *imgproc.Image, seed uint64, workers int) *Cel
 		e.Pixels += exts[w].Pixels
 		e.codec.Stats.Add(exts[w].codec.Stats)
 	}
+	if e.GridHook != nil {
+		e.GridHook(g)
+		g.reweight(e)
+	}
 	return g
+}
+
+// reweight recomputes every cached bundle weight from the current cell
+// hypervectors — required after a GridHook mutates them, since the weights
+// were decoded from the pre-corruption vectors during extraction. Decode is
+// deterministic (a popcount against the codec's basis), so reweighting does
+// not perturb any random stream.
+func (g *CellGrid) reweight(e *Extractor) {
+	for gi, cb := range g.Cells {
+		for b, cnt := range cb.Counts {
+			w := int32(0)
+			if cnt != 0 && cb.Vecs[b] != nil {
+				val := e.codec.Decode(cb.Vecs[b])
+				if val < 0 {
+					val = 0
+				}
+				w = int32(float64(cnt)*val*weightScale + 0.5)
+			}
+			g.weights[gi*g.bins+b] = w
+		}
+	}
 }
 
 // WindowFeature assembles the feature hypervector of the winCells-sized

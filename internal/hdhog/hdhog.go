@@ -89,6 +89,14 @@ type Extractor struct {
 	// WindowFeature's bundling loop.
 	scratch []int32
 
+	// GridHook, when set, is invoked on every freshly extracted CellGrid —
+	// the fault-injection seam of the chaos harness, which corrupts cell
+	// hypervectors in place. LevelGrid calls it after extraction and then
+	// recomputes the cached bundle weights from the (possibly corrupted)
+	// cell vectors, so the corruption propagates into every window
+	// assembled from the grid. Forks inherit the hook.
+	GridHook func(*CellGrid)
+
 	// Pixels counts processed gradient sites, for the hardware model.
 	Pixels int64
 }

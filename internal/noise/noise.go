@@ -14,16 +14,19 @@ import (
 
 // Injector draws reproducible fault patterns.
 type Injector struct {
-	rng *hv.RNG
+	rng  *hv.RNG
+	seed uint64
 }
 
 // New returns an injector seeded by seed.
 func New(seed uint64) *Injector {
-	return &Injector{rng: hv.NewRNG(seed ^ 0xfa017)}
+	return &Injector{rng: hv.NewRNG(seed ^ 0xfa017), seed: seed}
 }
 
 // FlipVector flips each bit of v independently with probability rate and
-// returns the number of flips.
+// returns the number of flips. The pattern comes from the injector's shared
+// sequential stream; use FlipVectorAt when the pattern must not depend on
+// what was corrupted before.
 func (in *Injector) FlipVector(v *hv.Vector, rate float64) int {
 	if rate <= 0 {
 		return 0
@@ -34,11 +37,30 @@ func (in *Injector) FlipVector(v *hv.Vector, rate float64) int {
 	return flips
 }
 
-// FlipVectors applies FlipVector to every vector.
+// FlipVectorAt flips each bit of v independently with probability rate,
+// drawing the fault pattern from a substream keyed on (injector seed, idx)
+// via hv.Mix64. The pattern of index idx is a pure function of the seed —
+// independent of injection order, of how many vectors were corrupted before
+// it, and of the injector's shared stream — which is what lets the chaos
+// harness corrupt the same logical memory cell identically across runs.
+func (in *Injector) FlipVectorAt(v *hv.Vector, idx uint64, rate float64) int {
+	if rate <= 0 {
+		return 0
+	}
+	r := hv.NewRNG(hv.Mix64(in.seed^0xfa017, idx))
+	mask := hv.NewRandBiased(r, v.D(), rate)
+	flips := mask.OnesCount()
+	v.Xor(v, mask)
+	return flips
+}
+
+// FlipVectors applies FlipVectorAt to every vector, keyed by slice index:
+// vector i receives the same fault pattern whether the whole batch or just
+// vector i is corrupted.
 func (in *Injector) FlipVectors(vs []*hv.Vector, rate float64) int {
 	total := 0
-	for _, v := range vs {
-		total += in.FlipVector(v, rate)
+	for i, v := range vs {
+		total += in.FlipVectorAt(v, uint64(i), rate)
 	}
 	return total
 }

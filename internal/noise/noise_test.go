@@ -230,3 +230,52 @@ func TestFlipFixed8Matrix(t *testing.T) {
 		t.Fatal("no flips")
 	}
 }
+
+func TestFlipVectorsPerVectorSubstream(t *testing.T) {
+	r := hv.NewRNG(8)
+	d := 4096
+	base := make([]*hv.Vector, 4)
+	for i := range base {
+		base[i] = hv.NewRand(r, d)
+	}
+	clone := func() []*hv.Vector {
+		out := make([]*hv.Vector, len(base))
+		for i, v := range base {
+			out[i] = v.Clone()
+		}
+		return out
+	}
+	// Batch corruption equals per-index corruption: vector i's pattern is
+	// keyed on (seed, i), not on how many vectors came before it.
+	batch := clone()
+	New(9).FlipVectors(batch, 0.1)
+	solo := clone()
+	in := New(9)
+	for i := len(solo) - 1; i >= 0; i-- { // reverse order must not matter
+		in.FlipVectorAt(solo[i], uint64(i), 0.1)
+	}
+	for i := range base {
+		if !batch[i].Equal(solo[i]) {
+			t.Fatalf("vector %d: batch and per-index patterns differ", i)
+		}
+	}
+	// Distinct indices draw distinct patterns.
+	a, b := base[0].Clone(), base[0].Clone()
+	in.FlipVectorAt(a, 0, 0.1)
+	in.FlipVectorAt(b, 1, 0.1)
+	if a.Equal(b) {
+		t.Fatal("indices 0 and 1 shared a fault pattern")
+	}
+	// The substream ignores the injector's shared sequential stream.
+	drained := New(9)
+	drained.FlipVector(base[3].Clone(), 0.5) // advance the shared stream
+	c := base[0].Clone()
+	drained.FlipVectorAt(c, 0, 0.1)
+	if !c.Equal(a) {
+		t.Fatal("FlipVectorAt pattern depends on shared stream position")
+	}
+	// Rate 0 is a no-op.
+	if in.FlipVectorAt(base[0].Clone(), 0, 0) != 0 {
+		t.Fatal("zero rate flipped bits")
+	}
+}

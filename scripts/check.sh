@@ -19,7 +19,18 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== resilience suite (race, bounded) =="
+# The cancellation/panic/fault paths are the ones a flaky scheduler can
+# wedge: bound them so a leaked goroutine fails fast instead of hanging CI.
+go test -race -timeout 120s ./internal/detect ./internal/hdc ./internal/fault
+
 echo "== detection sweep bench smoke =="
 go test -run=XXX -bench=DetectSweep -benchtime=1x .
+
+echo "== fault sweep smoke =="
+out=$(mktemp -d)
+go run ./cmd/hdface-bench -exp faultsweep -quick -out "$out" >/dev/null
+test -s "$out/BENCH_fault.json" || { echo "BENCH_fault.json missing" >&2; exit 1; }
+rm -rf "$out"
 
 echo "OK"
