@@ -4,21 +4,27 @@
 //	hdface eval   -dataset emotion -model emotion.hdc
 //	hdface detect -scene scene.pgm -model face.hdc -out overlay.pgm
 //	hdface scene  -out scene.pgm            # render a test scene
+//	hdface serve  -snapshot face.hdfs -addr :8466
 //
-// Models are serialised HDC classifiers; datasets are generated
-// synthetically (see DESIGN.md for the substitution rationale).
+// Models are serialised HDC classifiers; pipeline snapshots (train
+// -snapshot) additionally carry the full configuration so a daemon can
+// rematerialise the front-end; datasets are generated synthetically (see
+// DESIGN.md for the substitution rationale).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"hdface"
 	"hdface/internal/dataset"
@@ -27,6 +33,7 @@ import (
 	"hdface/internal/hv"
 	"hdface/internal/imgproc"
 	"hdface/internal/obscli"
+	"hdface/internal/serve"
 )
 
 func fatal(err error) {
@@ -55,8 +62,12 @@ func buildPipeline(d, workingSize, workers int, mode string, seed uint64) (*hdfa
 		m = hdface.ModeStochHOG
 	case "orig":
 		m = hdface.ModeOrigHOG
+	case "haar":
+		m = hdface.ModeStochHAAR
+	case "conv":
+		m = hdface.ModeStochConv
 	default:
-		return nil, fmt.Errorf("unknown mode %q (stoch, orig)", mode)
+		return nil, fmt.Errorf("unknown mode %q (stoch, orig, haar, conv)", mode)
 	}
 	if workers < 1 {
 		return nil, fmt.Errorf("-workers %d must be positive (default: all %d CPUs)", workers, runtime.NumCPU())
@@ -81,6 +92,7 @@ func cmdTrain(args []string) error {
 	workingSize := fs.Int("size", 48, "working raster size")
 	seed := fs.Uint64("seed", 7, "random seed")
 	modelPath := fs.String("model", "model.hdc", "output model path")
+	snapPath := fs.String("snapshot", "", "also write a pipeline snapshot (config + model) for the serve subcommand")
 	featPath := fs.String("features", "", "train from a feature cache written by the features subcommand (skips rendering and extraction)")
 	k := fs.Int("k", 0, "class count when training from a feature cache (0 = infer from labels)")
 	workers := workersFlag(fs)
@@ -137,6 +149,12 @@ func cmdTrain(args []string) error {
 	}
 	if err := f.Close(); err != nil {
 		return err
+	}
+	if *snapPath != "" {
+		if err := p.SaveSnapshotFile(*snapPath); err != nil {
+			return err
+		}
+		fmt.Printf("pipeline snapshot written to %s\n", *snapPath)
 	}
 	return of.Finish()
 }
@@ -381,9 +399,90 @@ func cmdDetect(args []string) error {
 	return of.Finish()
 }
 
+// cmdServe runs the long-lived inference daemon over a pipeline snapshot:
+// /predict and /detect with micro-batched admission control, /healthz and
+// /metrics, graceful drain on SIGINT/SIGTERM.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	snapPath := fs.String("snapshot", "model.hdfs", "pipeline snapshot to serve (train -snapshot)")
+	addr := fs.String("addr", ":8466", "listen address (use :0 for an ephemeral port; the bound address is printed)")
+	maxBatch := fs.Int("max-batch", 8, "max /predict requests merged into one extraction batch")
+	maxQueue := fs.Int("max-queue", 64, "max queued jobs before requests are shed with 503")
+	flush := fs.Duration("flush", 2*time.Millisecond, "max time a partial batch waits for stragglers")
+	deadline := fs.Duration("deadline", 30*time.Second, "max (and default) per-request /detect budget; blown budgets return best-so-far boxes flagged degraded")
+	win := fs.Int("win", 0, "detection window size (0 = snapshot working size)")
+	stride := fs.Int("stride", 0, "detection window stride (0 = win/2)")
+	workers := fs.Int("workers", 0, "override extraction parallelism (0 = snapshot setting)")
+	of := obscli.Register(fs)
+	fs.Parse(args)
+
+	p, err := hdface.LoadSnapshotFile(*snapPath)
+	if err != nil {
+		return err
+	}
+	if *workers > 0 {
+		p.SetWorkers(*workers)
+	}
+	cfg := p.Config()
+	of.Activate(map[string]string{
+		"cmd": "serve", "mode": cfg.Mode.String(),
+		"d": strconv.Itoa(cfg.D), "seed": strconv.FormatUint(cfg.Seed, 10),
+	})
+
+	s, err := serve.New(serve.Config{
+		Pipeline:      p,
+		MaxBatch:      *maxBatch,
+		MaxQueue:      *maxQueue,
+		FlushInterval: *flush,
+		MaxDeadline:   *deadline,
+		DetectWin:     *win,
+		DetectParams:  detect.Params{Stride: *stride},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	trained := "untrained"
+	if p.Model() != nil {
+		trained = "trained"
+	}
+	fmt.Printf("serving %s %s pipeline (D=%d) on http://%s\n",
+		trained, cfg.Mode, cfg.D, ln.Addr())
+
+	srv := &http.Server{Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting for drain
+	fmt.Println("signal received; draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+	}
+	// With every HTTP handler drained, stop the dispatcher: queued jobs are
+	// answered, then the inference loop exits.
+	s.Close()
+	<-errCh // Serve has returned ErrServerClosed
+	fmt.Println("drained; bye")
+	return of.Finish()
+}
+
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: hdface <train|eval|detect|scene|features> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: hdface <train|eval|detect|scene|features|serve> [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -398,6 +497,8 @@ func main() {
 		err = cmdScene(os.Args[2:])
 	case "features":
 		err = cmdFeatures(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}

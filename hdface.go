@@ -202,6 +202,31 @@ func (p *Pipeline) prepare(img *Image) *Image {
 	return img
 }
 
+// saltFeature decorrelates per-image reseed streams from every other
+// consumer of cfg.Seed (codec, encoder, finalize, detection salts).
+const saltFeature = 0xfea7
+
+// featureSeed derives a deterministic reseed value for one prepared image:
+// FNV-1a over the raster (dimensions then pixels) mixed with the pipeline
+// seed. Reseeding the extractor with it before every extraction makes
+// Feature a pure function of (Config, image) — independent of how many
+// images the pipeline saw before, which worker handled it, or how requests
+// were batched — the property that lets a serving daemon and a freshly
+// loaded snapshot reproduce each other bit for bit.
+func (p *Pipeline) featureSeed(img *Image) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(img.W)) * prime64
+	h = (h ^ uint64(img.H)) * prime64
+	for _, px := range img.Pix {
+		h = (h ^ uint64(px)) * prime64
+	}
+	return hv.Mix64(p.cfg.Seed^saltFeature, h)
+}
+
 // ensureEncoder lazily builds the projection encoder for ModeOrigHOG.
 func (p *Pipeline) ensureEncoder(img *Image) {
 	if p.enc != nil {
@@ -212,7 +237,14 @@ func (p *Pipeline) ensureEncoder(img *Image) {
 	p.enc = encoder.NewProjection(p.cfg.D, n, p.cfg.Seed^0xe0c0)
 }
 
-// Feature maps one image to its hypervector.
+// Feature maps one image to its hypervector. For the stochastic front-ends
+// the extractor is warmed (positional IDs pinned to the construction
+// stream) and then reseeded from the image content, so the result is a pure
+// function of (Config, image): the same image yields the same hypervector
+// no matter what the pipeline extracted before. For varying geometries the
+// guarantee requires IDs for that geometry to have been created in the same
+// order; a fixed WorkingSize (the serving configuration) satisfies it
+// unconditionally.
 func (p *Pipeline) Feature(img *Image) *hv.Vector {
 	sp := obs.StartSpan("extract")
 	defer sp.End()
@@ -221,15 +253,20 @@ func (p *Pipeline) Feature(img *Image) *hv.Vector {
 	img = p.prepare(img)
 	switch p.cfg.Mode {
 	case ModeStochHOG:
+		p.hdExt.WarmIDs(img.W, img.H)
+		p.hdExt.Reseed(p.featureSeed(img))
 		f := p.hdExt.Feature(img)
 		p.harvest(p.hdExt)
 		return f
 	case ModeStochHAAR:
+		p.haarExt.Reseed(p.featureSeed(img))
 		f := p.haarExt.Feature(img)
 		p.harvestCodec(p.haarExt.Pixels)
 		p.haarExt.Pixels = 0
 		return f
 	case ModeStochConv:
+		p.convExt.WarmIDs(img.W, img.H)
+		p.convExt.Reseed(p.featureSeed(img))
 		f := p.convExt.Feature(img)
 		p.harvestCodec(p.convExt.Sites)
 		p.convExt.Sites = 0
@@ -280,7 +317,10 @@ func (p *Pipeline) harvestCodec(sites int64) {
 }
 
 // Features maps a batch of images to hypervectors with Workers-way
-// parallelism. The result is deterministic for a fixed (Config, batch).
+// parallelism. Each image is extracted under its content-derived reseed
+// (see Feature), so every element is a pure function of (Config, image):
+// the output is independent of batch composition, ordering of other
+// images, and worker count.
 func (p *Pipeline) Features(imgs []*Image) []*hv.Vector {
 	out, _ := p.FeaturesContext(context.Background(), imgs)
 	return out
@@ -338,12 +378,16 @@ func (p *Pipeline) FeaturesContext(ctx context.Context, imgs []*Image) ([]*hv.Ve
 		// Pre-warm positional IDs so forks never mutate shared state.
 		probe := p.prepare(imgs[0])
 		p.hdExt.WarmIDs(probe.W, probe.H)
+		// Fork every worker's extractor before launching any goroutine:
+		// Fork draws from the parent RNG, so it must not overlap with
+		// worker 0 mutating the parent.
+		exts := make([]*hdhog.Extractor, workers)
+		exts[0] = p.hdExt
+		for w := 1; w < workers; w++ {
+			exts[w] = p.hdExt.Fork()
+		}
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
-			ext := p.hdExt
-			if w > 0 {
-				ext = p.hdExt.Fork()
-			}
 			wg.Add(1)
 			go func(w int, ext *hdhog.Extractor) {
 				defer wg.Done()
@@ -351,10 +395,12 @@ func (p *Pipeline) FeaturesContext(ctx context.Context, imgs []*Image) ([]*hv.Ve
 					if stop.Load() {
 						break
 					}
-					out[i] = ext.Feature(p.prepare(imgs[i]))
+					img := p.prepare(imgs[i])
+					ext.Reseed(p.featureSeed(img))
+					out[i] = ext.Feature(img)
 				}
 				p.harvest(ext)
-			}(w, ext)
+			}(w, exts[w])
 		}
 		wg.Wait()
 	case ModeStochHAAR, ModeStochConv:

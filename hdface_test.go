@@ -231,3 +231,51 @@ func TestAllModeNames(t *testing.T) {
 		t.Fatal("new mode names wrong")
 	}
 }
+
+// TestFeaturePureFunctionOfImage pins the serving determinism contract:
+// Feature is a pure function of (Config, image). The same image must map to
+// the same hypervector whether it is extracted alone, inside any batch at
+// any worker count, or after an arbitrary extraction history.
+func TestFeaturePureFunctionOfImage(t *testing.T) {
+	imgs, _ := tinyFaceSet(12, 7)
+	for _, mode := range []hdface.Mode{
+		hdface.ModeStochHOG, hdface.ModeStochHAAR, hdface.ModeStochConv, hdface.ModeOrigHOG,
+	} {
+		cfg := hdface.Config{D: 1024, Mode: mode, Seed: 5, WorkingSize: 32}
+		// Reference: a fresh pipeline extracting each image in isolation.
+		want := make([]*hv.Vector, len(imgs))
+		for i, img := range imgs {
+			want[i] = hdface.New(cfg).Feature(img)
+		}
+		// One pipeline extracting them in sequence must agree (no history
+		// dependence).
+		p := hdface.New(cfg)
+		for i, img := range imgs {
+			if got := p.Feature(img); !got.Equal(want[i]) {
+				t.Fatalf("%v: sequential Feature(%d) differs from isolated", mode, i)
+			}
+		}
+		// Batch extraction at several worker counts must agree too, and be
+		// independent of batch composition (reversed order).
+		for _, workers := range []int{1, 3} {
+			cw := cfg
+			cw.Workers = workers
+			got := hdface.New(cw).Features(imgs)
+			for i := range imgs {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("%v workers=%d: Features[%d] differs from isolated", mode, workers, i)
+				}
+			}
+			rev := make([]*hdface.Image, len(imgs))
+			for i := range imgs {
+				rev[i] = imgs[len(imgs)-1-i]
+			}
+			gotRev := hdface.New(cw).Features(rev)
+			for i := range imgs {
+				if !gotRev[len(imgs)-1-i].Equal(want[i]) {
+					t.Fatalf("%v workers=%d: reversed batch changed Features[%d]", mode, workers, i)
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ package encoder
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"hdface/internal/hv"
 )
@@ -158,8 +159,11 @@ func (e *Projection) Encode(features []float64) *hv.Vector {
 	if len(features) != e.nFeat {
 		panic(fmt.Sprintf("encoder: got %d features, want %d", len(features), e.nFeat))
 	}
-	e.Stats.Encodes++
-	e.Stats.MACs += int64(e.d) * int64(e.nFeat)
+	// One Projection is shared across feature-extraction workers (weights
+	// and biases are read-only after construction), so the counters must be
+	// atomic.
+	atomic.AddInt64(&e.Stats.Encodes, 1)
+	atomic.AddInt64(&e.Stats.MACs, int64(e.d)*int64(e.nFeat))
 	out := hv.New(e.d)
 	for i := 0; i < e.d; i++ {
 		row := e.w[i*e.nFeat : (i+1)*e.nFeat]

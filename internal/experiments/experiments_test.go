@@ -58,8 +58,8 @@ func TestLoadAllShapes(t *testing.T) {
 
 func TestRunnerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(all))
+	if len(all) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(all))
 	}
 	if _, ok := Get("fig4"); !ok {
 		t.Fatal("fig4 missing")

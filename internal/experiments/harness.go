@@ -186,6 +186,7 @@ func All() []Runner {
 		{"occlusion", "robustness to structured occlusion", Occlusion},
 		{"dse", "FPGA lane-budget design-space exploration", DSE},
 		{"detectbench", "detection sweep perf baseline (BENCH_detect.json)", DetectBench},
+		{"servebench", "serving daemon load benchmark (BENCH_serve.json)", ServeBench},
 		{"faultsweep", "bit-error chaos harness with self-repair (BENCH_fault.json)", FaultSweep},
 		{"verify", "reproduction gate: assert the structural claims", Verify},
 	}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hdface"
+	"hdface/internal/dataset"
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+	"hdface/internal/serve"
+)
+
+// ServeBenchConfig is one measured serving configuration in BENCH_serve.json.
+type ServeBenchConfig struct {
+	Endpoint  string  `json:"endpoint"`
+	MaxBatch  int     `json:"max_batch"`
+	Workers   int     `json:"workers"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	Rejected  int     `json:"rejected"`
+	WallMS    float64 `json:"wall_ms"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50LatMS  float64 `json:"p50_latency_ms"`
+	P90LatMS  float64 `json:"p90_latency_ms"`
+	P99LatMS  float64 `json:"p99_latency_ms"`
+	MaxLatMS  float64 `json:"max_latency_ms"`
+}
+
+// ServeBenchReport is the BENCH_serve.json schema.
+type ServeBenchReport struct {
+	Schema  string             `json:"schema"`
+	D       int                `json:"d"`
+	Image   string             `json:"image"`
+	NumCPU  int                `json:"num_cpu"`
+	Configs []ServeBenchConfig `json:"configs"`
+}
+
+// ServeBench load-tests the model serving daemon end to end — HTTP in, PGM
+// decode, admission queue, micro-batched extraction, scoring, JSON out —
+// across batch sizes and worker counts, and writes BENCH_serve.json with
+// throughput and latency percentiles. The point of the sweep: batching
+// amortises dispatch overhead across the pipeline's worker pool, so
+// req/sec should rise with MaxBatch until extraction saturates the CPUs.
+func ServeBench(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	section(w, "serving daemon load benchmark")
+
+	d, requests, clients := 2048, 192, 8
+	if o.Quick {
+		d, requests, clients = 1024, 48, 4
+	}
+	win := 48
+
+	// Train one binary face/non-face pipeline and snapshot-round-trip it,
+	// so the bench exercises exactly what a daemon would load from disk.
+	r := hv.NewRNG(o.Seed ^ 0x5e2e)
+	var imgs []*imgproc.Image
+	var labels []int
+	for i := 0; i < 16; i++ {
+		if i%2 == 0 {
+			imgs = append(imgs, dataset.RenderFace(win, win, dataset.Emotion(r.Intn(7)), r))
+			labels = append(labels, 1)
+		} else {
+			imgs = append(imgs, dataset.RenderNonFace(win, win, r))
+			labels = append(labels, 0)
+		}
+	}
+	trained := hdface.New(hdface.Config{D: d, Seed: o.Seed, Workers: 1, WorkingSize: win, Stride: 3})
+	if err := trained.Fit(imgs, labels, 2); err != nil {
+		return fmt.Errorf("servebench: %w", err)
+	}
+	var snap bytes.Buffer
+	if err := trained.SaveSnapshot(&snap); err != nil {
+		return fmt.Errorf("servebench: %w", err)
+	}
+	snapBytes := snap.Bytes()
+
+	var probe bytes.Buffer
+	if err := imgs[0].WritePGM(&probe); err != nil {
+		return fmt.Errorf("servebench: %w", err)
+	}
+	probeBytes := probe.Bytes()
+	var sceneBuf bytes.Buffer
+	if err := dataset.GenerateScene(96, 96, win, 1, o.Seed^0x5c).Image.WritePGM(&sceneBuf); err != nil {
+		return fmt.Errorf("servebench: %w", err)
+	}
+	sceneBytes := sceneBuf.Bytes()
+
+	report := ServeBenchReport{
+		Schema: "hdface-bench-serve/v1",
+		D:      d,
+		Image:  fmt.Sprintf("%dx%d synthetic", win, win),
+		NumCPU: runtime.NumCPU(),
+	}
+
+	// run fires `requests` posts from `clients` goroutines at a fresh
+	// daemon and records latency percentiles.
+	run := func(endpoint string, body []byte, maxBatch, workers int) error {
+		p, err := hdface.LoadSnapshot(bytes.NewReader(snapBytes))
+		if err != nil {
+			return fmt.Errorf("servebench: %w", err)
+		}
+		p.SetWorkers(workers)
+		s, err := serve.New(serve.Config{Pipeline: p, MaxBatch: maxBatch, MaxQueue: 256})
+		if err != nil {
+			return fmt.Errorf("servebench: %w", err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer func() { ts.Close(); s.Close() }()
+
+		lats := make([]time.Duration, requests)
+		codes := make([]int, requests)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := c; i < requests; i += clients {
+					t0 := time.Now()
+					resp, err := http.Post(ts.URL+endpoint, "image/x-portable-graymap", bytes.NewReader(body))
+					if err != nil {
+						codes[i] = -1
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					lats[i] = time.Since(t0)
+					codes[i] = resp.StatusCode
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+
+		var ok []time.Duration
+		rejected := 0
+		for i, code := range codes {
+			switch code {
+			case http.StatusOK:
+				ok = append(ok, lats[i])
+			case http.StatusServiceUnavailable:
+				rejected++
+			default:
+				return fmt.Errorf("servebench %s: request %d got status %d", endpoint, i, code)
+			}
+		}
+		if len(ok) == 0 {
+			return fmt.Errorf("servebench %s: every request was shed", endpoint)
+		}
+		sort.Slice(ok, func(a, b int) bool { return ok[a] < ok[b] })
+		pct := func(q float64) float64 {
+			i := int(q * float64(len(ok)-1))
+			return float64(ok[i].Nanoseconds()) / 1e6
+		}
+		c := ServeBenchConfig{
+			Endpoint:  endpoint,
+			MaxBatch:  maxBatch,
+			Workers:   workers,
+			Clients:   clients,
+			Requests:  requests,
+			Rejected:  rejected,
+			WallMS:    float64(wall.Nanoseconds()) / 1e6,
+			ReqPerSec: float64(len(ok)) / wall.Seconds(),
+			P50LatMS:  pct(0.50),
+			P90LatMS:  pct(0.90),
+			P99LatMS:  pct(0.99),
+			MaxLatMS:  float64(ok[len(ok)-1].Nanoseconds()) / 1e6,
+		}
+		report.Configs = append(report.Configs, c)
+		fmt.Fprintf(w, "%-9s batch=%d workers=%d  %6.1f req/s  p50=%.1fms p90=%.1fms p99=%.1fms rejected=%d\n",
+			endpoint, maxBatch, workers, c.ReqPerSec, c.P50LatMS, c.P90LatMS, c.P99LatMS, rejected)
+		return nil
+	}
+
+	batches := []int{1, 4, 8}
+	workerSet := []int{1, runtime.NumCPU()}
+	if runtime.NumCPU() == 1 {
+		workerSet = workerSet[:1]
+	}
+	if o.Quick {
+		batches = []int{1, 4}
+	}
+	for _, workers := range workerSet {
+		for _, b := range batches {
+			if err := run("/predict", probeBytes, b, workers); err != nil {
+				return err
+			}
+		}
+	}
+	// One detect configuration: sweeps don't batch, so only workers matter.
+	if err := run("/detect", sceneBytes, 1, workerSet[len(workerSet)-1]); err != nil {
+		return err
+	}
+
+	dir := o.OutDir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_serve.json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
+}

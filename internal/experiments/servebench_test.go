@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestServeBench runs the serving load benchmark end to end in quick mode
+// and validates the hdface-bench-serve/v1 report it writes.
+func TestServeBench(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := ServeBench(&buf, Options{Quick: true, Seed: 7, OutDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report ServeBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != "hdface-bench-serve/v1" {
+		t.Fatalf("schema %q", report.Schema)
+	}
+	// Quick mode: 2 predict configs per worker count plus 1 detect config.
+	if len(report.Configs) < 3 {
+		t.Fatalf("only %d configs measured", len(report.Configs))
+	}
+	sawDetect := false
+	for _, c := range report.Configs {
+		if c.Endpoint == "/detect" {
+			sawDetect = true
+		}
+		if c.ReqPerSec <= 0 || c.P50LatMS <= 0 || c.P99LatMS < c.P50LatMS {
+			t.Fatalf("implausible measurement %+v", c)
+		}
+		if c.Rejected+c.Requests < c.Requests { // overflow guard, mostly documents intent
+			t.Fatalf("negative rejection count %+v", c)
+		}
+	}
+	if !sawDetect {
+		t.Fatal("no /detect configuration measured")
+	}
+}

@@ -217,6 +217,16 @@ func NewHD(codec *stoch.Codec, win int) *HD {
 // maxLeaves caps the pixels sampled per rectangle mean.
 const maxLeaves = 16
 
+// Reseed resets the extractor's private randomness (its RNG and its codec's
+// RNG) to streams defined by seed, making subsequent stochastic output a
+// pure function of (seed, input) — the same determinism contract
+// hdhog.Extractor.Reseed provides. The ID atoms and the quantisation table,
+// both built at construction, are unaffected.
+func (h *HD) Reseed(seed uint64) {
+	h.rng.Reseed(hv.Mix64(seed, 0x4aa2))
+	h.codec.Reseed(hv.Mix64(seed, 0xc0de))
+}
+
 // pixel fetches a decorrelated hypervector for a [0, 1] pixel value.
 func (h *HD) pixel(v float64) *hv.Vector {
 	if v < 0 {

@@ -9,6 +9,7 @@
 package hdc
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -404,15 +405,39 @@ func ShrinkVector(v *hv.Vector, newD int, perm []int) *hv.Vector {
 	return out
 }
 
-// modelWire is the serialised form.
+// modelWire is the gob-serialised payload of Save.
 type modelWire struct {
 	D, K    int
 	Classes [][]float64
 	Bin     [][]uint64
 }
 
-// Save writes the model in gob format.
+// Plausibility bounds for deserialised model geometry, mirroring the header
+// guard of hv.ReadSet: dimensionalities and class counts beyond these are
+// either corruption or a hostile snapshot trying to drive huge allocations.
+const (
+	maxWireD = 1 << 24
+	maxWireK = 1 << 20
+)
+
+// modelMagic prefixes the serialised form, so geometry can be validated
+// BEFORE the gob payload (whose decode allocates proportionally to the
+// encoded lengths) is touched.
+var modelMagic = [4]byte{'H', 'D', 'C', '1'}
+
+// Save writes the model: a fixed binary header (magic, D, K) followed by
+// the gob payload. The header lets Load bound-check the geometry before
+// gob-decoding anything.
 func (m *Model) Save(w io.Writer) error {
+	if m.D <= 0 || m.D > maxWireD || m.K < 2 || m.K > maxWireK {
+		return fmt.Errorf("hdc: implausible model geometry d=%d k=%d", m.D, m.K)
+	}
+	if _, err := w.Write(modelMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, [2]uint32{uint32(m.D), uint32(m.K)}); err != nil {
+		return err
+	}
 	wire := modelWire{D: m.D, K: m.K, Classes: m.Classes}
 	if m.Bin != nil {
 		for _, v := range m.Bin {
@@ -422,27 +447,56 @@ func (m *Model) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(wire)
 }
 
-// Load reads a model written by Save.
+// Load reads a model written by Save. The header's D/K bounds are validated
+// first and the gob payload is read through a limit sized from them, so a
+// corrupt or hostile snapshot cannot drive allocations beyond what the
+// declared geometry justifies; non-finite class accumulators are rejected
+// (a NaN in one dimension would poison every cosine similarity).
 func Load(r io.Reader) (*Model, error) {
-	var wire modelWire
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, err
+	var m4 [4]byte
+	if _, err := io.ReadFull(r, m4[:]); err != nil {
+		return nil, fmt.Errorf("hdc: model header: %w", err)
 	}
-	if wire.D <= 0 || wire.K < 2 || len(wire.Classes) != wire.K {
-		return nil, errors.New("hdc: malformed model")
+	if m4 != modelMagic {
+		return nil, errors.New("hdc: bad model magic (not a model file, or a pre-header legacy snapshot)")
+	}
+	var hdr [2]uint32
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("hdc: model header: %w", err)
+	}
+	d, k := int(hdr[0]), int(hdr[1])
+	if d <= 0 || d > maxWireD || k < 2 || k > maxWireK {
+		return nil, fmt.Errorf("hdc: implausible model header d=%d k=%d", d, k)
+	}
+	// Generous over-estimate of the honest payload size (gob encodes a
+	// float64 or uint64 in at most 9 bytes plus per-value overhead): floats
+	// of the accumulators, words of the binarised classes, structure slack.
+	words := int64((d + 63) / 64)
+	limit := int64(4096) + int64(k)*(int64(d)+words+16)*10
+	var wire modelWire
+	if err := gob.NewDecoder(io.LimitReader(r, limit)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("hdc: model payload: %w", err)
+	}
+	if wire.D != d || wire.K != k || len(wire.Classes) != k {
+		return nil, errors.New("hdc: payload geometry contradicts header")
 	}
 	for _, c := range wire.Classes {
-		if len(c) != wire.D {
+		if len(c) != d {
 			return nil, errors.New("hdc: malformed class accumulator")
 		}
+		for _, a := range c {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				return nil, errors.New("hdc: non-finite class accumulator value")
+			}
+		}
 	}
-	m := &Model{D: wire.D, K: wire.K, Classes: wire.Classes}
+	m := &Model{D: d, K: k, Classes: wire.Classes}
 	if wire.Bin != nil {
-		if len(wire.Bin) != wire.K {
+		if len(wire.Bin) != k {
 			return nil, errors.New("hdc: malformed binary classes")
 		}
-		for _, words := range wire.Bin {
-			v, err := hv.FromWords(wire.D, words)
+		for _, ws := range wire.Bin {
+			v, err := hv.FromWords(d, ws)
 			if err != nil {
 				return nil, err
 			}

@@ -2,6 +2,7 @@ package hdc
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"hdface/internal/hv"
@@ -232,6 +233,83 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()/2]
 	if _, err := Load(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("truncated model loaded")
+	}
+}
+
+// hostileHeader builds a model stream whose binary header claims the given
+// geometry, with whatever payload follows.
+func hostileHeader(d, k uint32, payload []byte) []byte {
+	buf := []byte("HDC1")
+	buf = append(buf, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+	buf = append(buf, byte(k), byte(k>>8), byte(k>>16), byte(k>>24))
+	return append(buf, payload...)
+}
+
+// TestLoadRejectsHostileGeometry pins the pre-decode header guard: a
+// snapshot declaring an absurd D or K must be rejected from the 12-byte
+// header alone, before any gob decoding can allocate proportionally to it.
+func TestLoadRejectsHostileGeometry(t *testing.T) {
+	cases := []struct {
+		name string
+		d, k uint32
+	}{
+		{"zero-d", 0, 2},
+		{"huge-d", 1 << 30, 2},
+		{"k-below-two", 4096, 1},
+		{"huge-k", 4096, 1 << 28},
+	}
+	for _, c := range cases {
+		data := hostileHeader(c.d, c.k, bytes.Repeat([]byte{0xff}, 64))
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Fatalf("%s: hostile header loaded", c.name)
+		}
+	}
+}
+
+// TestLoadRejectsOversizedPayload asserts the payload limit derived from
+// the header: an honest small header followed by a gob stream much larger
+// than the declared geometry justifies must fail, not be slurped whole.
+func TestLoadRejectsOversizedPayload(t *testing.T) {
+	feats, labels, _ := makeClusters(64, 2, 4, 0.2, 31)
+	m := Train(feats, labels, 2, TrainOpts{})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Re-head the honest payload with a tiny claimed geometry: the limit
+	// computed from (8, 2) cannot cover a D=64 payload, and even if it
+	// could, the geometry cross-check fires.
+	if _, err := Load(bytes.NewReader(hostileHeader(8, 2, buf.Bytes()[12:]))); err == nil {
+		t.Fatal("payload exceeding header-derived budget loaded")
+	}
+}
+
+// TestLoadRejectsNonFinite asserts NaN/Inf accumulator values are refused:
+// one poisoned dimension would silently corrupt every cosine similarity.
+func TestLoadRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		m := NewModel(16, 2)
+		m.Classes[1][7] = bad
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(&buf); err == nil {
+			t.Fatalf("model with %v accumulator loaded", bad)
+		}
+	}
+}
+
+// TestLoadRejectsHeaderPayloadMismatch covers a payload whose gob geometry
+// contradicts the (plausible) header.
+func TestLoadRejectsHeaderPayloadMismatch(t *testing.T) {
+	m := NewModel(64, 2)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(hostileHeader(128, 2, buf.Bytes()[12:]))); err == nil {
+		t.Fatal("header/payload geometry mismatch loaded")
 	}
 }
 

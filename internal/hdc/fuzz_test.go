@@ -24,6 +24,11 @@ func FuzzLoad(f *testing.F) {
 	corrupt := append([]byte(nil), valid...)
 	corrupt[10] ^= 0xff
 	f.Add(corrupt)
+	// Hostile headers: absurd geometry claims that must be rejected before
+	// the gob payload drives any allocation.
+	f.Add(append([]byte("HDC1\xff\xff\xff\xff\x02\x00\x00\x00"), valid[12:]...))
+	f.Add([]byte("HDC1\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add(append([]byte("HDC1\x08\x00\x00\x00\x02\x00\x00\x00"), valid[12:]...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Load(bytes.NewReader(data))
 		if err != nil {

@@ -144,6 +144,32 @@ func NewHD(codec *stoch.Codec, cell int) *HD {
 	return h
 }
 
+// Reseed resets the extractor's private randomness (its RNG and its codec's
+// RNG) to streams defined by seed, making subsequent stochastic output a
+// pure function of (seed, input, previously-seen geometries) — the same
+// determinism contract hdhog.Extractor.Reseed provides. Positional IDs are
+// created lazily, so like hdhog the guarantee holds for geometries whose
+// IDs already exist (or a fixed working size); WarmIDs pins them to the
+// construction-time stream.
+func (h *HD) Reseed(seed uint64) {
+	h.rng.Reseed(hv.Mix64(seed, 0x5eed))
+	h.codec.Reseed(hv.Mix64(seed, 0xc0de))
+}
+
+// WarmIDs pre-creates the bundle atoms for every (cell, kernel) of a w x ht
+// image, in the exact order Feature visits them, so later forks or reseeds
+// never change which stream the IDs are drawn from.
+func (h *HD) WarmIDs(w, ht int) {
+	cw, ch := w/h.Cell, ht/h.Cell
+	for cy := 0; cy < ch; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			for ki := range h.Bank {
+				h.id(cy*cw+cx, ki)
+			}
+		}
+	}
+}
+
 func (h *HD) pixel(v float64) *hv.Vector {
 	if v < 0 {
 		v = 0

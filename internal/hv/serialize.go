@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Binary serialisation for hypervectors and labelled feature sets, used to
@@ -35,6 +36,11 @@ func WriteSet(w io.Writer, vs []*Vector, labels []int) error {
 		if v.D() != d {
 			return fmt.Errorf("hv: vector %d has D=%d, want %d", i, v.D(), d)
 		}
+		// The wire format stores labels as int32; anything wider would be
+		// silently truncated and read back as a different class.
+		if labels[i] < math.MinInt32 || labels[i] > math.MaxInt32 {
+			return fmt.Errorf("hv: label %d of vector %d outside int32 range", labels[i], i)
+		}
 		if err := binary.Write(w, binary.LittleEndian, int32(labels[i])); err != nil {
 			return err
 		}
@@ -63,16 +69,21 @@ func ReadSet(r io.Reader) ([]*Vector, []int, error) {
 		return nil, nil, fmt.Errorf("hv: implausible header d=%d count=%d", d, count)
 	}
 	words := (d + 63) / 64
+	// Byte offsets for error reporting: magic (4) + header (8), then each
+	// item is a 4-byte label followed by words*8 payload bytes.
+	const headerBytes = 4 + 8
+	itemBytes := int64(4 + words*8)
 	vs := make([]*Vector, 0, count)
 	labels := make([]int, 0, count)
 	for i := 0; i < count; i++ {
+		off := headerBytes + int64(i)*itemBytes
 		var label int32
 		if err := binary.Read(r, binary.LittleEndian, &label); err != nil {
-			return nil, nil, fmt.Errorf("hv: item %d label: %w", i, err)
+			return nil, nil, fmt.Errorf("hv: item %d/%d label at byte offset %d: %w", i, count, off, err)
 		}
 		buf := make([]uint64, words)
 		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
-			return nil, nil, fmt.Errorf("hv: item %d words: %w", i, err)
+			return nil, nil, fmt.Errorf("hv: item %d/%d words at byte offset %d: %w", i, count, off+4, err)
 		}
 		v, err := FromWords(d, buf)
 		if err != nil {

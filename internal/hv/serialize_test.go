@@ -2,6 +2,8 @@ package hv
 
 import (
 	"bytes"
+	"math"
+	"strings"
 	"testing"
 )
 
@@ -46,6 +48,70 @@ func TestWriteSetValidation(t *testing.T) {
 	}
 	if err := WriteSet(&buf, vs[:1], []int{0, 1}); err == nil {
 		t.Fatal("accepted misaligned labels")
+	}
+}
+
+// TestWriteSetRejectsWideLabels pins the label-overflow fix: labels outside
+// int32 were silently truncated on the wire (a 64-bit label read back as a
+// different class); they must now error without writing a corrupt stream.
+func TestWriteSetRejectsWideLabels(t *testing.T) {
+	r := NewRNG(5)
+	vs := []*Vector{NewRand(r, 64), NewRand(r, 64)}
+	for _, bad := range []int{math.MaxInt32 + 1, math.MinInt32 - 1} {
+		var buf bytes.Buffer
+		err := WriteSet(&buf, vs, []int{0, bad})
+		if err == nil {
+			t.Fatalf("label %d accepted", bad)
+		}
+		if !strings.Contains(err.Error(), "int32") {
+			t.Fatalf("error %q does not name the int32 range", err)
+		}
+	}
+	// Extremes of the representable range still round-trip.
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, vs, []int{math.MinInt32, math.MaxInt32}); err != nil {
+		t.Fatal(err)
+	}
+	_, labels, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != math.MinInt32 || labels[1] != math.MaxInt32 {
+		t.Fatalf("extreme labels changed: %v", labels)
+	}
+}
+
+// TestReadSetErrorsCarryOffsets asserts truncation errors name the byte
+// offset of the item that failed, so a corrupt cache is locatable.
+func TestReadSetErrorsCarryOffsets(t *testing.T) {
+	r := NewRNG(6)
+	var vs []*Vector
+	var labels []int
+	for i := 0; i < 3; i++ {
+		vs = append(vs, NewRand(r, 128))
+		labels = append(labels, i)
+	}
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, vs, labels); err != nil {
+		t.Fatal(err)
+	}
+	// Item stride is 4 + 2*8 = 20 bytes after the 12-byte header. Cut in
+	// the middle of item 2's words: its payload starts at 12 + 2*20 + 4.
+	cut := 12 + 2*20 + 4 + 3
+	_, _, err := ReadSet(bytes.NewReader(buf.Bytes()[:cut]))
+	if err == nil {
+		t.Fatal("truncated set decoded")
+	}
+	if !strings.Contains(err.Error(), "item 2/3") || !strings.Contains(err.Error(), "offset 56") {
+		t.Fatalf("error %q lacks item index or byte offset", err)
+	}
+	// Cut inside a label instead.
+	_, _, err = ReadSet(bytes.NewReader(buf.Bytes()[:12+20+2]))
+	if err == nil {
+		t.Fatal("truncated set decoded")
+	}
+	if !strings.Contains(err.Error(), "offset 32") {
+		t.Fatalf("label error %q lacks byte offset", err)
 	}
 }
 

@@ -363,14 +363,61 @@ func TestPGMMaxvalRescale(t *testing.T) {
 	}
 }
 
+// TestPGM16BitDecode covers the spec-legal maxval range 256..65535: P5
+// payloads carry big-endian 2-byte samples that must rescale to 8-bit.
+// The seed bug rejected these files outright ("unsupported maxval").
+func TestPGM16BitDecode(t *testing.T) {
+	// 2x2 raster, maxval 65535: samples 0, 16384, 32768, 65535.
+	src := append([]byte("P5\n2 2\n65535\n"),
+		0x00, 0x00, 0x40, 0x00, 0x80, 0x00, 0xff, 0xff)
+	m, err := ReadPGM(bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{0, 64, 128, 255}
+	for i, w := range want {
+		if m.Pix[i] != w {
+			t.Fatalf("pixel %d = %d, want %d (raster %v)", i, m.Pix[i], w, m.Pix)
+		}
+	}
+	// Non-power-of-two maxval: 1000 → sample 500 lands mid-range.
+	src = append([]byte("P5\n1 1\n1000\n"), 0x01, 0xf4)
+	m, err = ReadPGM(bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pix[0] != 128 {
+		t.Fatalf("maxval-1000 midpoint = %d, want 128", m.Pix[0])
+	}
+	// ASCII P2 with a wide maxval follows the same rescale.
+	m, err = ReadPGM(strings.NewReader("P2\n2 1\n1023\n0 1023\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pix[0] != 0 || m.Pix[1] != 255 {
+		t.Fatalf("wide ASCII rescale wrong: %v", m.Pix)
+	}
+}
+
+// TestPGM16BitShortData asserts a truncated wide-sample payload errors
+// instead of decoding a half raster.
+func TestPGM16BitShortData(t *testing.T) {
+	src := append([]byte("P5\n2 2\n65535\n"), 0x00, 0x01, 0x02)
+	if _, err := ReadPGM(bytes.NewReader(src)); err == nil {
+		t.Fatal("truncated 16-bit payload decoded")
+	}
+}
+
 func TestPGMErrors(t *testing.T) {
 	for _, src := range []string{
 		"",
 		"P9\n2 2\n255\n",
 		"P5\n0 2\n255\n",
 		"P5\n2 2\n70000\n",
-		"P5\n2 2\n255\nXY", // short data
-		"P2\n2 1\n255\n0",  // short ASCII data
+		"P5\n2 2\n255\nXY",         // short data
+		"P2\n2 1\n255\n0",          // short ASCII data
+		"P2\n1 1\n255\n-4",         // negative sample
+		"P5\n1 1\n65536\n\x00\x00", // maxval above the 2-byte range
 	} {
 		if _, err := ReadPGM(strings.NewReader(src)); err == nil {
 			t.Fatalf("decode of %q succeeded", src)

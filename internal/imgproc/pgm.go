@@ -38,7 +38,10 @@ func (m *Image) SavePGM(path string) error {
 	return f.Close()
 }
 
-// ReadPGM decodes a binary (P5) or ASCII (P2) PGM stream.
+// ReadPGM decodes a binary (P5) or ASCII (P2) PGM stream. The full
+// spec-legal maxval range [1, 65535] is accepted: P5 streams with maxval
+// above 255 carry big-endian 2-byte samples, which are rescaled to the
+// 8-bit raster all pipelines operate on.
 func ReadPGM(r io.Reader) (*Image, error) {
 	br := bufio.NewReader(r)
 	magic, err := pgmToken(br)
@@ -63,25 +66,43 @@ func ReadPGM(r io.Reader) (*Image, error) {
 	if w <= 0 || h <= 0 || w*h > 1<<28 {
 		return nil, fmt.Errorf("imgproc: bad dimensions %dx%d", w, h)
 	}
-	if maxv <= 0 || maxv > 255 {
+	if maxv <= 0 || maxv > 65535 {
 		return nil, fmt.Errorf("imgproc: unsupported maxval %d", maxv)
 	}
 	img := NewImage(w, h)
-	if magic == "P5" {
+	scale := 255.0 / float64(maxv)
+	switch {
+	case magic == "P5" && maxv > 255:
+		// Wide samples: 2 bytes per pixel, most significant byte first.
+		row := make([]byte, 2*w)
+		for y := 0; y < h; y++ {
+			if _, err := io.ReadFull(br, row); err != nil {
+				return nil, fmt.Errorf("imgproc: short pixel data: %w", err)
+			}
+			for x := 0; x < w; x++ {
+				v := uint16(row[2*x])<<8 | uint16(row[2*x+1])
+				img.Pix[y*w+x] = clampU8(float64(v) * scale)
+			}
+		}
+		return img, nil
+	case magic == "P5":
 		if _, err := io.ReadFull(br, img.Pix); err != nil {
 			return nil, fmt.Errorf("imgproc: short pixel data: %w", err)
 		}
-	} else {
+	default:
 		for i := range img.Pix {
 			v, err := pgmInt(br)
 			if err != nil {
 				return nil, fmt.Errorf("imgproc: pixel %d: %w", i, err)
 			}
-			img.Pix[i] = uint8(v)
+			if v < 0 {
+				return nil, fmt.Errorf("imgproc: negative sample %d at pixel %d", v, i)
+			}
+			img.Pix[i] = clampU8(float64(v) * scale)
 		}
+		return img, nil
 	}
 	if maxv != 255 {
-		scale := 255.0 / float64(maxv)
 		for i, p := range img.Pix {
 			img.Pix[i] = clampU8(float64(p) * scale)
 		}

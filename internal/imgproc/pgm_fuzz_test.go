@@ -15,7 +15,15 @@ func FuzzReadPGM(f *testing.F) {
 	f.Add([]byte("P5\n0 0\n255\n"))
 	f.Add([]byte("P9\nnope"))
 	f.Add([]byte(""))
-	f.Add([]byte("P5\n1 1\n999\nA"))
+	// 16-bit corpora: legal wide-maxval P5 payloads (big-endian 2-byte
+	// samples), a truncated one, an odd-byte-count one, and wide ASCII.
+	f.Add([]byte("P5\n1 1\n999\n\x03\xe7"))
+	f.Add(append([]byte("P5\n2 2\n65535\n"), 0x00, 0x00, 0x40, 0x00, 0x80, 0x00, 0xff, 0xff))
+	f.Add(append([]byte("P5\n2 1\n256\n"), 0x01, 0x00, 0x00, 0xff))
+	f.Add([]byte("P5\n2 2\n65535\n\x00\x01\x02"))
+	f.Add([]byte("P5\n1 1\n300\nA"))
+	f.Add([]byte("P2\n2 1\n1023\n0 1023"))
+	f.Add([]byte("P5\n1 1\n65536\n\x00\x00"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		img, err := ReadPGM(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hdface/internal/imgproc"
+	"hdface/internal/obs"
+)
+
+// PredictResponse is the /predict reply: the argmax label and the
+// per-class cosine similarities, identical to Pipeline.Predict/Scores.
+type PredictResponse struct {
+	Label  int       `json:"label"`
+	Scores []float64 `json:"scores"`
+}
+
+// BoxJSON is one detection in image coordinates.
+type BoxJSON struct {
+	X0    int     `json:"x0"`
+	Y0    int     `json:"y0"`
+	X1    int     `json:"x1"`
+	Y1    int     `json:"y1"`
+	Score float64 `json:"score"`
+	Scale float64 `json:"scale"`
+}
+
+// DetectResponse is the /detect reply. Degraded reports that the request's
+// deadline expired mid-sweep and the boxes are the anytime best-so-far set.
+type DetectResponse struct {
+	Boxes    []BoxJSON `json:"boxes"`
+	Degraded bool      `json:"degraded"`
+	Windows  int64     `json:"windows"`
+	Levels   int       `json:"levels"`
+}
+
+// HealthResponse is the /healthz reply.
+type HealthResponse struct {
+	Status     string `json:"status"`
+	Mode       string `json:"mode"`
+	D          int    `json:"d"`
+	Trained    bool   `json:"trained"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+}
+
+// errorJSON is every non-2xx body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP surface: POST /predict, POST /detect,
+// GET /healthz, GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/detect", s.handleDetect)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.WriteTo(w)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	if code >= 400 && code < 500 {
+		obsBadRequests.Inc()
+	}
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// readImage decodes the request body as a PGM raster under the body limit.
+func (s *Server) readImage(w http.ResponseWriter, r *http.Request) (*imgproc.Image, bool) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST a PGM image")
+		return nil, false
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	img, err := imgproc.ReadPGM(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "decode image: %v", err)
+		return nil, false
+	}
+	return img, true
+}
+
+// submit admits the job and waits for its result.
+func (s *Server) submit(w http.ResponseWriter, j *job) (result, bool) {
+	if !s.enqueue(j) {
+		obsRejected.Inc()
+		writeErr(w, http.StatusServiceUnavailable, "queue full, retry later")
+		return result{}, false
+	}
+	return <-j.resp, true
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.cfg.Pipeline.Model() == nil {
+		writeErr(w, http.StatusConflict, "pipeline is untrained")
+		return
+	}
+	img, ok := s.readImage(w, r)
+	if !ok {
+		return
+	}
+	obsPredictReqs.Inc()
+	j := &job{kind: kindPredict, img: img, resp: make(chan result, 1)}
+	res, ok := s.submit(w, j)
+	if !ok {
+		return
+	}
+	obsLatency.Observe(time.Since(start).Seconds())
+	if res.err != nil {
+		writeErr(w, http.StatusInternalServerError, "predict: %v", res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Label: res.label, Scores: res.scores})
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.cfg.Pipeline.Model() == nil {
+		writeErr(w, http.StatusConflict, "pipeline is untrained")
+		return
+	}
+	img, ok := s.readImage(w, r)
+	if !ok {
+		return
+	}
+	deadline := s.cfg.MaxDeadline
+	if q := r.URL.Query().Get("deadline"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			writeErr(w, http.StatusBadRequest, "deadline %q: want a positive duration like 250ms", q)
+			return
+		}
+		if d < deadline {
+			deadline = d
+		}
+	}
+	obsDetectReqs.Inc()
+	// The budget starts now, before queueing: a request stuck behind a long
+	// queue degrades instead of consuming its full budget late.
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	j := &job{kind: kindDetect, img: img, ctx: ctx, resp: make(chan result, 1)}
+	res, ok := s.submit(w, j)
+	if !ok {
+		return
+	}
+	obsLatency.Observe(time.Since(start).Seconds())
+	if res.err != nil {
+		writeErr(w, http.StatusInternalServerError, "detect: %v", res.err)
+		return
+	}
+	boxes := make([]BoxJSON, len(res.boxes))
+	for i, b := range res.boxes {
+		boxes[i] = BoxJSON{X0: b.X0, Y0: b.Y0, X1: b.X1, Y1: b.Y1, Score: b.Score, Scale: b.Scale}
+	}
+	writeJSON(w, http.StatusOK, DetectResponse{
+		Boxes:    boxes,
+		Degraded: res.stats.Degraded,
+		Windows:  res.stats.Windows,
+		Levels:   res.stats.Levels,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	cfg := s.cfg.Pipeline.Config()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:     "ok",
+		Mode:       cfg.Mode.String(),
+		D:          cfg.D,
+		Trained:    s.cfg.Pipeline.Model() != nil,
+		QueueDepth: len(s.queue),
+		QueueCap:   cap(s.queue),
+	})
+}

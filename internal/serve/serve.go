@@ -1,0 +1,310 @@
+// Package serve turns a trained hdface.Pipeline into a long-lived HTTP
+// inference daemon. Every request funnels through one admission-controlled
+// queue into a single dispatcher goroutine: the pipeline's extractors are
+// stateful and not goroutine-safe, so the dispatcher is the serialisation
+// point, and throughput comes from micro-batching — consecutive /predict
+// requests are merged (up to MaxBatch, waiting at most FlushInterval for
+// stragglers) into one FeaturesContext call that fans out over the
+// pipeline's own worker pool. Because feature extraction is a pure function
+// of (Config, image) — see hdface.Pipeline.Feature — batching never changes
+// results: every response is byte-identical to a direct Pipeline call, no
+// matter how requests interleave.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"hdface"
+	"hdface/internal/detect"
+	"hdface/internal/imgproc"
+	"hdface/internal/obs"
+)
+
+// Serving observability, exported through /metrics alongside the pipeline's
+// own counters (obs metrics are process-global).
+var (
+	obsPredictReqs = obs.NewCounter("hdface_serve_predict_requests_total", "accepted /predict requests")
+	obsDetectReqs  = obs.NewCounter("hdface_serve_detect_requests_total", "accepted /detect requests")
+	obsRejected    = obs.NewCounter("hdface_serve_rejected_total", "requests rejected by admission control (503)")
+	obsBadRequests = obs.NewCounter("hdface_serve_bad_requests_total", "malformed requests (4xx)")
+	obsBatches     = obs.NewCounter("hdface_serve_batches_total", "predict micro-batches dispatched")
+	obsBatchImgs   = obs.NewCounter("hdface_serve_batched_images_total", "images dispatched inside predict micro-batches")
+	obsQueueDepth  = obs.NewGauge("hdface_serve_queue_depth", "jobs waiting in the admission queue")
+	obsLatency     = obs.NewHistogram("hdface_serve_request_seconds", "request latency from admission to response",
+		[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10})
+)
+
+// Config configures a Server. The zero value of every knob gets a sensible
+// default; only Pipeline is mandatory.
+type Config struct {
+	// Pipeline serves the requests. It must be trained for /predict and
+	// /detect to work; /healthz and /metrics work regardless.
+	Pipeline *hdface.Pipeline
+	// MaxBatch bounds how many /predict requests one dispatch merges
+	// (default 8). 1 disables batching.
+	MaxBatch int
+	// MaxQueue bounds jobs admitted but not yet dispatched (default 64);
+	// beyond it requests are rejected with 503 instead of queueing without
+	// bound.
+	MaxQueue int
+	// FlushInterval bounds how long a partial batch waits for stragglers
+	// (default 2ms).
+	FlushInterval time.Duration
+	// MaxDeadline caps the per-request ?deadline= budget of /detect and is
+	// the default when a request names none (default 30s).
+	MaxDeadline time.Duration
+	// MaxBodyBytes bounds request bodies (default 16 MiB).
+	MaxBodyBytes int64
+	// DetectWin is the sweep window size (default the pipeline's
+	// WorkingSize, else 48).
+	DetectWin int
+	// DetectParams overrides the sweep geometry. Zero fields default to
+	// Win=DetectWin, Stride=Win/2, Scales={1,2}, NMSIoU=0.3; Workers
+	// defaults to the pipeline's worker count.
+	DetectParams detect.Params
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Pipeline == nil {
+		return c, fmt.Errorf("serve: Config.Pipeline is required")
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.DetectWin <= 0 {
+		if ws := c.Pipeline.Config().WorkingSize; ws > 0 {
+			c.DetectWin = ws
+		} else {
+			c.DetectWin = 48
+		}
+	}
+	if c.DetectParams.Win <= 0 {
+		c.DetectParams.Win = c.DetectWin
+	}
+	if c.DetectParams.Stride <= 0 {
+		c.DetectParams.Stride = c.DetectParams.Win / 2
+	}
+	if len(c.DetectParams.Scales) == 0 {
+		c.DetectParams.Scales = []float64{1, 2}
+	}
+	if c.DetectParams.NMSIoU <= 0 {
+		c.DetectParams.NMSIoU = 0.3
+	}
+	if c.DetectParams.Workers <= 0 {
+		c.DetectParams.Workers = c.Pipeline.Config().Workers
+	}
+	return c, nil
+}
+
+type jobKind int
+
+const (
+	kindPredict jobKind = iota
+	kindDetect
+)
+
+// result carries a finished job back to its handler. Exactly one of the
+// payload groups is set, matching the job kind.
+type result struct {
+	label  int
+	scores []float64
+
+	boxes []detect.Box
+	stats detect.SweepStats
+
+	err error
+}
+
+type job struct {
+	kind jobKind
+	img  *imgproc.Image
+	// ctx carries the request's detect budget; it starts ticking at
+	// admission, so time spent queued counts against the deadline.
+	ctx  context.Context
+	resp chan result // buffered (cap 1): the dispatcher never blocks on it
+}
+
+// Server is the batched inference engine plus its HTTP surface.
+type Server struct {
+	cfg   Config
+	queue chan *job
+	done  chan struct{}
+
+	mu     sync.RWMutex // guards closed vs. enqueue
+	closed bool
+
+	scorerOnce sync.Once
+	scorer     detect.WindowScorer
+	scorerErr  error
+}
+
+// New validates the configuration and starts the dispatcher. Callers must
+// Close the server to stop it; after (not concurrently with) draining any
+// HTTP listener feeding it.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	// A daemon that exports /metrics should have live metrics: arm the
+	// (process-global) obs layer. The overhead is a few atomic adds per
+	// request — noise next to feature extraction.
+	obs.Enable()
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.MaxQueue),
+		done:  make(chan struct{}),
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// Close stops admission, lets the dispatcher finish every job already
+// queued (their handlers get real responses, not errors), and waits for it
+// to exit. Idempotent. Call only after in-flight HTTP handlers have drained
+// (http.Server.Shutdown does exactly that).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+// enqueue admits a job unless the server is closed or the queue is full.
+func (s *Server) enqueue(j *job) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		obsQueueDepth.Set(float64(len(s.queue)))
+		return true
+	default:
+		return false
+	}
+}
+
+// dispatch is the single inference loop: it owns the pipeline.
+func (s *Server) dispatch() {
+	defer close(s.done)
+	for {
+		j, ok := <-s.queue
+		if !ok {
+			return
+		}
+		s.run(j)
+	}
+}
+
+// run executes one dequeued job; a predict job first collects a micro-batch
+// behind it.
+func (s *Server) run(first *job) {
+	obsQueueDepth.Set(float64(len(s.queue)))
+	if first.kind == kindDetect {
+		s.runDetect(first)
+		return
+	}
+	batch := []*job{first}
+	var next *job
+	if s.cfg.MaxBatch > 1 {
+		timer := time.NewTimer(s.cfg.FlushInterval)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case j, ok := <-s.queue:
+				if !ok {
+					break collect
+				}
+				if j.kind == kindDetect {
+					// Detect jobs don't batch; run it right after this
+					// batch rather than re-queueing behind new arrivals.
+					next = j
+					break collect
+				}
+				batch = append(batch, j)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+	}
+	s.runPredicts(batch)
+	if next != nil {
+		s.runDetect(next)
+	}
+}
+
+// runPredicts extracts the whole batch through the pipeline's parallel
+// feature path and scores each image. Per-image content reseeding makes the
+// outputs independent of batch composition, so this is exactly equivalent
+// to len(batch) separate Pipeline.Scores calls.
+func (s *Server) runPredicts(batch []*job) {
+	obsBatches.Inc()
+	obsBatchImgs.Add(int64(len(batch)))
+	p := s.cfg.Pipeline
+	imgs := make([]*imgproc.Image, len(batch))
+	for i, j := range batch {
+		imgs[i] = j.img
+	}
+	feats, err := p.FeaturesContext(context.Background(), imgs)
+	if err != nil {
+		for _, j := range batch {
+			j.resp <- result{err: err}
+		}
+		return
+	}
+	m := p.Model()
+	for i, j := range batch {
+		scores := m.Scores(feats[i])
+		best := 0
+		for c, sc := range scores {
+			if sc > scores[best] {
+				best = c
+			}
+		}
+		j.resp <- result{label: best, scores: scores}
+	}
+}
+
+// runDetect sweeps one image under the request's deadline context. A blown
+// deadline degrades (best-so-far boxes, Degraded flag) rather than erroring
+// — the detect package's anytime contract.
+func (s *Server) runDetect(j *job) {
+	scorer, err := s.detectScorer()
+	if err != nil {
+		j.resp <- result{err: err}
+		return
+	}
+	boxes, stats, err := detect.Sweep(j.ctx, j.img, scorer, s.cfg.DetectParams)
+	j.resp <- result{boxes: boxes, stats: stats, err: err}
+}
+
+// detectScorer lazily builds the sweep scorer. DetectScorer forks pipeline
+// state, so it must run on the dispatcher goroutine — and does: the only
+// caller is runDetect.
+func (s *Server) detectScorer() (detect.WindowScorer, error) {
+	s.scorerOnce.Do(func() {
+		s.scorer, s.scorerErr = s.cfg.Pipeline.DetectScorer(nil, s.cfg.DetectWin)
+	})
+	return s.scorer, s.scorerErr
+}

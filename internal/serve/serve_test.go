@@ -1,0 +1,373 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdface"
+	"hdface/internal/dataset"
+	"hdface/internal/detect"
+	"hdface/internal/hv"
+	"hdface/internal/imgproc"
+)
+
+// trainedPipeline builds a small binary face/non-face pipeline.
+func trainedPipeline(t *testing.T, workers int) *hdface.Pipeline {
+	t.Helper()
+	r := hv.NewRNG(31)
+	var imgs []*imgproc.Image
+	var labels []int
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			imgs = append(imgs, dataset.RenderFace(48, 48, dataset.Emotion(r.Intn(7)), r))
+			labels = append(labels, 1)
+		} else {
+			imgs = append(imgs, dataset.RenderNonFace(48, 48, r))
+			labels = append(labels, 0)
+		}
+	}
+	p := hdface.New(hdface.Config{D: 1024, Seed: 17, WorkingSize: 48, Workers: workers, Stride: 3})
+	if err := p.Fit(imgs, labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// referenceTwin snapshots p and loads an independent behavioural twin, so
+// tests can compare server responses against direct calls without sharing
+// the (single-threaded) pipeline the dispatcher owns.
+func referenceTwin(t *testing.T, p *hdface.Pipeline) *hdface.Pipeline {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := hdface.LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func pgmBytes(t *testing.T, img *imgproc.Image) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := img.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postPGM(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "image/x-portable-graymap", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestServeByteIdenticalConcurrent is the tentpole contract: concurrent
+// /predict and /detect responses must be byte-identical to direct Pipeline
+// calls, no matter how the micro-batcher groups them. Run with -race.
+func TestServeByteIdenticalConcurrent(t *testing.T) {
+	p := trainedPipeline(t, 2)
+	ref := referenceTwin(t, p)
+
+	// Expected answers from direct, sequential calls on the twin.
+	r := hv.NewRNG(99)
+	var probes []*imgproc.Image
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			probes = append(probes, dataset.RenderFace(48, 48, dataset.Emotion(r.Intn(7)), r))
+		} else {
+			probes = append(probes, dataset.RenderNonFace(48, 48, r))
+		}
+	}
+	wantScores := make([][]float64, len(probes))
+	for i, img := range probes {
+		wantScores[i] = ref.Scores(img)
+	}
+	scene := dataset.GenerateScene(96, 96, 48, 1, 12).Image
+	params := detect.Params{Win: 48, Stride: 24, Scales: []float64{1}, NMSIoU: 0.3, Workers: 2}
+	refScorer, err := ref.DetectScorer(nil, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBoxes, _, err := detect.Sweep(context.Background(), scene, refScorer, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{Pipeline: p, MaxBatch: 4, MaxQueue: 128, DetectParams: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sceneBody := pgmBytes(t, scene)
+	bodies := make([][]byte, len(probes))
+	for i := range probes {
+		bodies[i] = pgmBytes(t, probes[i])
+	}
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*(len(probes)+1))
+	for round := 0; round < rounds; round++ {
+		for i := range probes {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				code, data := postPGM(t, ts.URL+"/predict", bodies[i])
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("predict %d: status %d: %s", i, code, data)
+					return
+				}
+				var got PredictResponse
+				if err := json.Unmarshal(data, &got); err != nil {
+					errs <- fmt.Errorf("predict %d: %v", i, err)
+					return
+				}
+				if !reflect.DeepEqual(got.Scores, wantScores[i]) {
+					errs <- fmt.Errorf("predict %d: scores %v, want %v", i, got.Scores, wantScores[i])
+				}
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, data := postPGM(t, ts.URL+"/detect", sceneBody)
+			if code != http.StatusOK {
+				errs <- fmt.Errorf("detect: status %d: %s", code, data)
+				return
+			}
+			var got DetectResponse
+			if err := json.Unmarshal(data, &got); err != nil {
+				errs <- fmt.Errorf("detect: %v", err)
+				return
+			}
+			if got.Degraded {
+				errs <- fmt.Errorf("detect degraded under no load pressure")
+				return
+			}
+			if len(got.Boxes) != len(wantBoxes) {
+				errs <- fmt.Errorf("detect: %d boxes, want %d", len(got.Boxes), len(wantBoxes))
+				return
+			}
+			for i, b := range got.Boxes {
+				w := wantBoxes[i]
+				if b.X0 != w.X0 || b.Y0 != w.Y0 || b.X1 != w.X1 || b.Y1 != w.Y1 || b.Score != w.Score {
+					errs <- fmt.Errorf("detect box %d: %+v, want %+v", i, b, w)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServeAdmissionControl fills the queue of a server whose dispatcher
+// never runs and checks the handler sheds load with 503.
+func TestServeAdmissionControl(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	cfg, err := Config{Pipeline: p, MaxQueue: 1}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No dispatcher: the queue can only fill.
+	s := &Server{cfg: cfg, queue: make(chan *job, cfg.MaxQueue), done: make(chan struct{})}
+	if !s.enqueue(&job{kind: kindPredict, resp: make(chan result, 1)}) {
+		t.Fatal("first job should be admitted")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	img := dataset.RenderFace(48, 48, 0, hv.NewRNG(1))
+	code, data := postPGM(t, ts.URL+"/predict", pgmBytes(t, img))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("full queue: status %d (%s), want 503", code, data)
+	}
+	var e errorJSON
+	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		t.Fatalf("503 body %q should carry a JSON error", data)
+	}
+}
+
+// TestServeDrain checks the shutdown contract: Close answers every queued
+// job, further requests are rejected, and no goroutines leak.
+func TestServeDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p, MaxBatch: 2, MaxQueue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	img := pgmBytes(t, dataset.RenderFace(48, 48, 0, hv.NewRNG(2)))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _ := postPGM(t, ts.URL+"/predict", img)
+			if code != http.StatusOK && code != http.StatusServiceUnavailable {
+				t.Errorf("in-flight request got status %d", code)
+			}
+		}()
+	}
+	wg.Wait()
+	ts.Close() // drains in-flight handlers, like http.Server.Shutdown
+	s.Close()
+	s.Close() // idempotent
+	if s.enqueue(&job{kind: kindPredict, resp: make(chan result, 1)}) {
+		t.Fatal("closed server admitted a job")
+	}
+	// The dispatcher and every helper goroutine must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutine leak: %d -> %d\n%s", before, n, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestServeHealthAndMetrics covers the observability surface.
+func TestServeHealthAndMetrics(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || !h.Trained || h.D != 1024 || h.QueueCap != 64 {
+		t.Fatalf("healthz %+v", h)
+	}
+
+	// One real request so serving counters are live, then scrape.
+	code, _ := postPGM(t, ts.URL+"/predict", pgmBytes(t, dataset.RenderFace(48, 48, 0, hv.NewRNG(3))))
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"hdface_serve_predict_requests_total",
+		"hdface_serve_batches_total",
+		"hdface_serve_queue_depth",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+// TestServeBadRequests covers the 4xx surface: bad method, garbage body,
+// bad deadline, untrained pipeline.
+func TestServeBadRequests(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL + "/predict"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /predict: %d", resp.StatusCode)
+		}
+	}
+	if code, _ := postPGM(t, ts.URL+"/predict", []byte("not a pgm")); code != http.StatusBadRequest {
+		t.Fatalf("garbage body: %d", code)
+	}
+	img := pgmBytes(t, dataset.RenderFace(48, 48, 0, hv.NewRNG(4)))
+	if code, _ := postPGM(t, ts.URL+"/detect?deadline=banana", img); code != http.StatusBadRequest {
+		t.Fatalf("bad deadline: %d", code)
+	}
+	if code, _ := postPGM(t, ts.URL+"/detect?deadline=-5s", img); code != http.StatusBadRequest {
+		t.Fatalf("negative deadline: %d", code)
+	}
+
+	untrained, err := New(Config{Pipeline: hdface.New(hdface.Config{D: 256, Workers: 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer untrained.Close()
+	tu := httptest.NewServer(untrained.Handler())
+	defer tu.Close()
+	if code, _ := postPGM(t, tu.URL+"/predict", img); code != http.StatusConflict {
+		t.Fatalf("untrained predict: %d", code)
+	}
+	if code, _ := postPGM(t, tu.URL+"/detect", img); code != http.StatusConflict {
+		t.Fatalf("untrained detect: %d", code)
+	}
+}
+
+// TestServeDetectDeadlineDegrades pins the anytime behaviour end to end: an
+// absurdly small budget must still answer 200, flagged degraded.
+func TestServeDetectDeadlineDegrades(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	scene := pgmBytes(t, dataset.GenerateScene(192, 192, 48, 2, 5).Image)
+	code, data := postPGM(t, ts.URL+"/detect?deadline=1ns", scene)
+	if code != http.StatusOK {
+		t.Fatalf("deadline-blown detect: status %d (%s)", code, data)
+	}
+	var got DetectResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded {
+		t.Fatalf("1ns budget should degrade, got %+v", got)
+	}
+}

@@ -33,4 +33,40 @@ go run ./cmd/hdface-bench -exp faultsweep -quick -out "$out" >/dev/null
 test -s "$out/BENCH_fault.json" || { echo "BENCH_fault.json missing" >&2; exit 1; }
 rm -rf "$out"
 
+echo "== serve bench smoke =="
+out=$(mktemp -d)
+go run ./cmd/hdface-bench -exp servebench -quick -out "$out" >/dev/null
+test -s "$out/BENCH_serve.json" || { echo "BENCH_serve.json missing" >&2; exit 1; }
+rm -rf "$out"
+
+echo "== serve daemon smoke =="
+# End-to-end over the real binary: train a tiny snapshot, boot the daemon on
+# an ephemeral port, round-trip /predict and /metrics, then SIGTERM and
+# require a clean drain.
+out=$(mktemp -d)
+go build -o "$out/hdface" ./cmd/hdface
+(cd "$out" && ./hdface train -dataset face2 -d 512 -n 16 -test 8 \
+    -model face.hdc -snapshot face.hdfs -seed 7 >/dev/null)
+(cd "$out" && ./hdface scene -out probe.pgm -w 96 -h 96 -faces 1 >/dev/null)
+"$out/hdface" serve -snapshot "$out/face.hdfs" -addr 127.0.0.1:0 \
+    > "$out/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|.*on http://||p' "$out/serve.log")
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$out/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve daemon never bound" >&2; cat "$out/serve.log" >&2; exit 1; }
+curl -sf "http://$addr/healthz" | grep -q '"status":"ok"' || { echo "healthz failed" >&2; exit 1; }
+curl -sf --data-binary @"$out/probe.pgm" "http://$addr/predict" | grep -q '"label"' \
+    || { echo "predict failed" >&2; exit 1; }
+curl -sf "http://$addr/metrics" | grep -q hdface_serve_predict_requests_total \
+    || { echo "metrics failed" >&2; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "serve daemon exited non-zero" >&2; cat "$out/serve.log" >&2; exit 1; }
+grep -q "drained; bye" "$out/serve.log" || { echo "no clean drain" >&2; cat "$out/serve.log" >&2; exit 1; }
+rm -rf "$out"
+
 echo "OK"

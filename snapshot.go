@@ -1,0 +1,195 @@
+// Pipeline snapshots: a small, versioned wire format that makes a trained
+// pipeline portable. Only two things go on the wire — the effective Config
+// and the trained classifier — because every hypervector basis the
+// front-ends use (codec one/minusOne pair, pixel level tables, positional
+// IDs) is derived deterministically from Config.Seed: New(cfg) on the
+// loading side rematerialises them bit for bit instead of shipping
+// megabytes of redundant randomness. Combined with content-derived
+// per-image reseeding (see Feature), a loaded snapshot reproduces the
+// saving pipeline's Predict/Scores/DetectScorer outputs exactly.
+package hdface
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hdface/internal/hdc"
+)
+
+// snapshotMagic versions the container; the classifier payload carries its
+// own magic (see hdc.Model.Save), so both layers can evolve independently.
+const snapshotMagic = "hdface-model/v1\n"
+
+// maxSnapshotConfigBytes bounds the gob-encoded Config blob. The real
+// encoding is well under a kilobyte; anything larger is hostile.
+const maxSnapshotConfigBytes = 1 << 16
+
+// snapshotD mirrors the classifier wire bound (hdc: maxWireD) so the config
+// is rejected before any allocation is sized from it.
+const snapshotD = 1 << 24
+
+// SaveSnapshot writes the pipeline to w in the hdface-model/v1 format:
+// magic, a length-prefixed gob of the effective Config, a model-presence
+// flag, and (if trained) the classifier in its own checked wire format.
+// Pipelines may be snapshotted before Fit; loading yields an untrained
+// pipeline.
+func (p *Pipeline) SaveSnapshot(w io.Writer) error {
+	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+		return fmt.Errorf("hdface: snapshot magic: %w", err)
+	}
+	var cfgBuf bytes.Buffer
+	if err := gob.NewEncoder(&cfgBuf).Encode(p.cfg); err != nil {
+		return fmt.Errorf("hdface: snapshot config: %w", err)
+	}
+	if cfgBuf.Len() > maxSnapshotConfigBytes {
+		return fmt.Errorf("hdface: snapshot config %d bytes exceeds %d", cfgBuf.Len(), maxSnapshotConfigBytes)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(cfgBuf.Len())); err != nil {
+		return fmt.Errorf("hdface: snapshot config length: %w", err)
+	}
+	if _, err := w.Write(cfgBuf.Bytes()); err != nil {
+		return fmt.Errorf("hdface: snapshot config: %w", err)
+	}
+	hasModel := byte(0)
+	if p.model != nil {
+		hasModel = 1
+	}
+	if _, err := w.Write([]byte{hasModel}); err != nil {
+		return fmt.Errorf("hdface: snapshot model flag: %w", err)
+	}
+	if p.model != nil {
+		if err := p.model.Save(w); err != nil {
+			return fmt.Errorf("hdface: snapshot model: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot reads an hdface-model/v1 snapshot, validates the embedded
+// configuration before acting on it, rebuilds the front-end bases from the
+// config seed, and attaches the trained classifier (if present). The
+// returned pipeline is behaviourally identical to the one that was saved.
+func LoadSnapshot(r io.Reader) (*Pipeline, error) {
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("hdface: snapshot magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("hdface: not an hdface-model/v1 snapshot (magic %q)", magic)
+	}
+	var cfgLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &cfgLen); err != nil {
+		return nil, fmt.Errorf("hdface: snapshot config length: %w", err)
+	}
+	if cfgLen == 0 || cfgLen > maxSnapshotConfigBytes {
+		return nil, fmt.Errorf("hdface: snapshot config length %d outside (0, %d]", cfgLen, maxSnapshotConfigBytes)
+	}
+	cfgBytes := make([]byte, cfgLen)
+	if _, err := io.ReadFull(r, cfgBytes); err != nil {
+		return nil, fmt.Errorf("hdface: snapshot config: %w", err)
+	}
+	var cfg Config
+	if err := gob.NewDecoder(bytes.NewReader(cfgBytes)).Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("hdface: snapshot config: %w", err)
+	}
+	if err := validateSnapshotConfig(cfg); err != nil {
+		return nil, err
+	}
+	var flag [1]byte
+	if _, err := io.ReadFull(r, flag[:]); err != nil {
+		return nil, fmt.Errorf("hdface: snapshot model flag: %w", err)
+	}
+	p := New(cfg)
+	switch flag[0] {
+	case 0:
+		return p, nil
+	case 1:
+		m, err := hdc.Load(r)
+		if err != nil {
+			return nil, fmt.Errorf("hdface: snapshot model: %w", err)
+		}
+		if m.D != p.cfg.D {
+			return nil, fmt.Errorf("hdface: snapshot model D=%d does not match config D=%d", m.D, p.cfg.D)
+		}
+		p.model = m
+		return p, nil
+	default:
+		return nil, fmt.Errorf("hdface: snapshot model flag %d invalid", flag[0])
+	}
+}
+
+// validateSnapshotConfig bounds every field a snapshot can set before the
+// config drives any allocation or goroutine count. The limits are generous
+// for real use and ludicrous for hostile input.
+func validateSnapshotConfig(cfg Config) error {
+	if cfg.D < 1 || cfg.D > snapshotD {
+		return fmt.Errorf("hdface: snapshot config D=%d outside [1, %d]", cfg.D, snapshotD)
+	}
+	if cfg.Mode < ModeStochHOG || cfg.Mode > ModeStochConv {
+		return fmt.Errorf("hdface: snapshot config mode %d unknown", cfg.Mode)
+	}
+	if cfg.WorkingSize < 0 || cfg.WorkingSize > 1<<14 {
+		return fmt.Errorf("hdface: snapshot config working size %d outside [0, %d]", cfg.WorkingSize, 1<<14)
+	}
+	if cfg.Workers < 0 || cfg.Workers > 1<<12 {
+		return fmt.Errorf("hdface: snapshot config workers %d outside [0, %d]", cfg.Workers, 1<<12)
+	}
+	if cfg.SqrtIterations < 0 || cfg.SqrtIterations > 1<<10 {
+		return fmt.Errorf("hdface: snapshot config sqrt iterations %d outside [0, %d]", cfg.SqrtIterations, 1<<10)
+	}
+	if cfg.Stride < 0 || cfg.Stride > 1<<8 {
+		return fmt.Errorf("hdface: snapshot config stride %d outside [0, %d]", cfg.Stride, 1<<8)
+	}
+	if cfg.Train.Epochs < 0 || cfg.Train.Epochs > 1<<16 {
+		return fmt.Errorf("hdface: snapshot config epochs %d outside [0, %d]", cfg.Train.Epochs, 1<<16)
+	}
+	return nil
+}
+
+// SaveSnapshotFile writes the snapshot to path via a same-directory
+// temporary file and rename, so a crash mid-write never leaves a torn
+// snapshot where a daemon expects a valid one.
+func (p *Pipeline) SaveSnapshotFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("hdface: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := p.SaveSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("hdface: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("hdface: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshotFile loads a snapshot from path.
+func LoadSnapshotFile(path string) (*Pipeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hdface: snapshot open: %w", err)
+	}
+	defer f.Close()
+	return LoadSnapshot(f)
+}
+
+// SetWorkers overrides the extraction parallelism of a (typically loaded)
+// pipeline. Since features are pure functions of (Config minus Workers,
+// image), changing it never changes outputs — only throughput.
+func (p *Pipeline) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.cfg.Workers = n
+	obsWorkers.Set(float64(n))
+}
