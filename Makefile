@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check fmt vet
+.PHONY: build test bench bench-online check fmt vet
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,10 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the online drift-recovery benchmark (results/BENCH_online.json).
+bench-online:
+	$(GO) run ./cmd/hdface-bench -exp onlinebench -out results
 
 # Full hygiene gate: gofmt -l, go vet, go test -race (see scripts/check.sh).
 check:

@@ -5,6 +5,7 @@
 //	hdface detect -scene scene.pgm -model face.hdc -out overlay.pgm
 //	hdface scene  -out scene.pgm            # render a test scene
 //	hdface serve  -snapshot face.hdfs -addr :8466
+//	hdface models -registry models/ [-promote N | -rollback]
 //
 // Models are serialised HDC classifiers; pipeline snapshots (train
 // -snapshot) additionally carry the full configuration so a daemon can
@@ -33,6 +34,8 @@ import (
 	"hdface/internal/hv"
 	"hdface/internal/imgproc"
 	"hdface/internal/obscli"
+	"hdface/internal/online"
+	"hdface/internal/registry"
 	"hdface/internal/serve"
 )
 
@@ -181,7 +184,10 @@ func trainFromCache(featPath, modelPath string, k int, seed uint64) error {
 	if k < 2 {
 		return fmt.Errorf("inferred class count %d; pass -k", k)
 	}
-	model := hdc.Train(feats, labels, k, hdc.TrainOpts{Seed: seed})
+	model, err := hdc.Train(feats, labels, k, hdc.TrainOpts{Seed: seed})
+	if err != nil {
+		return err
+	}
 	model.Finalize(seed)
 	fmt.Printf("trained on %d cached features (D=%d, k=%d); train accuracy %.3f\n",
 		len(feats), model.D, k, model.Accuracy(feats, labels))
@@ -413,6 +419,10 @@ func cmdServe(args []string) error {
 	win := fs.Int("win", 0, "detection window size (0 = snapshot working size)")
 	stride := fs.Int("stride", 0, "detection window stride (0 = win/2)")
 	workers := fs.Int("workers", 0, "override extraction parallelism (0 = snapshot setting)")
+	regDir := fs.String("registry", "", "model registry directory for versioned hot-swap (empty = in-memory)")
+	retain := fs.Int("retain", 8, "max model versions the registry keeps (<=0 keeps all)")
+	onlineOn := fs.Bool("online", false, "enable POST /feedback online learning")
+	onlineBatch := fs.Int("online-batch", 32, "feedback samples per refinement round")
 	of := obscli.Register(fs)
 	fs.Parse(args)
 
@@ -429,8 +439,33 @@ func cmdServe(args []string) error {
 		"d": strconv.Itoa(cfg.D), "seed": strconv.FormatUint(cfg.Seed, 10),
 	})
 
+	reg, err := registry.Open(*regDir, *retain)
+	if err != nil {
+		return err
+	}
+	if rcfg, ok := reg.Config(); ok {
+		if err := registry.Compatible(rcfg, cfg); err != nil {
+			return fmt.Errorf("registry %s serves a different pipeline: %w", *regDir, err)
+		}
+	}
+	var trainer *online.Trainer
+	if *onlineOn {
+		trainer, err = online.New(online.Config{
+			Registry:  reg,
+			Pipe:      cfg,
+			BatchSize: *onlineBatch,
+			Opts:      cfg.Train,
+		})
+		if err != nil {
+			return err
+		}
+		defer trainer.Close()
+	}
+
 	s, err := serve.New(serve.Config{
 		Pipeline:      p,
+		Registry:      reg,
+		Online:        trainer,
 		MaxBatch:      *maxBatch,
 		MaxQueue:      *maxQueue,
 		FlushInterval: *flush,
@@ -447,8 +482,8 @@ func cmdServe(args []string) error {
 		return err
 	}
 	trained := "untrained"
-	if p.Model() != nil {
-		trained = "trained"
+	if live := s.Registry().Live(); live != nil {
+		trained = fmt.Sprintf("trained (live model v%d)", live.ID)
 	}
 	fmt.Printf("serving %s %s pipeline (D=%d) on http://%s\n",
 		trained, cfg.Mode, cfg.D, ln.Addr())
@@ -480,9 +515,56 @@ func cmdServe(args []string) error {
 	return of.Finish()
 }
 
+// cmdModels inspects and mutates a model registry directory without a
+// running daemon: list versions, promote one, or roll back.
+func cmdModels(args []string) error {
+	fs := flag.NewFlagSet("models", flag.ExitOnError)
+	regDir := fs.String("registry", "", "model registry directory (required)")
+	promote := fs.Uint64("promote", 0, "promote this version to live")
+	rollback := fs.Bool("rollback", false, "roll back to the previously live version")
+	retain := fs.Int("retain", 0, "retention bound applied while open (<=0 keeps all)")
+	fs.Parse(args)
+	if *regDir == "" {
+		return fmt.Errorf("models: -registry is required")
+	}
+	if *promote != 0 && *rollback {
+		return fmt.Errorf("models: -promote and -rollback are mutually exclusive")
+	}
+	reg, err := registry.Open(*regDir, *retain)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *promote != 0:
+		if err := reg.Promote(*promote); err != nil {
+			return err
+		}
+		fmt.Printf("promoted v%d\n", *promote)
+	case *rollback:
+		id, err := reg.Rollback()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rolled back; live is v%d\n", id)
+	}
+	infos := reg.List()
+	if len(infos) == 0 {
+		fmt.Println("registry is empty")
+		return nil
+	}
+	for _, in := range infos {
+		marker := " "
+		if in.Live {
+			marker = "*"
+		}
+		fmt.Printf("%s v%d\n", marker, in.ID)
+	}
+	return nil
+}
+
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: hdface <train|eval|detect|scene|features|serve> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: hdface <train|eval|detect|scene|features|serve|models> [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -499,6 +581,8 @@ func main() {
 		err = cmdFeatures(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "models":
+		err = cmdModels(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}

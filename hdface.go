@@ -466,19 +466,43 @@ func (p *Pipeline) FitContext(ctx context.Context, imgs []*Image, labels []int, 
 	if opts.Seed == 0 {
 		opts.Seed = p.cfg.Seed
 	}
-	p.model = hdc.Train(feats, labels, numClasses, opts)
-	p.model.Finalize(p.cfg.Seed ^ 0xf1a1)
+	m, err := hdc.Train(feats, labels, numClasses, opts)
+	if err != nil {
+		return err
+	}
+	m.Finalize(p.cfg.Seed ^ 0xf1a1)
+	p.model = m
 	return nil
 }
 
 // FitFeatures trains directly on precomputed hypervector features.
-func (p *Pipeline) FitFeatures(feats []*hv.Vector, labels []int, numClasses int) {
+func (p *Pipeline) FitFeatures(feats []*hv.Vector, labels []int, numClasses int) error {
 	opts := p.cfg.Train
 	if opts.Seed == 0 {
 		opts.Seed = p.cfg.Seed
 	}
-	p.model = hdc.Train(feats, labels, numClasses, opts)
-	p.model.Finalize(p.cfg.Seed ^ 0xf1a1)
+	m, err := hdc.Train(feats, labels, numClasses, opts)
+	if err != nil {
+		return err
+	}
+	m.Finalize(p.cfg.Seed ^ 0xf1a1)
+	p.model = m
+	return nil
+}
+
+// SetModel rebinds the pipeline to an externally trained (or registry
+// loaded) model. The model must match the pipeline's dimensionality; the
+// hypervector bases stay untouched, so features extracted before and
+// after the swap are identical.
+func (p *Pipeline) SetModel(m *hdc.Model) error {
+	if m == nil {
+		return fmt.Errorf("hdface: SetModel: nil model")
+	}
+	if m.D != p.cfg.D {
+		return fmt.Errorf("hdface: SetModel: model D=%d, pipeline D=%d", m.D, p.cfg.D)
+	}
+	p.model = m
+	return nil
 }
 
 // Predict classifies one image. It panics if Fit has not run.

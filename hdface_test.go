@@ -189,7 +189,9 @@ func TestFitFeaturesDirect(t *testing.T) {
 		labels = append(labels, l)
 	}
 	p := hdface.New(hdface.Config{D: 512, Seed: 16})
-	p.FitFeatures(feats, labels, 2)
+	if err := p.FitFeatures(feats, labels, 2); err != nil {
+		t.Fatal(err)
+	}
 	if p.Model().Accuracy(feats, labels) < 0.95 {
 		t.Fatal("FitFeatures failed on trivial clusters")
 	}

@@ -70,7 +70,10 @@ func Ablations(w io.Writer, o Options) error {
 		}
 		trainF := extract(ld.trainImgs)
 		testF := extract(ld.testImgs)
-		model := hdc.Train(trainF, ld.trainLabels, ld.k, hdc.TrainOpts{Seed: o.Seed})
+		model, err := hdc.Train(trainF, ld.trainLabels, ld.k, hdc.TrainOpts{Seed: o.Seed})
+		if err != nil {
+			return err
+		}
 
 		n := int64(len(ld.trainImgs) + len(ld.testImgs))
 		trace := hwsim.FromStoch(codec.Stats)

@@ -58,8 +58,8 @@ func TestLoadAllShapes(t *testing.T) {
 
 func TestRunnerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(all))
+	if len(all) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(all))
 	}
 	if _, ok := Get("fig4"); !ok {
 		t.Fatal("fig4 missing")
@@ -465,6 +465,38 @@ func TestFaultSweep(t *testing.T) {
 		if last.AccRepaired <= last.AccFaulty {
 			t.Fatalf("D=%d: repair did not recover accuracy (%v vs faulty %v)",
 				dim.D, last.AccRepaired, last.AccFaulty)
+		}
+	}
+}
+
+func TestOnlineBench(t *testing.T) {
+	report, err := OnlineBenchData(Options{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != "hdface-bench-online/v1" {
+		t.Fatalf("schema %q", report.Schema)
+	}
+	if len(report.Buckets) == 0 || report.Buckets[len(report.Buckets)-1].End != report.StreamLen {
+		t.Fatalf("bucket coverage wrong: %+v", report.Buckets)
+	}
+	// The whole point of the subsystem: a dip at the drift injection,
+	// promotion-driven recovery, and a frozen baseline that stays down.
+	if report.DipAcc >= report.PreDriftAcc {
+		t.Fatalf("no dip after drift: dip=%v pre=%v", report.DipAcc, report.PreDriftAcc)
+	}
+	if !report.Recovered {
+		t.Fatalf("adaptive path did not recover: %+v", report)
+	}
+	if report.FrozenFinal >= report.RecoveredAcc {
+		t.Fatalf("frozen baseline kept up: frozen=%v adaptive=%v", report.FrozenFinal, report.RecoveredAcc)
+	}
+	if report.Promotions == 0 {
+		t.Fatal("recovery happened without any promotion; attribution is broken")
+	}
+	for _, b := range report.Buckets {
+		if b.LiveVersion == 0 {
+			t.Fatalf("bucket [%d,%d) has no live version", b.Start, b.End)
 		}
 	}
 }

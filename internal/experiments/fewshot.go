@@ -60,9 +60,15 @@ func FewShotData(o Options) ([]FewShotPoint, error) {
 		}
 
 		pt := FewShotPoint{PerClass: shot}
-		single := hdc.Train(hvList, labels, ld.k, hdc.TrainOpts{Epochs: 1, Seed: o.Seed})
+		single, err := hdc.Train(hvList, labels, ld.k, hdc.TrainOpts{Epochs: 1, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
 		pt.HDSingle = single.Accuracy(testFeats, ld.testLabels)
-		full := hdc.Train(hvList, labels, ld.k, hdc.TrainOpts{Seed: o.Seed})
+		full, err := hdc.Train(hvList, labels, ld.k, hdc.TrainOpts{Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
 		pt.HDFull = full.Accuracy(testFeats, ld.testLabels)
 
 		mlp, err := nn.New(dnnConfigFor(len(trainX[0]), ld.k, 256, o.DNNEpochs, o.Seed))

@@ -188,6 +188,7 @@ func All() []Runner {
 		{"detectbench", "detection sweep perf baseline (BENCH_detect.json)", DetectBench},
 		{"servebench", "serving daemon load benchmark (BENCH_serve.json)", ServeBench},
 		{"faultsweep", "bit-error chaos harness with self-repair (BENCH_fault.json)", FaultSweep},
+		{"onlinebench", "online learning drift-recovery benchmark (BENCH_online.json)", OnlineBench},
 		{"verify", "reproduction gate: assert the structural claims", Verify},
 	}
 }

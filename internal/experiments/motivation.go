@@ -48,7 +48,10 @@ func Motivation(w io.Writer, o Options) error {
 	nFeat := len(trainX[0])
 	enc := encoder.NewIDLevel(o.D, nFeat, 32, 0, 1, o.Seed^0x307)
 	trainFeats := encodeAllID(enc, trainX)
-	model := hdc.Train(trainFeats, ld.trainLabels, ld.k, hdc.TrainOpts{Seed: o.Seed})
+	model, err := hdc.Train(trainFeats, ld.trainLabels, ld.k, hdc.TrainOpts{Seed: o.Seed})
+	if err != nil {
+		return err
+	}
 	model.Finalize(o.Seed)
 
 	encodeTrace := hwsim.Trace{
@@ -67,7 +70,10 @@ func Motivation(w io.Writer, o Options) error {
 	// Table 2's HDFace+Learn rows) propagates value corruption faithfully.
 	penc := encoder.NewProjection(o.D, nFeat, o.Seed^0x309)
 	ptrain := encodeAll(penc, trainX)
-	pmodel := hdc.Train(ptrain, ld.trainLabels, ld.k, hdc.TrainOpts{Seed: o.Seed})
+	pmodel, err := hdc.Train(ptrain, ld.trainLabels, ld.k, hdc.TrainOpts{Seed: o.Seed})
+	if err != nil {
+		return err
+	}
 	pmodel.Finalize(o.Seed)
 	ptest := encodeAll(penc, testX)
 	clean := binAccuracy(pmodel, ptest, ld.testLabels)

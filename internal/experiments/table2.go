@@ -96,7 +96,10 @@ func Table2Data(o Options) ([]Table2Row, error) {
 	for _, d := range table2Dims(o) {
 		enc := encoder.NewProjection(d, len(trainX[0]), o.Seed^0x0e5)
 		trainFeats := encodeAll(enc, trainX)
-		model := hdc.Train(trainFeats, ld.trainLabels, ld.k, hdc.TrainOpts{Seed: o.Seed})
+		model, err := hdc.Train(trainFeats, ld.trainLabels, ld.k, hdc.TrainOpts{Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
 		model.Finalize(o.Seed)
 		cleanTest := encodeAll(enc, testX)
 		clean := binAccuracy(model, cleanTest, ld.testLabels)

@@ -26,7 +26,10 @@ func synthModel(t *testing.T, d int) (*hdc.Model, []*hv.Vector, []int) {
 		feats = append(feats, v)
 		labels = append(labels, c)
 	}
-	m := hdc.Train(feats, labels, 2, hdc.TrainOpts{Seed: 42, Epochs: 5})
+	m, err := hdc.Train(feats, labels, 2, hdc.TrainOpts{Seed: 42, Epochs: 5})
+	if err != nil {
+		panic(err)
+	}
 	m.Finalize(42)
 	return m, feats, labels
 }

@@ -97,6 +97,33 @@ func NewModel(d, k int) *Model {
 	return m
 }
 
+// Clone returns a deep copy of the model. It is safe to call concurrently
+// with inference on the receiver (inference only reads the accumulators and
+// bumps the atomic work counters, which Clone loads atomically); it is NOT
+// safe concurrently with training updates on the receiver. Cloning is how
+// the online-learning subsystem derives a mutable candidate from the
+// immutable live model of a serving daemon.
+func (m *Model) Clone() *Model {
+	c := &Model{D: m.D, K: m.K, Classes: make([][]float64, m.K)}
+	for i, acc := range m.Classes {
+		c.Classes[i] = append([]float64(nil), acc...)
+	}
+	if m.Bin != nil {
+		c.Bin = make([]*hv.Vector, len(m.Bin))
+		for i, v := range m.Bin {
+			c.Bin[i] = v.Clone()
+		}
+	}
+	c.Stats = Stats{
+		BootstrapAdds:  atomic.LoadInt64(&m.Stats.BootstrapAdds),
+		BootstrapSkips: atomic.LoadInt64(&m.Stats.BootstrapSkips),
+		AdaptiveSteps:  atomic.LoadInt64(&m.Stats.AdaptiveSteps),
+		Similarities:   atomic.LoadInt64(&m.Stats.Similarities),
+		Epochs:         atomic.LoadInt64(&m.Stats.Epochs),
+	}
+	return c
+}
+
 // addScaled adds s * (+-1 bits of v) into class c's accumulator.
 func (m *Model) addScaled(c int, v *hv.Vector, s float64) {
 	acc := m.Classes[c]
@@ -219,10 +246,110 @@ func (m *Model) Finalize(seed uint64) {
 	}
 }
 
-// Train fits a model on hypervector features with integer labels in [0, k).
-func Train(features []*hv.Vector, labels []int, k int, opts TrainOpts) *Model {
+// validateBatch checks a (features, labels) batch against a model geometry:
+// non-empty, aligned, every feature of dimensionality d, every label in
+// [0, k). These are caller-input conditions at the library boundary, so
+// violations are errors, not panics.
+func validateBatch(features []*hv.Vector, labels []int, d, k int) error {
 	if len(features) == 0 || len(features) != len(labels) {
-		panic("hdc: features and labels must be non-empty and aligned")
+		return fmt.Errorf("hdc: %d features and %d labels must be non-empty and aligned", len(features), len(labels))
+	}
+	for i, f := range features {
+		if f == nil || f.D() != d {
+			return fmt.Errorf("hdc: feature %d has dimensionality %v, model has %d", i, featDim(f), d)
+		}
+		if labels[i] < 0 || labels[i] >= k {
+			return fmt.Errorf("hdc: label %d at sample %d outside [0, %d)", labels[i], i, k)
+		}
+	}
+	return nil
+}
+
+// featDim prints a feature's dimensionality for error messages, tolerating
+// nil.
+func featDim(f *hv.Vector) any {
+	if f == nil {
+		return "nil"
+	}
+	return f.D()
+}
+
+// Update runs one adaptive mistake-weighted refinement pass over the batch
+// — the inner loop of Train's retraining epochs, exported so online
+// learners can refine an already-trained model incrementally: clone the
+// deployed model, Update it with the freshly labelled mini-batch (several
+// passes if desired), and promote the clone once it beats the original.
+// It returns the number of prediction mistakes observed during the pass;
+// zero means the model already fits the batch and further passes are
+// no-ops (for Margin == 0).
+func (m *Model) Update(features []*hv.Vector, labels []int, opts TrainOpts) (int, error) {
+	if err := validateBatch(features, labels, m.D, m.K); err != nil {
+		return 0, err
+	}
+	opts = opts.withDefaults()
+	adapt := obs.StartSpan("hdc_adaptive")
+	defer adapt.End()
+	return m.updatePass(features, labels, opts, adapt), nil
+}
+
+// updatePass is the validated core of Update; Train calls it directly for
+// its refinement epochs.
+func (m *Model) updatePass(features []*hv.Vector, labels []int, opts TrainOpts, adapt *obs.Span) int {
+	m.Stats.Epochs++
+	obsEpochs.Inc()
+	adapt.AddItems(int64(len(features)))
+	mistakes := 0
+	for i, f := range features {
+		y := labels[i]
+		scores := m.Scores(f)
+		pred := 0
+		for c, s := range scores {
+			if s > scores[pred] {
+				pred = c
+			}
+		}
+		if pred == y {
+			if opts.Margin > 0 {
+				// Reinforce low-confidence correct predictions.
+				runner := math.Inf(-1)
+				for c, s := range scores {
+					if c != y && s > runner {
+						runner = s
+					}
+				}
+				if gap := scores[y] - runner; gap < opts.Margin {
+					w := 0.5 * opts.LR * (opts.Margin - gap) / opts.Margin
+					m.addScaled(y, f, w)
+					m.Stats.AdaptiveSteps++
+					obsAdaptive.Inc()
+				}
+			}
+			continue
+		}
+		mistakes++
+		// Weight by how wrong the model was (OnlineHD style).
+		w := opts.LR * (1 - (scores[y] - scores[pred]))
+		m.addScaled(y, f, w)
+		m.addScaled(pred, f, -w)
+		m.Stats.AdaptiveSteps++
+		obsAdaptive.Inc()
+	}
+	return mistakes
+}
+
+// Train fits a model on hypervector features with integer labels in [0, k).
+func Train(features []*hv.Vector, labels []int, k int, opts TrainOpts) (*Model, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("hdc: need k >= 2 classes, got %d", k)
+	}
+	if len(features) == 0 {
+		return nil, errors.New("hdc: features and labels must be non-empty and aligned")
+	}
+	if features[0] == nil || features[0].D() <= 0 {
+		return nil, errors.New("hdc: first feature is nil or zero-dimensional")
+	}
+	if err := validateBatch(features, labels, features[0].D(), k); err != nil {
+		return nil, err
 	}
 	opts = opts.withDefaults()
 	m := NewModel(features[0].D(), k)
@@ -256,50 +383,11 @@ func Train(features []*hv.Vector, labels []int, k int, opts TrainOpts) *Model {
 	adapt := obs.StartSpan("hdc_adaptive")
 	defer adapt.End()
 	for e := 0; e < opts.Epochs; e++ {
-		m.Stats.Epochs++
-		obsEpochs.Inc()
-		adapt.AddItems(int64(len(features)))
-		mistakes := 0
-		for i, f := range features {
-			y := labels[i]
-			scores := m.Scores(f)
-			pred := 0
-			for c, s := range scores {
-				if s > scores[pred] {
-					pred = c
-				}
-			}
-			if pred == y {
-				if opts.Margin > 0 {
-					// Reinforce low-confidence correct predictions.
-					runner := math.Inf(-1)
-					for c, s := range scores {
-						if c != y && s > runner {
-							runner = s
-						}
-					}
-					if gap := scores[y] - runner; gap < opts.Margin {
-						w := 0.5 * opts.LR * (opts.Margin - gap) / opts.Margin
-						m.addScaled(y, f, w)
-						m.Stats.AdaptiveSteps++
-						obsAdaptive.Inc()
-					}
-				}
-				continue
-			}
-			mistakes++
-			// Weight by how wrong the model was (OnlineHD style).
-			w := opts.LR * (1 - (scores[y] - scores[pred]))
-			m.addScaled(y, f, w)
-			m.addScaled(pred, f, -w)
-			m.Stats.AdaptiveSteps++
-			obsAdaptive.Inc()
-		}
-		if mistakes == 0 {
+		if m.updatePass(features, labels, opts, adapt) == 0 {
 			break
 		}
 	}
-	return m
+	return m, nil
 }
 
 // Accuracy returns the fraction of samples Predict classifies correctly.
@@ -319,12 +407,12 @@ func (m *Model) Accuracy(features []*hv.Vector, labels []int) float64 {
 // CrossValidate runs k-fold cross validation over hypervector features and
 // returns the per-fold test accuracies. Folds are contiguous stripes of a
 // seeded shuffle, so results are reproducible.
-func CrossValidate(features []*hv.Vector, labels []int, numClasses, folds int, opts TrainOpts) []float64 {
+func CrossValidate(features []*hv.Vector, labels []int, numClasses, folds int, opts TrainOpts) ([]float64, error) {
 	if folds < 2 || folds > len(features) {
-		panic("hdc: folds must be in [2, len(features)]")
+		return nil, fmt.Errorf("hdc: folds %d outside [2, %d]", folds, len(features))
 	}
 	if len(features) != len(labels) {
-		panic("hdc: features and labels misaligned")
+		return nil, fmt.Errorf("hdc: %d features and %d labels misaligned", len(features), len(labels))
 	}
 	opts = opts.withDefaults()
 	r := hv.NewRNG(opts.Seed ^ 0xcf01d)
@@ -344,10 +432,13 @@ func CrossValidate(features []*hv.Vector, labels []int, numClasses, folds int, o
 				trL = append(trL, labels[i])
 			}
 		}
-		m := Train(trF, trL, numClasses, opts)
+		m, err := Train(trF, trL, numClasses, opts)
+		if err != nil {
+			return nil, fmt.Errorf("hdc: fold %d: %w", f, err)
+		}
 		accs[f] = m.Accuracy(teF, teL)
 	}
-	return accs
+	return accs, nil
 }
 
 // Shrink returns a model reduced to the first newD dimensions of the

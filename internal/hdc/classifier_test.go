@@ -27,6 +27,17 @@ func makeClusters(d, k, perClass int, flip float64, seed uint64) (feats []*hv.Ve
 	return
 }
 
+// mustTrain wraps Train for the happy-path tests, failing the test on the
+// input-validation errors they never trigger.
+func mustTrain(tb testing.TB, feats []*hv.Vector, labels []int, k int, opts TrainOpts) *Model {
+	tb.Helper()
+	m, err := Train(feats, labels, k, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
 func TestNewModelValidation(t *testing.T) {
 	for _, f := range []func(){
 		func() { NewModel(0, 2) },
@@ -45,7 +56,7 @@ func TestNewModelValidation(t *testing.T) {
 
 func TestTrainSeparatesClusters(t *testing.T) {
 	feats, labels, _ := makeClusters(2048, 4, 20, 0.25, 1)
-	m := Train(feats, labels, 4, TrainOpts{})
+	m := mustTrain(t, feats, labels, 4, TrainOpts{})
 	if acc := m.Accuracy(feats, labels); acc < 0.95 {
 		t.Fatalf("train accuracy %v on easy clusters", acc)
 	}
@@ -58,7 +69,7 @@ func TestTrainSeparatesClusters(t *testing.T) {
 
 func TestPredictScoresConsistency(t *testing.T) {
 	feats, labels, protos := makeClusters(1024, 3, 10, 0.2, 2)
-	m := Train(feats, labels, 3, TrainOpts{})
+	m := mustTrain(t, feats, labels, 3, TrainOpts{})
 	for c, p := range protos {
 		scores := m.Scores(p)
 		if len(scores) != 3 {
@@ -93,7 +104,7 @@ func TestBootstrapSkipsRedundant(t *testing.T) {
 	// Many near-identical samples per class: after the first few, the
 	// bootstrap pass should start skipping.
 	feats, labels, _ := makeClusters(2048, 2, 50, 0.05, 3)
-	m := Train(feats, labels, 2, TrainOpts{Epochs: 1})
+	m := mustTrain(t, feats, labels, 2, TrainOpts{Epochs: 1})
 	if m.Stats.BootstrapSkips == 0 {
 		t.Fatal("no bootstrap skips on redundant data")
 	}
@@ -109,11 +120,11 @@ func TestAdaptiveEpochsImprove(t *testing.T) {
 	// A harder problem: high flip rate. Adaptive training must beat the
 	// pure bootstrap pass.
 	feats, labels, _ := makeClusters(1024, 5, 30, 0.42, 4)
-	naive := Train(feats, labels, 5, TrainOpts{Epochs: 1, BootstrapMargin: -1e9})
+	naive := mustTrain(t, feats, labels, 5, TrainOpts{Epochs: 1, BootstrapMargin: -1e9})
 	// BootstrapMargin below any gap means every sample is memorised, and a
 	// single epoch of refinement barely runs: this approximates the naive
 	// bundling baseline of DESIGN.md's ablation.
-	adaptive := Train(feats, labels, 5, TrainOpts{Epochs: 30})
+	adaptive := mustTrain(t, feats, labels, 5, TrainOpts{Epochs: 30})
 	an := naive.Accuracy(feats, labels)
 	aa := adaptive.Accuracy(feats, labels)
 	if aa < an {
@@ -121,18 +132,95 @@ func TestAdaptiveEpochsImprove(t *testing.T) {
 	}
 }
 
-func TestTrainPanicsOnBadInput(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on empty features")
+func TestTrainRejectsBadInput(t *testing.T) {
+	r := hv.NewRNG(1)
+	f64 := hv.NewRand(r, 64)
+	f32 := hv.NewRand(r, 32)
+	cases := []struct {
+		name   string
+		feats  []*hv.Vector
+		labels []int
+		k      int
+	}{
+		{"empty", nil, nil, 2},
+		{"k too small", []*hv.Vector{f64}, []int{0}, 1},
+		{"misaligned", []*hv.Vector{f64}, []int{0, 1}, 2},
+		{"label out of range", []*hv.Vector{f64}, []int{2}, 2},
+		{"negative label", []*hv.Vector{f64}, []int{-1}, 2},
+		{"nil feature", []*hv.Vector{f64, nil}, []int{0, 1}, 2},
+		{"dim mismatch", []*hv.Vector{f64, f32}, []int{0, 1}, 2},
+	}
+	for _, c := range cases {
+		if _, err := Train(c.feats, c.labels, c.k, TrainOpts{}); err == nil {
+			t.Errorf("%s: Train accepted invalid input", c.name)
 		}
-	}()
-	Train(nil, nil, 2, TrainOpts{})
+	}
+}
+
+func TestUpdateRejectsBadInput(t *testing.T) {
+	feats, labels, _ := makeClusters(64, 2, 5, 0.2, 9)
+	m := mustTrain(t, feats, labels, 2, TrainOpts{})
+	r := hv.NewRNG(2)
+	if _, err := m.Update(nil, nil, TrainOpts{}); err == nil {
+		t.Error("Update accepted empty batch")
+	}
+	if _, err := m.Update([]*hv.Vector{hv.NewRand(r, 32)}, []int{0}, TrainOpts{}); err == nil {
+		t.Error("Update accepted dimension mismatch")
+	}
+	if _, err := m.Update([]*hv.Vector{hv.NewRand(r, 64)}, []int{5}, TrainOpts{}); err == nil {
+		t.Error("Update accepted out-of-range label")
+	}
+}
+
+func TestUpdateRefinesModel(t *testing.T) {
+	feats, labels, _ := makeClusters(1024, 3, 20, 0.35, 11)
+	m := mustTrain(t, feats, labels, 3, TrainOpts{Epochs: 1, BootstrapMargin: -1e9})
+	before := m.Accuracy(feats, labels)
+	for i := 0; i < 20; i++ {
+		if _, err := m.Update(feats, labels, TrainOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := m.Accuracy(feats, labels); after < before {
+		t.Fatalf("Update degraded accuracy %v -> %v", before, after)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	feats, labels, _ := makeClusters(512, 2, 10, 0.2, 12)
+	m := mustTrain(t, feats, labels, 2, TrainOpts{})
+	m.Finalize(3)
+	c := m.Clone()
+	if c.D != m.D || c.K != m.K {
+		t.Fatal("clone geometry differs")
+	}
+	for i := range m.Classes {
+		for j := range m.Classes[i] {
+			if m.Classes[i][j] != c.Classes[i][j] {
+				t.Fatalf("accumulator %d/%d differs", i, j)
+			}
+		}
+		if !m.Bin[i].Equal(c.Bin[i]) {
+			t.Fatalf("binary class %d differs", i)
+		}
+	}
+	// Mutating the clone must not touch the original.
+	orig := m.Classes[0][0]
+	c.Classes[0][0] += 1000
+	c.Bin[0].SetBit(0, 1-c.Bin[0].Bit(0))
+	if m.Classes[0][0] != orig {
+		t.Fatal("clone shares accumulator storage")
+	}
+	mb := mustTrain(t, feats, labels, 2, TrainOpts{})
+	mb.Finalize(3)
+	if !m.Bin[0].Equal(mb.Bin[0]) {
+		t.Fatal("original binary vector mutated through clone")
+	}
 }
 
 func TestFinalizeAndPredictBinary(t *testing.T) {
 	feats, labels, _ := makeClusters(2048, 3, 20, 0.2, 5)
-	m := Train(feats, labels, 3, TrainOpts{})
+	m := mustTrain(t, feats, labels, 3, TrainOpts{})
 	m.Finalize(7)
 	if len(m.Bin) != 3 {
 		t.Fatal("Finalize did not produce class vectors")
@@ -160,7 +248,7 @@ func TestPredictBinaryBeforeFinalizePanics(t *testing.T) {
 
 func TestBinaryMatchesFloatOnClearCases(t *testing.T) {
 	feats, labels, protos := makeClusters(4096, 2, 20, 0.15, 6)
-	m := Train(feats, labels, 2, TrainOpts{})
+	m := mustTrain(t, feats, labels, 2, TrainOpts{})
 	m.Finalize(1)
 	for c, p := range protos {
 		if m.Predict(p) != c || m.PredictBinary(p) != c {
@@ -187,7 +275,7 @@ func TestCosEmptyModelIsZero(t *testing.T) {
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	feats, labels, _ := makeClusters(512, 3, 10, 0.2, 8)
-	m := Train(feats, labels, 3, TrainOpts{})
+	m := mustTrain(t, feats, labels, 3, TrainOpts{})
 	m.Finalize(2)
 	var buf bytes.Buffer
 	if err := m.Save(&buf); err != nil {
@@ -271,7 +359,7 @@ func TestLoadRejectsHostileGeometry(t *testing.T) {
 // than the declared geometry justifies must fail, not be slurped whole.
 func TestLoadRejectsOversizedPayload(t *testing.T) {
 	feats, labels, _ := makeClusters(64, 2, 4, 0.2, 31)
-	m := Train(feats, labels, 2, TrainOpts{})
+	m := mustTrain(t, feats, labels, 2, TrainOpts{})
 	var buf bytes.Buffer
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -315,8 +403,8 @@ func TestLoadRejectsHeaderPayloadMismatch(t *testing.T) {
 
 func TestTrainDeterministic(t *testing.T) {
 	feats, labels, _ := makeClusters(512, 3, 15, 0.3, 9)
-	a := Train(feats, labels, 3, TrainOpts{Seed: 5})
-	b := Train(feats, labels, 3, TrainOpts{Seed: 5})
+	a := mustTrain(t, feats, labels, 3, TrainOpts{Seed: 5})
+	b := mustTrain(t, feats, labels, 3, TrainOpts{Seed: 5})
 	for c := range a.Classes {
 		for i := range a.Classes[c] {
 			if a.Classes[c][i] != b.Classes[c][i] {
@@ -328,7 +416,7 @@ func TestTrainDeterministic(t *testing.T) {
 
 func TestStatsPopulated(t *testing.T) {
 	feats, labels, _ := makeClusters(512, 4, 10, 0.45, 10)
-	m := Train(feats, labels, 4, TrainOpts{Epochs: 5})
+	m := mustTrain(t, feats, labels, 4, TrainOpts{Epochs: 5})
 	if m.Stats.Similarities == 0 || m.Stats.Epochs == 0 {
 		t.Fatalf("stats empty: %+v", m.Stats)
 	}
@@ -340,7 +428,7 @@ func TestMarginOfSeparationGrowsWithD(t *testing.T) {
 	accAt := func(d int) float64 {
 		feats, labels, _ := makeClusters(d, 4, 20, 0.44, 11)
 		test, tl, _ := makeClusters(d, 4, 10, 0.44, 11)
-		m := Train(feats, labels, 4, TrainOpts{})
+		m := mustTrain(t, feats, labels, 4, TrainOpts{})
 		return m.Accuracy(test, tl)
 	}
 	lo, hi := accAt(256), accAt(4096)
@@ -356,7 +444,7 @@ func TestNoiseRobustnessOfBinaryModel(t *testing.T) {
 	// Flipping a small fraction of model bits must barely change accuracy
 	// (HDC's holographic robustness, Table 2's mechanism).
 	feats, labels, _ := makeClusters(4096, 2, 20, 0.2, 12)
-	m := Train(feats, labels, 2, TrainOpts{})
+	m := mustTrain(t, feats, labels, 2, TrainOpts{})
 	m.Finalize(3)
 	base := 0
 	for i, f := range feats {
@@ -384,13 +472,13 @@ func BenchmarkTrainD4k(b *testing.B) {
 	feats, labels, _ := makeClusters(4096, 2, 50, 0.3, 1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Train(feats, labels, 2, TrainOpts{Epochs: 5})
+		mustTrain(b, feats, labels, 2, TrainOpts{Epochs: 5})
 	}
 }
 
 func BenchmarkPredictD4k(b *testing.B) {
 	feats, labels, _ := makeClusters(4096, 2, 50, 0.3, 1)
-	m := Train(feats, labels, 2, TrainOpts{Epochs: 5})
+	m := mustTrain(b, feats, labels, 2, TrainOpts{Epochs: 5})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.Predict(feats[i%len(feats)])
@@ -399,7 +487,7 @@ func BenchmarkPredictD4k(b *testing.B) {
 
 func BenchmarkPredictBinaryD4k(b *testing.B) {
 	feats, labels, _ := makeClusters(4096, 2, 50, 0.3, 1)
-	m := Train(feats, labels, 2, TrainOpts{Epochs: 5})
+	m := mustTrain(b, feats, labels, 2, TrainOpts{Epochs: 5})
 	m.Finalize(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -409,7 +497,7 @@ func BenchmarkPredictBinaryD4k(b *testing.B) {
 
 func TestMarginReinforcementOption(t *testing.T) {
 	feats, labels, _ := makeClusters(1024, 3, 20, 0.4, 14)
-	m := Train(feats, labels, 3, TrainOpts{Epochs: 10, Margin: 0.05})
+	m := mustTrain(t, feats, labels, 3, TrainOpts{Epochs: 10, Margin: 0.05})
 	if m.Stats.AdaptiveSteps == 0 {
 		t.Fatal("margin reinforcement never fired on a hard problem")
 	}
@@ -418,7 +506,7 @@ func TestMarginReinforcementOption(t *testing.T) {
 	}
 	// Disabled by default: a margin of zero must not reinforce correct
 	// predictions (only mistakes drive updates).
-	m2 := Train(feats, labels, 3, TrainOpts{Epochs: 10})
+	m2 := mustTrain(t, feats, labels, 3, TrainOpts{Epochs: 10})
 	if m2.Stats.AdaptiveSteps > m.Stats.AdaptiveSteps {
 		t.Fatal("default training performed more updates than margin training")
 	}
@@ -428,7 +516,7 @@ func TestShrinkPreservesSeparation(t *testing.T) {
 	// A model trained at high D keeps classifying after dimensionality
 	// reduction — the paper's redundancy claim.
 	feats, labels, _ := makeClusters(8192, 3, 20, 0.3, 21)
-	m := Train(feats, labels, 3, TrainOpts{})
+	m := mustTrain(t, feats, labels, 3, TrainOpts{})
 	m.Finalize(1)
 	full := m.Accuracy(feats, labels)
 
@@ -458,7 +546,7 @@ func TestShrinkPreservesSeparation(t *testing.T) {
 
 func TestShrinkWithPermutation(t *testing.T) {
 	feats, labels, _ := makeClusters(2048, 2, 10, 0.2, 22)
-	m := Train(feats, labels, 2, TrainOpts{})
+	m := mustTrain(t, feats, labels, 2, TrainOpts{})
 	r := hv.NewRNG(5)
 	perm := r.Perm(2048)
 	small := m.Shrink(512, perm)
@@ -492,7 +580,10 @@ func TestShrinkValidation(t *testing.T) {
 
 func TestCrossValidate(t *testing.T) {
 	feats, labels, _ := makeClusters(1024, 3, 20, 0.25, 41)
-	accs := CrossValidate(feats, labels, 3, 5, TrainOpts{Seed: 3})
+	accs, err := CrossValidate(feats, labels, 3, 5, TrainOpts{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(accs) != 5 {
 		t.Fatalf("want 5 folds, got %d", len(accs))
 	}
@@ -507,7 +598,10 @@ func TestCrossValidate(t *testing.T) {
 		t.Fatalf("cross-validated accuracy %v on easy clusters", mean)
 	}
 	// Reproducible for a fixed seed.
-	again := CrossValidate(feats, labels, 3, 5, TrainOpts{Seed: 3})
+	again, err := CrossValidate(feats, labels, 3, 5, TrainOpts{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range accs {
 		if accs[i] != again[i] {
 			t.Fatal("cross validation not deterministic")
@@ -517,18 +611,13 @@ func TestCrossValidate(t *testing.T) {
 
 func TestCrossValidateValidation(t *testing.T) {
 	feats, labels, _ := makeClusters(256, 2, 3, 0.2, 42)
-	for name, f := range map[string]func(){
-		"folds-low":  func() { CrossValidate(feats, labels, 2, 1, TrainOpts{}) },
-		"folds-high": func() { CrossValidate(feats, labels, 2, 100, TrainOpts{}) },
-		"misaligned": func() { CrossValidate(feats, labels[:2], 2, 2, TrainOpts{}) },
+	for name, f := range map[string]func() ([]float64, error){
+		"folds-low":  func() ([]float64, error) { return CrossValidate(feats, labels, 2, 1, TrainOpts{}) },
+		"folds-high": func() ([]float64, error) { return CrossValidate(feats, labels, 2, 100, TrainOpts{}) },
+		"misaligned": func() ([]float64, error) { return CrossValidate(feats, labels[:2], 2, 2, TrainOpts{}) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("%s did not panic", name)
-				}
-			}()
-			f()
-		}()
+		if _, err := f(); err == nil {
+			t.Fatalf("%s did not error", name)
+		}
 	}
 }

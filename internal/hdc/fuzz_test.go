@@ -10,7 +10,10 @@ import (
 func FuzzLoad(f *testing.F) {
 	// Seed with a valid model and some corruptions of it.
 	feats, labels, _ := makeClusters(128, 2, 4, 0.2, 51)
-	m := Train(feats, labels, 2, TrainOpts{})
+	m, err := Train(feats, labels, 2, TrainOpts{})
+	if err != nil {
+		f.Fatal(err)
+	}
 	m.Finalize(1)
 	var buf bytes.Buffer
 	if err := m.Save(&buf); err != nil {

@@ -75,10 +75,7 @@ func (o *Online) ErrorRate() float64 {
 // Snapshot finalises a binarised copy of the current model for deployment
 // while the online learner keeps training.
 func (o *Online) Snapshot(seed uint64) *Model {
-	c := &Model{D: o.model.D, K: o.model.K, Classes: make([][]float64, o.model.K)}
-	for i, acc := range o.model.Classes {
-		c.Classes[i] = append([]float64(nil), acc...)
-	}
+	c := o.model.Clone()
 	c.Finalize(seed)
 	return c
 }

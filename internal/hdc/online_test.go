@@ -57,7 +57,7 @@ func TestOnlinePrequentialErrorDecreases(t *testing.T) {
 func TestOnlineMatchesBatchRoughly(t *testing.T) {
 	feats, labels, _ := makeClusters(1024, 3, 40, 0.35, 33)
 	test, tl, _ := makeClusters(1024, 3, 15, 0.35, 33)
-	batch := Train(feats, labels, 3, TrainOpts{})
+	batch := mustTrain(t, feats, labels, 3, TrainOpts{})
 	o := NewOnline(1024, 3, TrainOpts{})
 	// Two passes over the stream approximate batch refinement.
 	for pass := 0; pass < 2; pass++ {

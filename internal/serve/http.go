@@ -5,17 +5,25 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"hdface/internal/imgproc"
 	"hdface/internal/obs"
+	"hdface/internal/online"
+	"hdface/internal/registry"
 )
 
-// PredictResponse is the /predict reply: the argmax label and the
-// per-class cosine similarities, identical to Pipeline.Predict/Scores.
+// PredictResponse is the /predict reply: the argmax label, the per-class
+// cosine similarities (identical to Pipeline.Predict/Scores against the
+// live model), the model version that scored the request, and — when
+// online learning is enabled — a request ID a later /feedback correction
+// can reference.
 type PredictResponse struct {
-	Label  int       `json:"label"`
-	Scores []float64 `json:"scores"`
+	Label        int       `json:"label"`
+	Scores       []float64 `json:"scores"`
+	ModelVersion uint64    `json:"model_version"`
+	RequestID    string    `json:"request_id,omitempty"`
 }
 
 // BoxJSON is one detection in image coordinates.
@@ -31,20 +39,36 @@ type BoxJSON struct {
 // DetectResponse is the /detect reply. Degraded reports that the request's
 // deadline expired mid-sweep and the boxes are the anytime best-so-far set.
 type DetectResponse struct {
-	Boxes    []BoxJSON `json:"boxes"`
-	Degraded bool      `json:"degraded"`
-	Windows  int64     `json:"windows"`
-	Levels   int       `json:"levels"`
+	Boxes        []BoxJSON `json:"boxes"`
+	Degraded     bool      `json:"degraded"`
+	Windows      int64     `json:"windows"`
+	Levels       int       `json:"levels"`
+	ModelVersion uint64    `json:"model_version"`
+}
+
+// FeedbackResponse is the /feedback reply.
+type FeedbackResponse struct {
+	Status string `json:"status"`
+}
+
+// ModelsResponse is the GET /models reply.
+type ModelsResponse struct {
+	Versions []registry.Info `json:"versions"`
+	Live     uint64          `json:"live"`
+	Online   *online.Stats   `json:"online,omitempty"`
 }
 
 // HealthResponse is the /healthz reply.
 type HealthResponse struct {
-	Status     string `json:"status"`
-	Mode       string `json:"mode"`
-	D          int    `json:"d"`
-	Trained    bool   `json:"trained"`
-	QueueDepth int    `json:"queue_depth"`
-	QueueCap   int    `json:"queue_cap"`
+	Status      string `json:"status"`
+	Mode        string `json:"mode"`
+	D           int    `json:"d"`
+	Trained     bool   `json:"trained"`
+	QueueDepth  int    `json:"queue_depth"`
+	QueueCap    int    `json:"queue_cap"`
+	LiveVersion uint64 `json:"live_version"`
+	Versions    int    `json:"versions"`
+	Online      bool   `json:"online"`
 }
 
 // errorJSON is every non-2xx body.
@@ -53,11 +77,16 @@ type errorJSON struct {
 }
 
 // Handler returns the server's HTTP surface: POST /predict, POST /detect,
+// POST /feedback, GET /models, POST /models/promote, POST /models/rollback,
 // GET /healthz, GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/detect", s.handleDetect)
+	mux.HandleFunc("/feedback", s.handleFeedback)
+	mux.HandleFunc("/models", s.handleModels)
+	mux.HandleFunc("/models/promote", s.handlePromote)
+	mux.HandleFunc("/models/rollback", s.handleRollback)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -106,8 +135,8 @@ func (s *Server) submit(w http.ResponseWriter, j *job) (result, bool) {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	if s.cfg.Pipeline.Model() == nil {
-		writeErr(w, http.StatusConflict, "pipeline is untrained")
+	if s.reg.Live() == nil {
+		writeErr(w, http.StatusConflict, "no live model")
 		return
 	}
 	img, ok := s.readImage(w, r)
@@ -125,13 +154,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "predict: %v", res.err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PredictResponse{Label: res.label, Scores: res.scores})
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Label:        res.label,
+		Scores:       res.scores,
+		ModelVersion: res.version,
+		RequestID:    res.reqID,
+	})
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	if s.cfg.Pipeline.Model() == nil {
-		writeErr(w, http.StatusConflict, "pipeline is untrained")
+	if s.reg.Live() == nil {
+		writeErr(w, http.StatusConflict, "no live model")
 		return
 	}
 	img, ok := s.readImage(w, r)
@@ -169,21 +203,153 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		boxes[i] = BoxJSON{X0: b.X0, Y0: b.Y0, X1: b.X1, Y1: b.Y1, Score: b.Score, Scale: b.Scale}
 	}
 	writeJSON(w, http.StatusOK, DetectResponse{
-		Boxes:    boxes,
-		Degraded: res.stats.Degraded,
-		Windows:  res.stats.Windows,
-		Levels:   res.stats.Levels,
+		Boxes:        boxes,
+		Degraded:     res.stats.Degraded,
+		Windows:      res.stats.Windows,
+		Levels:       res.stats.Levels,
+		ModelVersion: res.version,
 	})
+}
+
+// feedbackJSON is the request-ID correction form of POST /feedback.
+type feedbackJSON struct {
+	RequestID string `json:"request_id"`
+	Label     int    `json:"label"`
+}
+
+// handleFeedback ingests one labelled sample for online learning. Two
+// forms: a PGM body with ?label=N (the image's feature is extracted on the
+// dispatcher), or a JSON {"request_id","label"} correction referencing a
+// recent /predict (the stored feature is reused — no image resend, no
+// dispatcher round-trip).
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if s.trainer == nil {
+		writeErr(w, http.StatusNotImplemented, "online learning is disabled")
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST feedback")
+		return
+	}
+	live := s.reg.Live()
+	if live == nil {
+		writeErr(w, http.StatusConflict, "no live model")
+		return
+	}
+	if r.Header.Get("Content-Type") == "application/json" {
+		var fb feedbackJSON
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&fb); err != nil {
+			writeErr(w, http.StatusBadRequest, "decode feedback: %v", err)
+			return
+		}
+		if fb.Label < 0 || fb.Label >= live.Model.K {
+			writeErr(w, http.StatusBadRequest, "label %d outside [0, %d)", fb.Label, live.Model.K)
+			return
+		}
+		f, ok := s.lookupRecent(fb.RequestID)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "request_id %q unknown or expired", fb.RequestID)
+			return
+		}
+		if err := s.trainer.Enqueue(online.Sample{Feature: f, Label: fb.Label}); err != nil {
+			obsRejected.Inc()
+			writeErr(w, http.StatusServiceUnavailable, "feedback: %v", err)
+			return
+		}
+		obsFeedbackReqs.Inc()
+		writeJSON(w, http.StatusAccepted, FeedbackResponse{Status: "accepted"})
+		return
+	}
+	labelStr := r.URL.Query().Get("label")
+	label, err := strconv.Atoi(labelStr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "label %q: want an integer class", labelStr)
+		return
+	}
+	if label < 0 || label >= live.Model.K {
+		writeErr(w, http.StatusBadRequest, "label %d outside [0, %d)", label, live.Model.K)
+		return
+	}
+	img, ok := s.readImage(w, r)
+	if !ok {
+		return
+	}
+	j := &job{kind: kindFeedback, img: img, label: label, resp: make(chan result, 1)}
+	res, ok := s.submit(w, j)
+	if !ok {
+		return
+	}
+	if res.err != nil {
+		obsRejected.Inc()
+		writeErr(w, http.StatusServiceUnavailable, "feedback: %v", res.err)
+		return
+	}
+	obsFeedbackReqs.Inc()
+	writeJSON(w, http.StatusAccepted, FeedbackResponse{Status: "accepted"})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET /models")
+		return
+	}
+	resp := ModelsResponse{Versions: s.reg.List()}
+	if v := s.reg.Live(); v != nil {
+		resp.Live = v.ID
+	}
+	if s.trainer != nil {
+		st := s.trainer.Stats()
+		resp.Online = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST /models/promote?version=N")
+		return
+	}
+	vq := r.URL.Query().Get("version")
+	id, err := strconv.ParseUint(vq, 10, 64)
+	if err != nil || id == 0 {
+		writeErr(w, http.StatusBadRequest, "version %q: want a positive integer", vq)
+		return
+	}
+	if err := s.reg.Promote(id); err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ModelsResponse{Versions: s.reg.List(), Live: id})
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST /models/rollback")
+		return
+	}
+	id, err := s.reg.Rollback()
+	if err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ModelsResponse{Versions: s.reg.List(), Live: id})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	cfg := s.cfg.Pipeline.Config()
-	writeJSON(w, http.StatusOK, HealthResponse{
+	live := s.reg.Live()
+	h := HealthResponse{
 		Status:     "ok",
 		Mode:       cfg.Mode.String(),
 		D:          cfg.D,
-		Trained:    s.cfg.Pipeline.Model() != nil,
+		Trained:    live != nil,
 		QueueDepth: len(s.queue),
 		QueueCap:   cap(s.queue),
-	})
+		Versions:   len(s.reg.List()),
+		Online:     s.trainer != nil,
+	}
+	if live != nil {
+		h.LiveVersion = live.ID
+	}
+	writeJSON(w, http.StatusOK, h)
 }

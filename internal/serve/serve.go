@@ -9,40 +9,65 @@
 // of (Config, image) — see hdface.Pipeline.Feature — batching never changes
 // results: every response is byte-identical to a direct Pipeline call, no
 // matter how requests interleave.
+//
+// Models are served through a registry: the pipeline supplies features,
+// the registry's lock-free live slot supplies the classifier, so a
+// promote or rollback swaps models between requests with zero downtime
+// and every response names the exact version that scored it. An optional
+// online trainer turns POST /feedback into candidate refinement.
 package serve
 
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hdface"
 	"hdface/internal/detect"
+	"hdface/internal/hv"
 	"hdface/internal/imgproc"
 	"hdface/internal/obs"
+	"hdface/internal/online"
+	"hdface/internal/registry"
 )
 
 // Serving observability, exported through /metrics alongside the pipeline's
 // own counters (obs metrics are process-global).
 var (
-	obsPredictReqs = obs.NewCounter("hdface_serve_predict_requests_total", "accepted /predict requests")
-	obsDetectReqs  = obs.NewCounter("hdface_serve_detect_requests_total", "accepted /detect requests")
-	obsRejected    = obs.NewCounter("hdface_serve_rejected_total", "requests rejected by admission control (503)")
-	obsBadRequests = obs.NewCounter("hdface_serve_bad_requests_total", "malformed requests (4xx)")
-	obsBatches     = obs.NewCounter("hdface_serve_batches_total", "predict micro-batches dispatched")
-	obsBatchImgs   = obs.NewCounter("hdface_serve_batched_images_total", "images dispatched inside predict micro-batches")
-	obsQueueDepth  = obs.NewGauge("hdface_serve_queue_depth", "jobs waiting in the admission queue")
-	obsLatency     = obs.NewHistogram("hdface_serve_request_seconds", "request latency from admission to response",
+	obsPredictReqs  = obs.NewCounter("hdface_serve_predict_requests_total", "accepted /predict requests")
+	obsDetectReqs   = obs.NewCounter("hdface_serve_detect_requests_total", "accepted /detect requests")
+	obsFeedbackReqs = obs.NewCounter("hdface_serve_feedback_requests_total", "accepted /feedback requests")
+	obsRejected     = obs.NewCounter("hdface_serve_rejected_total", "requests rejected by admission control (503)")
+	obsBadRequests  = obs.NewCounter("hdface_serve_bad_requests_total", "malformed requests (4xx)")
+	obsBatches      = obs.NewCounter("hdface_serve_batches_total", "predict micro-batches dispatched")
+	obsBatchImgs    = obs.NewCounter("hdface_serve_batched_images_total", "images dispatched inside predict micro-batches")
+	obsQueueDepth   = obs.NewGauge("hdface_serve_queue_depth", "jobs waiting in the admission queue")
+	obsScorerSwaps  = obs.NewCounter("hdface_serve_scorer_rebuilds_total", "detect scorers rebuilt after a model swap")
+	obsLatency      = obs.NewHistogram("hdface_serve_request_seconds", "request latency from admission to response",
 		[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10})
 )
+
+// recentCap bounds the request-ID → feature ring used by /feedback
+// corrections; older predicts age out.
+const recentCap = 1024
 
 // Config configures a Server. The zero value of every knob gets a sensible
 // default; only Pipeline is mandatory.
 type Config struct {
-	// Pipeline serves the requests. It must be trained for /predict and
-	// /detect to work; /healthz and /metrics work regardless.
+	// Pipeline extracts features (and seeds the registry's first version
+	// if it is trained and the registry has no live model).
 	Pipeline *hdface.Pipeline
+	// Registry supplies the live classifier and stores new versions. nil
+	// gets a private in-memory registry. Its config must be compatible
+	// with the pipeline's.
+	Registry *registry.Registry
+	// Online enables POST /feedback: accepted samples feed this trainer.
+	// nil disables feedback (501). The server starts it but does not own
+	// it — callers Close it after the server.
+	Online *online.Trainer
 	// MaxBatch bounds how many /predict requests one dispatch merges
 	// (default 8). 1 disables batching.
 	MaxBatch int
@@ -116,13 +141,16 @@ type jobKind int
 const (
 	kindPredict jobKind = iota
 	kindDetect
+	kindFeedback
 )
 
 // result carries a finished job back to its handler. Exactly one of the
 // payload groups is set, matching the job kind.
 type result struct {
-	label  int
-	scores []float64
+	label   int
+	scores  []float64
+	version uint64 // model version that produced label/scores/boxes
+	reqID   string // predict only; "" when feedback is disabled
 
 	boxes []detect.Box
 	stats detect.SweepStats
@@ -133,6 +161,8 @@ type result struct {
 type job struct {
 	kind jobKind
 	img  *imgproc.Image
+	// label is the feedback correction for kindFeedback.
+	label int
 	// ctx carries the request's detect budget; it starts ticking at
 	// admission, so time spent queued counts against the deadline.
 	ctx  context.Context
@@ -141,21 +171,32 @@ type job struct {
 
 // Server is the batched inference engine plus its HTTP surface.
 type Server struct {
-	cfg   Config
-	queue chan *job
-	done  chan struct{}
+	cfg     Config
+	reg     *registry.Registry
+	trainer *online.Trainer
+	queue   chan *job
+	done    chan struct{}
 
-	mu     sync.RWMutex // guards closed vs. enqueue
-	closed bool
+	mu        sync.RWMutex // guards closed vs. enqueue
+	closed    bool
+	closeOnce sync.Once
 
-	scorerOnce sync.Once
-	scorer     detect.WindowScorer
-	scorerErr  error
+	// Detect scorer cache, keyed by the live version it was built from.
+	// Dispatcher-goroutine only: DetectScorer forks pipeline state.
+	scorerVer uint64
+	scorer    detect.WindowScorer
+	scorerErr error
+
+	// Recent predict features for request-ID feedback corrections.
+	reqSeq   atomic.Uint64
+	recentMu sync.Mutex
+	recent   map[string]*hv.Vector
+	recentQ  []string
 }
 
-// New validates the configuration and starts the dispatcher. Callers must
-// Close the server to stop it; after (not concurrently with) draining any
-// HTTP listener feeding it.
+// New validates the configuration, seeds the registry if needed and starts
+// the dispatcher. Callers must Close the server to stop it; after draining
+// any HTTP listener feeding it.
 func New(cfg Config) (*Server, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -165,26 +206,60 @@ func New(cfg Config) (*Server, error) {
 	// (process-global) obs layer. The overhead is a few atomic adds per
 	// request — noise next to feature extraction.
 	obs.Enable()
+	reg := cfg.Registry
+	if reg == nil {
+		if reg, err = registry.Open("", 0); err != nil {
+			return nil, err
+		}
+	}
+	if rcfg, ok := reg.Config(); ok {
+		if err := registry.Compatible(rcfg, cfg.Pipeline.Config()); err != nil {
+			return nil, fmt.Errorf("serve: registry/pipeline mismatch: %w", err)
+		}
+	}
+	// A trained pipeline with no live registry model seeds version 1, so
+	// "train, snapshot, serve" keeps working with zero registry ceremony.
+	if reg.Live() == nil && cfg.Pipeline.Model() != nil {
+		id, err := reg.Put(cfg.Pipeline.Config(), cfg.Pipeline.Model())
+		if err != nil {
+			return nil, fmt.Errorf("serve: seed registry: %w", err)
+		}
+		if err := reg.Promote(id); err != nil {
+			return nil, fmt.Errorf("serve: seed registry: %w", err)
+		}
+	}
 	s := &Server{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.MaxQueue),
-		done:  make(chan struct{}),
+		cfg:     cfg,
+		reg:     reg,
+		trainer: cfg.Online,
+		queue:   make(chan *job, cfg.MaxQueue),
+		done:    make(chan struct{}),
+		recent:  make(map[string]*hv.Vector),
+	}
+	if s.trainer != nil {
+		s.trainer.Start()
 	}
 	go s.dispatch()
 	return s, nil
 }
 
+// Registry exposes the registry the server scores from (useful when New
+// created a private in-memory one).
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
 // Close stops admission, lets the dispatcher finish every job already
 // queued (their handlers get real responses, not errors), and waits for it
-// to exit. Idempotent. Call only after in-flight HTTP handlers have drained
-// (http.Server.Shutdown does exactly that).
+// to exit. Idempotent and safe to call from multiple goroutines — lifecycle
+// actions may come from both signal handlers and registry tooling. Call
+// only after in-flight HTTP handlers have drained (http.Server.Shutdown
+// does exactly that).
 func (s *Server) Close() {
-	s.mu.Lock()
-	if !s.closed {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
 		s.closed = true
 		close(s.queue)
-	}
-	s.mu.Unlock()
+		s.mu.Unlock()
+	})
 	<-s.done
 }
 
@@ -220,8 +295,8 @@ func (s *Server) dispatch() {
 // behind it.
 func (s *Server) run(first *job) {
 	obsQueueDepth.Set(float64(len(s.queue)))
-	if first.kind == kindDetect {
-		s.runDetect(first)
+	if first.kind != kindPredict {
+		s.runOther(first)
 		return
 	}
 	batch := []*job{first}
@@ -235,9 +310,10 @@ func (s *Server) run(first *job) {
 				if !ok {
 					break collect
 				}
-				if j.kind == kindDetect {
-					// Detect jobs don't batch; run it right after this
-					// batch rather than re-queueing behind new arrivals.
+				if j.kind != kindPredict {
+					// Non-predict jobs don't batch; run it right after
+					// this batch rather than re-queueing behind new
+					// arrivals.
 					next = j
 					break collect
 				}
@@ -250,17 +326,35 @@ func (s *Server) run(first *job) {
 	}
 	s.runPredicts(batch)
 	if next != nil {
-		s.runDetect(next)
+		s.runOther(next)
+	}
+}
+
+func (s *Server) runOther(j *job) {
+	switch j.kind {
+	case kindDetect:
+		s.runDetect(j)
+	case kindFeedback:
+		s.runFeedback(j)
 	}
 }
 
 // runPredicts extracts the whole batch through the pipeline's parallel
-// feature path and scores each image. Per-image content reseeding makes the
-// outputs independent of batch composition, so this is exactly equivalent
-// to len(batch) separate Pipeline.Scores calls.
+// feature path and scores each image against the live model. The live
+// pointer is read once, so every response in a batch is attributable to
+// exactly one version even if a promote lands mid-batch. Per-image content
+// reseeding makes the outputs independent of batch composition, so this is
+// exactly equivalent to len(batch) separate scoring calls.
 func (s *Server) runPredicts(batch []*job) {
 	obsBatches.Inc()
 	obsBatchImgs.Add(int64(len(batch)))
+	live := s.reg.Live()
+	if live == nil {
+		for _, j := range batch {
+			j.resp <- result{err: fmt.Errorf("no live model")}
+		}
+		return
+	}
 	p := s.cfg.Pipeline
 	imgs := make([]*imgproc.Image, len(batch))
 	for i, j := range batch {
@@ -273,38 +367,80 @@ func (s *Server) runPredicts(batch []*job) {
 		}
 		return
 	}
-	m := p.Model()
 	for i, j := range batch {
-		scores := m.Scores(feats[i])
+		scores := live.Model.Scores(feats[i])
 		best := 0
 		for c, sc := range scores {
 			if sc > scores[best] {
 				best = c
 			}
 		}
-		j.resp <- result{label: best, scores: scores}
+		reqID := ""
+		if s.trainer != nil {
+			reqID = s.remember(feats[i])
+		}
+		j.resp <- result{label: best, scores: scores, version: live.ID, reqID: reqID}
 	}
+}
+
+// remember files a predict feature under a fresh request ID so a later
+// /feedback correction can reference it without resending the image.
+func (s *Server) remember(f *hv.Vector) string {
+	id := strconv.FormatUint(s.reqSeq.Add(1), 10)
+	s.recentMu.Lock()
+	if len(s.recentQ) >= recentCap {
+		delete(s.recent, s.recentQ[0])
+		s.recentQ = s.recentQ[1:]
+	}
+	s.recent[id] = f
+	s.recentQ = append(s.recentQ, id)
+	s.recentMu.Unlock()
+	return id
+}
+
+// lookupRecent resolves a feedback request ID to its stored feature.
+func (s *Server) lookupRecent(id string) (*hv.Vector, bool) {
+	s.recentMu.Lock()
+	defer s.recentMu.Unlock()
+	f, ok := s.recent[id]
+	return f, ok
+}
+
+// runFeedback extracts the image's feature on the dispatcher (the pipeline
+// is not goroutine-safe) and hands the sample to the trainer.
+func (s *Server) runFeedback(j *job) {
+	f := s.cfg.Pipeline.Feature(j.img)
+	j.resp <- result{err: s.trainer.Enqueue(online.Sample{Feature: f, Label: j.label})}
 }
 
 // runDetect sweeps one image under the request's deadline context. A blown
 // deadline degrades (best-so-far boxes, Degraded flag) rather than erroring
 // — the detect package's anytime contract.
 func (s *Server) runDetect(j *job) {
-	scorer, err := s.detectScorer()
+	live := s.reg.Live()
+	if live == nil {
+		j.resp <- result{err: fmt.Errorf("no live model")}
+		return
+	}
+	scorer, err := s.detectScorer(live)
 	if err != nil {
 		j.resp <- result{err: err}
 		return
 	}
 	boxes, stats, err := detect.Sweep(j.ctx, j.img, scorer, s.cfg.DetectParams)
-	j.resp <- result{boxes: boxes, stats: stats, err: err}
+	j.resp <- result{boxes: boxes, stats: stats, version: live.ID, err: err}
 }
 
-// detectScorer lazily builds the sweep scorer. DetectScorer forks pipeline
+// detectScorer returns a sweep scorer for the given live version,
+// rebuilding the cached one after a swap. DetectScorer forks pipeline
 // state, so it must run on the dispatcher goroutine — and does: the only
 // caller is runDetect.
-func (s *Server) detectScorer() (detect.WindowScorer, error) {
-	s.scorerOnce.Do(func() {
-		s.scorer, s.scorerErr = s.cfg.Pipeline.DetectScorer(nil, s.cfg.DetectWin)
-	})
+func (s *Server) detectScorer(live *registry.Version) (detect.WindowScorer, error) {
+	// Version IDs start at 1, so the zero scorerVer always misses first.
+	if s.scorerVer != live.ID {
+		s.scorer, s.scorerErr = s.cfg.Pipeline.DetectScorer(live.Model, s.cfg.DetectWin)
+		s.scorerVer = live.ID
+		obsScorerSwaps.Inc()
+	}
 	return s.scorer, s.scorerErr
 }

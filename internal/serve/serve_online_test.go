@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hdface"
+	"hdface/internal/dataset"
+	"hdface/internal/hdc"
+	"hdface/internal/hv"
+	"hdface/internal/online"
+	"hdface/internal/registry"
+)
+
+// secondVersion derives a distinguishable model from the pipeline's: a
+// clone refined on deliberately flipped labels, so its scores (and often
+// labels) differ from version 1 on the same inputs.
+func secondVersion(t *testing.T, p *hdface.Pipeline) *hdc.Model {
+	t.Helper()
+	r := hv.NewRNG(77)
+	var feats []*hv.Vector
+	var labels []int
+	for i := 0; i < 10; i++ {
+		img := dataset.RenderFace(48, 48, dataset.Emotion(r.Intn(7)), r)
+		feats = append(feats, referenceTwin(t, p).Feature(img))
+		labels = append(labels, 0) // inverted: faces as class 0
+	}
+	m := p.Model().Clone()
+	for e := 0; e < 5; e++ {
+		if _, err := m.Update(feats, labels, hdc.TrainOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Finalize(p.Config().Seed ^ 0xf1a1)
+	return m
+}
+
+// TestServeHotSwapUnderLoad is the acceptance criterion for the registry:
+// sustained concurrent /predict load while models are promoted and rolled
+// back in a loop. Zero failed requests, and every response's scores must
+// match exactly the version it claims to have been scored by. Run with
+// -race.
+func TestServeHotSwapUnderLoad(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := trainedPipeline(t, 1)
+	ref := referenceTwin(t, p)
+	s, err := New(Config{Pipeline: p, MaxBatch: 4, MaxQueue: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := s.Registry()
+	m2 := secondVersion(t, p)
+	v2, err := reg.Put(p.Config(), m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth per version, computed on an independent twin.
+	img := dataset.RenderFace(48, 48, 0, hv.NewRNG(5))
+	feat := ref.Feature(img)
+	want := map[uint64][]float64{
+		1:  p.Model().Scores(feat),
+		v2: m2.Scores(feat),
+	}
+	if reflect.DeepEqual(want[1], want[v2]) {
+		t.Fatal("test vacuous: both versions score identically")
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	body := pgmBytes(t, img)
+
+	const clients, perClient = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan string, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(ts.URL+"/predict", "image/x-portable-graymap", bytes.NewReader(body))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				var pr PredictResponse
+				dec := json.NewDecoder(resp.Body)
+				code := resp.StatusCode
+				if err := dec.Decode(&pr); err != nil {
+					resp.Body.Close()
+					errs <- "decode: " + err.Error()
+					return
+				}
+				resp.Body.Close()
+				if code != http.StatusOK {
+					errs <- "non-200 during swap"
+					return
+				}
+				exp, ok := want[pr.ModelVersion]
+				if !ok {
+					errs <- "response names an unknown model version"
+					return
+				}
+				if !reflect.DeepEqual(pr.Scores, exp) {
+					errs <- "scores do not match the claimed version"
+					return
+				}
+			}
+		}()
+	}
+
+	// Promote/rollback churn while the load runs.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			if err := reg.Promote(v2); err != nil {
+				errs <- err.Error()
+				return
+			}
+			if _, err := reg.Rollback(); err != nil {
+				errs <- err.Error()
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	ts.Close()
+	s.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutine leak: %d before, %d after", before, n)
+	}
+}
+
+// TestServeCloseConcurrent pins the satellite contract: Close is
+// idempotent and safe from many goroutines at once. Run with -race.
+func TestServeCloseConcurrent(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+	s.Close() // still fine after everyone else finished
+	if s.enqueue(&job{kind: kindPredict, resp: make(chan result, 1)}) {
+		t.Fatal("closed server admitted a job")
+	}
+}
+
+// onlineServer builds a server with feedback enabled over an in-memory
+// registry.
+func onlineServer(t *testing.T) (*Server, *httptest.Server, *hdface.Pipeline) {
+	t.Helper()
+	p := trainedPipeline(t, 1)
+	reg, err := registry.Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := online.New(online.Config{
+		Registry: reg,
+		Pipe:     p.Config(),
+		// Small thresholds so tests can drive a full refinement round.
+		BatchSize: 8, WindowSize: 8, HoldoutEvery: 3, MinHoldout: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Pipeline: p, Registry: reg, Online: tr, MaxBatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+		tr.Close()
+	})
+	return s, ts, p
+}
+
+func TestServeFeedbackEndpoints(t *testing.T) {
+	_, ts, _ := onlineServer(t)
+	img := pgmBytes(t, dataset.RenderFace(48, 48, 0, hv.NewRNG(9)))
+
+	// PGM + label form.
+	code, data := postPGM(t, ts.URL+"/feedback?label=1", img)
+	if code != http.StatusAccepted {
+		t.Fatalf("feedback status %d (%s), want 202", code, data)
+	}
+	// Bad label.
+	if code, _ := postPGM(t, ts.URL+"/feedback?label=9", img); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range label: status %d, want 400", code)
+	}
+	if code, _ := postPGM(t, ts.URL+"/feedback?label=x", img); code != http.StatusBadRequest {
+		t.Fatalf("garbage label: status %d, want 400", code)
+	}
+
+	// request_id correction form: predict first, then correct it.
+	code, data = postPGM(t, ts.URL+"/predict", img)
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.RequestID == "" {
+		t.Fatal("predict with online learning enabled returned no request_id")
+	}
+	if pr.ModelVersion == 0 {
+		t.Fatal("predict response names no model version")
+	}
+	fb, _ := json.Marshal(feedbackJSON{RequestID: pr.RequestID, Label: 0})
+	resp, err := http.Post(ts.URL+"/feedback", "application/json", bytes.NewReader(fb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("correction status %d, want 202", resp.StatusCode)
+	}
+	// Unknown ID.
+	fb, _ = json.Marshal(feedbackJSON{RequestID: "999999", Label: 0})
+	resp, err = http.Post(ts.URL+"/feedback", "application/json", bytes.NewReader(fb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown request_id status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeFeedbackDisabled(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	img := pgmBytes(t, dataset.RenderFace(48, 48, 0, hv.NewRNG(9)))
+	if code, _ := postPGM(t, ts.URL+"/feedback?label=1", img); code != http.StatusNotImplemented {
+		t.Fatalf("feedback without a trainer: status %d, want 501", code)
+	}
+	// And predicts carry no request_id (nothing records them).
+	code, data := postPGM(t, ts.URL+"/predict", img)
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.RequestID != "" {
+		t.Fatalf("request_id %q issued with feedback disabled", pr.RequestID)
+	}
+}
+
+func TestServeModelsEndpoints(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	m2 := secondVersion(t, p)
+	v2, err := s.Registry().Put(p.Config(), m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(url string) (int, ModelsResponse) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var mr ModelsResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, mr
+	}
+	post := func(url string) (int, ModelsResponse) {
+		t.Helper()
+		resp, err := http.Post(url, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var mr ModelsResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, mr
+	}
+
+	code, mr := get(ts.URL + "/models")
+	if code != http.StatusOK || len(mr.Versions) != 2 || mr.Live != 1 {
+		t.Fatalf("GET /models = %d %+v", code, mr)
+	}
+	if code, mr = post(ts.URL + "/models/promote?version=2"); code != http.StatusOK || mr.Live != v2 {
+		t.Fatalf("promote = %d %+v", code, mr)
+	}
+	if code, mr = post(ts.URL + "/models/rollback"); code != http.StatusOK || mr.Live != 1 {
+		t.Fatalf("rollback = %d %+v", code, mr)
+	}
+	if code, _ = post(ts.URL + "/models/promote?version=99"); code != http.StatusNotFound {
+		t.Fatalf("promote unknown = %d, want 404", code)
+	}
+	if code, _ = post(ts.URL + "/models/rollback"); code != http.StatusConflict {
+		t.Fatalf("rollback past history = %d, want 409", code)
+	}
+	// Health reflects the registry.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.LiveVersion != 1 || h.Versions != 2 || h.Online {
+		t.Fatalf("healthz %+v", h)
+	}
+}
+
+// TestServeFeedbackDrivesPromotion closes the loop end to end over HTTP:
+// sustained corrective feedback must eventually produce a new promoted
+// version that /predict then reports serving.
+func TestServeFeedbackDrivesPromotion(t *testing.T) {
+	s, ts, _ := onlineServer(t)
+	r := hv.NewRNG(123)
+	// The live model says face=1; feedback insists these faces are 0.
+	deadline := time.Now().Add(10 * time.Second)
+	for reg := s.Registry(); reg.Live().ID == 1 && time.Now().Before(deadline); {
+		img := pgmBytes(t, dataset.RenderFace(48, 48, dataset.Emotion(r.Intn(7)), r))
+		code, data := postPGM(t, ts.URL+"/feedback?label=0", img)
+		if code != http.StatusAccepted && code != http.StatusServiceUnavailable {
+			t.Fatalf("feedback status %d (%s)", code, data)
+		}
+	}
+	live := s.Registry().Live()
+	if live.ID == 1 {
+		t.Fatal("sustained corrective feedback never promoted a new version")
+	}
+	// Every new prediction must now be attributed to the promoted model.
+	img := pgmBytes(t, dataset.RenderFace(48, 48, 0, hv.NewRNG(9)))
+	code, data := postPGM(t, ts.URL+"/predict", img)
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.ModelVersion == 1 {
+		t.Fatal("predict still served by the rolled-over version")
+	}
+}

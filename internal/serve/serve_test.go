@@ -20,6 +20,7 @@ import (
 	"hdface/internal/detect"
 	"hdface/internal/hv"
 	"hdface/internal/imgproc"
+	"hdface/internal/registry"
 )
 
 // trainedPipeline builds a small binary face/non-face pipeline.
@@ -198,7 +199,18 @@ func TestServeAdmissionControl(t *testing.T) {
 		t.Fatal(err)
 	}
 	// No dispatcher: the queue can only fill.
-	s := &Server{cfg: cfg, queue: make(chan *job, cfg.MaxQueue), done: make(chan struct{})}
+	reg, err := registry.Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := reg.Put(p.Config(), p.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Promote(id); err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{cfg: cfg, reg: reg, queue: make(chan *job, cfg.MaxQueue), done: make(chan struct{})}
 	if !s.enqueue(&job{kind: kindPredict, resp: make(chan result, 1)}) {
 		t.Fatal("first job should be admitted")
 	}

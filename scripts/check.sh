@@ -16,8 +16,8 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race -shuffle=on =="
+go test -race -shuffle=on ./...
 
 echo "== resilience suite (race, bounded) =="
 # The cancellation/panic/fault paths are the ones a flaky scheduler can
@@ -37,6 +37,14 @@ echo "== serve bench smoke =="
 out=$(mktemp -d)
 go run ./cmd/hdface-bench -exp servebench -quick -out "$out" >/dev/null
 test -s "$out/BENCH_serve.json" || { echo "BENCH_serve.json missing" >&2; exit 1; }
+rm -rf "$out"
+
+echo "== online bench smoke =="
+out=$(mktemp -d)
+go run ./cmd/hdface-bench -exp onlinebench -quick -out "$out" >/dev/null
+test -s "$out/BENCH_online.json" || { echo "BENCH_online.json missing" >&2; exit 1; }
+grep -q '"recovered_within_epsilon": true' "$out/BENCH_online.json" \
+    || { echo "online bench did not recover from drift" >&2; exit 1; }
 rm -rf "$out"
 
 echo "== serve daemon smoke =="
@@ -67,6 +75,37 @@ curl -sf "http://$addr/metrics" | grep -q hdface_serve_predict_requests_total \
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "serve daemon exited non-zero" >&2; cat "$out/serve.log" >&2; exit 1; }
 grep -q "drained; bye" "$out/serve.log" || { echo "no clean drain" >&2; cat "$out/serve.log" >&2; exit 1; }
+rm -rf "$out"
+
+echo "== registry hot-swap smoke =="
+# Boot the daemon against an on-disk registry: the snapshot is seeded as v1,
+# the model-management endpoints answer, and the version survives a restart
+# into the offline `models` subcommand.
+out=$(mktemp -d)
+go build -o "$out/hdface" ./cmd/hdface
+(cd "$out" && ./hdface train -dataset face2 -d 512 -n 16 -test 8 \
+    -model face.hdc -snapshot face.hdfs -seed 7 >/dev/null)
+"$out/hdface" serve -snapshot "$out/face.hdfs" -addr 127.0.0.1:0 \
+    -registry "$out/reg" -online > "$out/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|.*on http://||p' "$out/serve.log")
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$out/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve daemon never bound" >&2; cat "$out/serve.log" >&2; exit 1; }
+curl -sf "http://$addr/models" | grep -q '"live":1' \
+    || { echo "registry did not seed v1 as live" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/models/promote?version=99")
+[ "$code" = 404 ] || { echo "promote of unknown version returned $code, want 404" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/models/rollback")
+[ "$code" = 409 ] || { echo "rollback with no history returned $code, want 409" >&2; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "serve daemon exited non-zero" >&2; cat "$out/serve.log" >&2; exit 1; }
+"$out/hdface" models -registry "$out/reg" | grep -q '^\* v1$' \
+    || { echo "persisted registry lost the live version" >&2; exit 1; }
 rm -rf "$out"
 
 echo "OK"

@@ -39,11 +39,19 @@ const snapshotD = 1 << 24
 // Pipelines may be snapshotted before Fit; loading yields an untrained
 // pipeline.
 func (p *Pipeline) SaveSnapshot(w io.Writer) error {
+	return EncodeSnapshot(w, p.cfg, p.model)
+}
+
+// EncodeSnapshot writes an hdface-model/v1 blob for an arbitrary
+// (config, model) pair without requiring a live Pipeline — the registry
+// persists versions this way, since only the trained class memory differs
+// between versions of the same config. model may be nil (untrained).
+func EncodeSnapshot(w io.Writer, cfg Config, model *hdc.Model) error {
 	if _, err := io.WriteString(w, snapshotMagic); err != nil {
 		return fmt.Errorf("hdface: snapshot magic: %w", err)
 	}
 	var cfgBuf bytes.Buffer
-	if err := gob.NewEncoder(&cfgBuf).Encode(p.cfg); err != nil {
+	if err := gob.NewEncoder(&cfgBuf).Encode(cfg); err != nil {
 		return fmt.Errorf("hdface: snapshot config: %w", err)
 	}
 	if cfgBuf.Len() > maxSnapshotConfigBytes {
@@ -56,14 +64,14 @@ func (p *Pipeline) SaveSnapshot(w io.Writer) error {
 		return fmt.Errorf("hdface: snapshot config: %w", err)
 	}
 	hasModel := byte(0)
-	if p.model != nil {
+	if model != nil {
 		hasModel = 1
 	}
 	if _, err := w.Write([]byte{hasModel}); err != nil {
 		return fmt.Errorf("hdface: snapshot model flag: %w", err)
 	}
-	if p.model != nil {
-		if err := p.model.Save(w); err != nil {
+	if model != nil {
+		if err := model.Save(w); err != nil {
 			return fmt.Errorf("hdface: snapshot model: %w", err)
 		}
 	}
@@ -75,51 +83,64 @@ func (p *Pipeline) SaveSnapshot(w io.Writer) error {
 // config seed, and attaches the trained classifier (if present). The
 // returned pipeline is behaviourally identical to the one that was saved.
 func LoadSnapshot(r io.Reader) (*Pipeline, error) {
+	cfg, m, err := DecodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	p := New(cfg)
+	p.model = m
+	return p, nil
+}
+
+// DecodeSnapshot reads and validates an hdface-model/v1 blob, returning
+// the embedded config and trained model (nil if untrained) without
+// rematerialising the pipeline's hypervector bases. The registry uses this
+// to load per-version class memory cheaply: every version under one
+// registry dir shares a config, so a single Pipeline serves them all.
+func DecodeSnapshot(r io.Reader) (Config, *hdc.Model, error) {
+	var cfg Config
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		return nil, fmt.Errorf("hdface: snapshot magic: %w", err)
+		return cfg, nil, fmt.Errorf("hdface: snapshot magic: %w", err)
 	}
 	if string(magic) != snapshotMagic {
-		return nil, fmt.Errorf("hdface: not an hdface-model/v1 snapshot (magic %q)", magic)
+		return cfg, nil, fmt.Errorf("hdface: not an hdface-model/v1 snapshot (magic %q)", magic)
 	}
 	var cfgLen uint32
 	if err := binary.Read(r, binary.LittleEndian, &cfgLen); err != nil {
-		return nil, fmt.Errorf("hdface: snapshot config length: %w", err)
+		return cfg, nil, fmt.Errorf("hdface: snapshot config length: %w", err)
 	}
 	if cfgLen == 0 || cfgLen > maxSnapshotConfigBytes {
-		return nil, fmt.Errorf("hdface: snapshot config length %d outside (0, %d]", cfgLen, maxSnapshotConfigBytes)
+		return cfg, nil, fmt.Errorf("hdface: snapshot config length %d outside (0, %d]", cfgLen, maxSnapshotConfigBytes)
 	}
 	cfgBytes := make([]byte, cfgLen)
 	if _, err := io.ReadFull(r, cfgBytes); err != nil {
-		return nil, fmt.Errorf("hdface: snapshot config: %w", err)
+		return cfg, nil, fmt.Errorf("hdface: snapshot config: %w", err)
 	}
-	var cfg Config
 	if err := gob.NewDecoder(bytes.NewReader(cfgBytes)).Decode(&cfg); err != nil {
-		return nil, fmt.Errorf("hdface: snapshot config: %w", err)
+		return Config{}, nil, fmt.Errorf("hdface: snapshot config: %w", err)
 	}
 	if err := validateSnapshotConfig(cfg); err != nil {
-		return nil, err
+		return Config{}, nil, err
 	}
 	var flag [1]byte
 	if _, err := io.ReadFull(r, flag[:]); err != nil {
-		return nil, fmt.Errorf("hdface: snapshot model flag: %w", err)
+		return Config{}, nil, fmt.Errorf("hdface: snapshot model flag: %w", err)
 	}
-	p := New(cfg)
 	switch flag[0] {
 	case 0:
-		return p, nil
+		return cfg, nil, nil
 	case 1:
 		m, err := hdc.Load(r)
 		if err != nil {
-			return nil, fmt.Errorf("hdface: snapshot model: %w", err)
+			return Config{}, nil, fmt.Errorf("hdface: snapshot model: %w", err)
 		}
-		if m.D != p.cfg.D {
-			return nil, fmt.Errorf("hdface: snapshot model D=%d does not match config D=%d", m.D, p.cfg.D)
+		if m.D != cfg.D {
+			return Config{}, nil, fmt.Errorf("hdface: snapshot model D=%d does not match config D=%d", m.D, cfg.D)
 		}
-		p.model = m
-		return p, nil
+		return cfg, m, nil
 	default:
-		return nil, fmt.Errorf("hdface: snapshot model flag %d invalid", flag[0])
+		return Config{}, nil, fmt.Errorf("hdface: snapshot model flag %d invalid", flag[0])
 	}
 }
 
