@@ -5,6 +5,7 @@
 //	hdface detect -scene scene.pgm -model face.hdc -out overlay.pgm
 //	hdface scene  -out scene.pgm            # render a test scene
 //	hdface serve  -snapshot face.hdfs -addr :8466
+//	hdface top    -addr localhost:8466
 //	hdface models -registry models/ [-promote N | -rollback]
 //
 // Models are serialised HDC classifiers; pipeline snapshots (train
@@ -33,6 +34,7 @@ import (
 	"hdface/internal/hdc"
 	"hdface/internal/hv"
 	"hdface/internal/imgproc"
+	"hdface/internal/obs/trace"
 	"hdface/internal/obscli"
 	"hdface/internal/online"
 	"hdface/internal/registry"
@@ -379,9 +381,14 @@ func cmdDetect(args []string) error {
 		ctx, cancelDL = context.WithTimeout(ctx, *deadline)
 		defer cancelDL()
 	}
-	boxes, stats, err := detect.Sweep(ctx, img, scorer, detect.Params{
+	// With -trace-dump the sweep records a trace (nil and free otherwise),
+	// so the CLI can emit the same per-level span tree the daemon serves
+	// from /debug/traces.
+	tr := trace.New("detect", "")
+	boxes, stats, err := detect.Sweep(trace.NewContext(ctx, tr), img, scorer, detect.Params{
 		Win: *win, Stride: *stride, Scales: scaleList, NMSIoU: *nms,
 		Workers: p.Config().Workers})
+	tr.Finish()
 	if err != nil {
 		return err
 	}
@@ -423,6 +430,9 @@ func cmdServe(args []string) error {
 	retain := fs.Int("retain", 8, "max model versions the registry keeps (<=0 keeps all)")
 	onlineOn := fs.Bool("online", false, "enable POST /feedback online learning")
 	onlineBatch := fs.Int("online-batch", 32, "feedback samples per refinement round")
+	sloTarget := fs.Duration("slo-target", 250*time.Millisecond, "per-request latency goal of the /debug/slo objects")
+	sloObjective := fs.Float64("slo-objective", 0.99, "fraction of requests that must meet -slo-target")
+	sloWindow := fs.Duration("slo-window", time.Minute, "sliding window the SLOs and latency quantiles evaluate over")
 	of := obscli.Register(fs)
 	fs.Parse(args)
 
@@ -472,6 +482,9 @@ func cmdServe(args []string) error {
 		MaxDeadline:   *deadline,
 		DetectWin:     *win,
 		DetectParams:  detect.Params{Stride: *stride},
+		SLOTarget:     *sloTarget,
+		SLOObjective:  *sloObjective,
+		SLOWindow:     *sloWindow,
 	})
 	if err != nil {
 		return err
@@ -564,7 +577,7 @@ func cmdModels(args []string) error {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: hdface <train|eval|detect|scene|features|serve|models> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: hdface <train|eval|detect|scene|features|serve|top|models> [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -581,6 +594,8 @@ func main() {
 		err = cmdFeatures(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "models":
 		err = cmdModels(os.Args[2:])
 	default:

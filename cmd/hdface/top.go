@@ -1,0 +1,227 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hdface/internal/obs"
+)
+
+// cmdTop is a live terminal view over a running serve daemon: it polls
+// /metrics and /debug/slo and renders request rates, windowed latency
+// quantiles, SLO burn, batch occupancy, the live model version and drift
+// state. It needs nothing beyond the daemon's existing HTTP surface, so
+// it works against any reachable hdface serve instance.
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8466", "serve daemon address (host:port)")
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	once := fs.Bool("once", false, "print one frame and exit (no screen clearing)")
+	fs.Parse(args)
+	if *interval <= 0 {
+		return fmt.Errorf("top: -interval must be positive")
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	t := &topView{base: base, client: &http.Client{Timeout: 5 * time.Second}}
+
+	if *once {
+		return t.frame(os.Stdout, false)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		if err := t.frame(os.Stdout, true); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+// topView holds the polling client and the previous sample, from which
+// counter deltas become rates.
+type topView struct {
+	base   string
+	client *http.Client
+
+	prev   map[string]float64
+	prevAt time.Time
+}
+
+// frame polls once and renders one frame to w. clear prefixes ANSI
+// home+erase so successive frames repaint in place.
+func (t *topView) frame(w io.Writer, clear bool) error {
+	metrics, err := t.fetchMetrics()
+	if err != nil {
+		return fmt.Errorf("top: %s/metrics: %w", t.base, err)
+	}
+	var slo sloDoc
+	if err := t.fetchJSON("/debug/slo", &slo); err != nil {
+		return fmt.Errorf("top: %s/debug/slo: %w", t.base, err)
+	}
+	now := time.Now()
+	rate := func(name string) float64 {
+		if t.prev == nil {
+			return 0
+		}
+		dt := now.Sub(t.prevAt).Seconds()
+		if dt <= 0 {
+			return 0
+		}
+		return (metrics[name] - t.prev[name]) / dt
+	}
+
+	var b strings.Builder
+	if clear {
+		b.WriteString("\x1b[H\x1b[2J")
+	}
+	fmt.Fprintf(&b, "hdface top — %s — %s\n\n", t.base, now.Format("15:04:05"))
+	fmt.Fprintf(&b, "requests   predict %6.1f/s   detect %6.1f/s   feedback %6.1f/s   rejected %.1f/s\n",
+		rate("hdface_serve_predict_requests_total"),
+		rate("hdface_serve_detect_requests_total"),
+		rate("hdface_serve_feedback_requests_total"),
+		rate("hdface_serve_rejected_total"))
+
+	if q, ok := slo.Quantiles["hdface_serve_request_seconds_window"]; ok {
+		fmt.Fprintf(&b, "latency    p50 %s   p95 %s   p99 %s   (%.0fs window, n=%d)\n",
+			fmtSeconds(q.P50), fmtSeconds(q.P95), fmtSeconds(q.P99), q.WindowSeconds, q.Count)
+	}
+	names := make([]string, 0, len(slo.SLOs))
+	for name := range slo.SLOs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := slo.SLOs[name]
+		fmt.Fprintf(&b, "slo        %-8s burn %.2f   compliance %.2f%%   (target %s, objective %.0f%%)\n",
+			name, s.BurnRate, s.Compliance*100, fmtSeconds(s.TargetSeconds), s.Objective*100)
+	}
+
+	occupancy := 0.0
+	if n := metrics["hdface_serve_batches_total"]; n > 0 {
+		occupancy = metrics["hdface_serve_batched_images_total"] / n
+	}
+	fmt.Fprintf(&b, "batching   occupancy %.1f img/batch   queue depth %.0f\n",
+		occupancy, metrics["hdface_serve_queue_depth"])
+	fmt.Fprintf(&b, "model      live v%.0f   drift events %.0f   promotions %.0f   rollbacks %.0f\n",
+		metrics["hdface_registry_live_version"],
+		metrics["hdface_online_drift_events_total"],
+		metrics["hdface_registry_promotes_total"],
+		metrics["hdface_registry_rollbacks_total"])
+	fmt.Fprintf(&b, "runtime    goroutines %.0f   heap %s   gc pauses %s\n",
+		metrics["go_goroutines"],
+		fmtBytes(metrics["go_heap_inuse_bytes"]),
+		fmtSeconds(metrics["go_gc_pause_seconds_total"]))
+
+	t.prev, t.prevAt = metrics, now
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// sloDoc mirrors the /debug/slo reply (serve.SLOResponse); declared
+// locally so the CLI depends only on the wire format.
+type sloDoc struct {
+	Schema    string                          `json:"schema"`
+	SLOs      map[string]obs.SLOSnapshot      `json:"slos"`
+	Quantiles map[string]obs.QuantileSnapshot `json:"quantiles"`
+}
+
+func (t *topView) fetchJSON(path string, v any) error {
+	resp, err := t.client.Get(t.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// fetchMetrics scrapes the Prometheus text endpoint into a name→value
+// map. Series names keep their label block verbatim, so callers address
+// labelled series as `family{label="v"}`.
+func (t *topView) fetchMetrics() (map[string]float64, error) {
+	resp, err := t.client.Get(t.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return parseMetrics(string(data)), nil
+}
+
+// parseMetrics reads Prometheus 0.0.4 text exposition: one
+// `name[{labels}] value` pair per non-comment line.
+func parseMetrics(text string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	return out
+}
+
+// fmtSeconds renders a duration-in-seconds at a human grain.
+func fmtSeconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMetrics(t *testing.T) {
+	text := `# HELP hdface_serve_predict_requests_total accepted /predict requests
+# TYPE hdface_serve_predict_requests_total counter
+hdface_serve_predict_requests_total 42
+hdface_slo_burn_rate{slo="predict"} 1.5
+go_heap_inuse_bytes 1.048576e+06
+
+malformed line without value
+`
+	m := parseMetrics(text)
+	if m["hdface_serve_predict_requests_total"] != 42 {
+		t.Fatalf("counter = %v", m["hdface_serve_predict_requests_total"])
+	}
+	if m[`hdface_slo_burn_rate{slo="predict"}`] != 1.5 {
+		t.Fatalf("labelled series = %v", m[`hdface_slo_burn_rate{slo="predict"}`])
+	}
+	if m["go_heap_inuse_bytes"] != 1048576 {
+		t.Fatalf("scientific notation = %v", m["go_heap_inuse_bytes"])
+	}
+	if len(m) != 3 {
+		t.Fatalf("parsed %d series, want 3: %v", len(m), m)
+	}
+}
+
+// TestTopFrame renders two frames against a stub daemon and checks the
+// view carries the numbers an operator needs: rates from counter deltas,
+// windowed quantiles, SLO burn, batch occupancy and the live version.
+func TestTopFrame(t *testing.T) {
+	predicts := 0.0
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		predicts += 10
+		writeLines(w,
+			"hdface_serve_predict_requests_total "+strconv.FormatFloat(predicts, 'g', -1, 64),
+			"hdface_serve_detect_requests_total 3",
+			"hdface_serve_batches_total 4",
+			"hdface_serve_batched_images_total 14",
+			"hdface_serve_queue_depth 2",
+			"hdface_registry_live_version 7",
+			"hdface_online_drift_events_total 1",
+			"go_goroutines 12",
+			"go_heap_inuse_bytes 2097152",
+		)
+	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"schema":"hdface-slo/v1","slos":{` +
+			`"predict":{"name":"predict","target_seconds":0.25,"objective":0.99,` +
+			`"window_seconds":60,"total":40,"good":39,"bad":1,"compliance":0.975,` +
+			`"error_budget":0.01,"budget_used":2.5,"burn_rate":2.5}},` +
+			`"quantiles":{"hdface_serve_request_seconds_window":` +
+			`{"window_seconds":60,"count":40,"p50":0.002,"p90":0.004,"p95":0.005,"p99":0.009}}}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	tv := &topView{base: ts.URL, client: ts.Client()}
+	var first strings.Builder
+	if err := tv.frame(&first, false); err != nil {
+		t.Fatal(err)
+	}
+	// Rates need a previous sample; the first frame reads zero.
+	if !strings.Contains(first.String(), "predict    0.0/s") {
+		t.Fatalf("first frame should show zero rates:\n%s", first.String())
+	}
+
+	tv.prevAt = tv.prevAt.Add(-time.Second) // pretend one second passed
+	var second strings.Builder
+	if err := tv.frame(&second, false); err != nil {
+		t.Fatal(err)
+	}
+	out := second.String()
+	for _, want := range []string{
+		"predict   10.0/s", // 10 more requests over ~1s
+		"p99 9.0ms",
+		"burn 2.50",
+		"compliance 97.50%",
+		"occupancy 3.5 img/batch",
+		"queue depth 2",
+		"live v7",
+		"drift events 1",
+		"goroutines 12",
+		"heap 2.0MiB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func writeLines(w http.ResponseWriter, lines ...string) {
+	for _, l := range lines {
+		w.Write([]byte(l + "\n"))
+	}
+}

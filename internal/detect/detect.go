@@ -37,6 +37,7 @@ import (
 
 	"hdface/internal/imgproc"
 	"hdface/internal/obs"
+	"hdface/internal/obs/trace"
 )
 
 // Observability series for the sliding-window sweep: how many windows the
@@ -293,11 +294,17 @@ func Sweep(ctx context.Context, img *imgproc.Image, scorer WindowScorer, p Param
 	}
 	sp := obs.StartSpan("detect_sweep")
 	defer sp.End()
+	// Per-request span tree, if the caller's context carries a trace. The
+	// tracer only observes — it never touches scoring state — so output
+	// stays byte-identical across worker counts with tracing on.
+	_, tsp := trace.StartSpan(ctx, "detect_sweep")
+	defer tsp.End()
 
 	// Build the pyramid and per-level state serially: Resize is cheap next
 	// to scoring, and PrepareLevel implementations parallelise internally.
 	gs, _ := scorer.(GridScorer)
 	var levels []level
+	var lvSpans []*trace.Span
 	total := 0
 	for li, s := range p.Scales {
 		w := int(float64(img.W) / s)
@@ -307,6 +314,7 @@ func Sweep(ctx context.Context, img *imgproc.Image, scorer WindowScorer, p Param
 			obsSkipped.Inc()
 			continue
 		}
+		lsp := tsp.StartSpan("level")
 		lv := level{img: img, scale: s}
 		if s != 1 {
 			lv.img = img.Resize(w, h)
@@ -328,6 +336,11 @@ func Sweep(ctx context.Context, img *imgproc.Image, scorer WindowScorer, p Param
 		} else {
 			stats.FallbackWindows += int64(n)
 		}
+		lsp.End() // the span times resize + preparation
+		lsp.SetAttr("scale", fmt.Sprintf("%g", s))
+		lsp.SetAttrInt("windows", int64(n))
+		lsp.SetAttr("prepared", fmt.Sprintf("%t", lv.ls != nil))
+		lvSpans = append(lvSpans, lsp)
 		levels = append(levels, lv)
 		stats.WindowsPerLevel = append(stats.WindowsPerLevel, int64(n))
 		obsLevelWindows.Observe(float64(n))
@@ -428,6 +441,7 @@ func Sweep(ctx context.Context, img *imgproc.Image, scorer WindowScorer, p Param
 	var errMu sync.Mutex
 	var werrs []error
 	var wg sync.WaitGroup
+	scoreStart := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -487,6 +501,28 @@ func Sweep(ctx context.Context, img *imgproc.Image, scorer WindowScorer, p Param
 		obsDegraded.Inc()
 	} else if dl, ok := ctx.Deadline(); ok {
 		obsSlack.Observe(time.Until(dl).Seconds())
+	}
+
+	// Trace annotations: the parallel scoring region as one span, per-level
+	// completion counts on the level spans (timing per level is undefined
+	// under work-stealing, so levels carry counts, not scoring time), and
+	// the degraded/panic verdict on the sweep span and the trace itself.
+	if tsp != nil {
+		ssp := tsp.AddSpan("score", scoreStart, time.Now())
+		ssp.SetAttrInt("workers", int64(workers))
+		ssp.SetAttrInt("completed", stats.CompletedWindows)
+		for i, lsp := range lvSpans {
+			lsp.SetAttrInt("completed", completed[i])
+		}
+		if panics > 0 {
+			ssp.SetAttrInt("panics", panics)
+			tsp.SetAttr("panic", "true")
+			trace.FromContext(ctx).SetError(true)
+		}
+		if stats.Degraded {
+			tsp.SetAttr("degraded", "true")
+			trace.FromContext(ctx).SetDegraded(true)
+		}
 	}
 
 	var raw []Box

@@ -1,0 +1,84 @@
+package detect
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"hdface/internal/imgproc"
+	"hdface/internal/obs/trace"
+)
+
+// TestSweepByteIdenticalWithTracing pins the tracer's core promise: spans
+// only observe, so detection output is byte-identical to an untraced
+// sweep at every worker count, with tracing enabled and a trace in the
+// context.
+func TestSweepByteIdenticalWithTracing(t *testing.T) {
+	img := imgproc.NewImage(256, 256)
+	for y := 0; y < img.H; y += 4 {
+		img.FillRect(0, y, img.W, y+2, uint8(y))
+	}
+	base := Params{Win: 32, Stride: 16, Scales: []float64{1, 1.5, 2}, NMSIoU: -1}
+
+	// Untraced single-worker reference.
+	trace.Disable()
+	ref, refStats, err := Sweep(context.Background(), img, &stubScorer{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refStats.Hits == 0 {
+		t.Fatal("stub produced no hits; test is vacuous")
+	}
+
+	trace.Enable()
+	defer func() {
+		trace.Disable()
+		trace.Reset()
+	}()
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := base
+		p.Workers = workers
+		tr := trace.New("detect", "")
+		ctx := trace.NewContext(context.Background(), tr)
+		got, _, err := Sweep(ctx, img, &stubScorer{}, p)
+		tr.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("tracing with %d workers changed output:\n got %+v\nwant %+v", workers, got, ref)
+		}
+	}
+
+	// The traced sweep recorded a span tree: detect_sweep with one child
+	// per swept level plus the scoring region.
+	exp := trace.Snapshot(trace.Filter{Kind: "detect", Stage: "detect_sweep", Limit: 1})
+	if len(exp.Traces) != 1 {
+		t.Fatalf("no detect_sweep trace collected")
+	}
+	var sweep *trace.ExportSpan
+	for i := range exp.Traces[0].Spans {
+		if exp.Traces[0].Spans[i].Name == "detect_sweep" {
+			sweep = &exp.Traces[0].Spans[i]
+		}
+	}
+	if sweep == nil {
+		t.Fatalf("trace has no detect_sweep span: %+v", exp.Traces[0].Spans)
+	}
+	levels, scores := 0, 0
+	for _, c := range sweep.Children {
+		switch c.Name {
+		case "level":
+			levels++
+			if c.Attrs["windows"] == "" || c.Attrs["completed"] == "" {
+				t.Fatalf("level span missing window counts: %+v", c)
+			}
+		case "score":
+			scores++
+		}
+	}
+	if levels != refStats.Levels || scores != 1 {
+		t.Fatalf("span tree has %d level spans and %d score spans, want %d and 1",
+			levels, scores, refStats.Levels)
+	}
+}

@@ -47,18 +47,22 @@ func Enabled() bool { return armed.Load() }
 // init and live for the process lifetime; Reset zeroes values but never
 // invalidates handles.
 type registry struct {
-	mu     sync.RWMutex
-	counts map[string]*Counter
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
-	stages map[string]*Stage
+	mu      sync.RWMutex
+	counts  map[string]*Counter
+	gauges  map[string]*Gauge
+	hists   map[string]*Histogram
+	stages  map[string]*Stage
+	rollers map[string]*RollingQuantile
+	slos    map[string]*SLO
 }
 
 var reg = &registry{
-	counts: make(map[string]*Counter),
-	gauges: make(map[string]*Gauge),
-	hists:  make(map[string]*Histogram),
-	stages: make(map[string]*Stage),
+	counts:  make(map[string]*Counter),
+	gauges:  make(map[string]*Gauge),
+	hists:   make(map[string]*Histogram),
+	stages:  make(map[string]*Stage),
+	rollers: make(map[string]*RollingQuantile),
+	slos:    make(map[string]*SLO),
 }
 
 // Counter is a monotonically increasing atomic counter. A nil *Counter is
@@ -240,6 +244,12 @@ func Reset() {
 		}
 		h.count.Store(0)
 		h.sumBits.Store(0)
+	}
+	for _, r := range reg.rollers {
+		r.reset()
+	}
+	for _, s := range reg.slos {
+		s.reset()
 	}
 	reg.stages = make(map[string]*Stage)
 }

@@ -9,9 +9,51 @@ import (
 )
 
 // WriteTo writes the current registry state in Prometheus text exposition
-// format (the CLI's -pprof server mounts this under /metrics).
+// format (the CLI's -pprof server and the serve daemon mount this under
+// /metrics). Beyond the snapshot it refreshes the go_* runtime gauges and
+// appends the live windowed series — rolling quantiles as summary-style
+// quantile-labelled gauges and SLO state — which are excluded from
+// TakeSnapshot because they decay with the clock rather than with
+// recorded values.
 func WriteTo(w io.Writer) (int64, error) {
-	return TakeSnapshot().WritePrometheus(w)
+	CaptureRuntime()
+	n, err := TakeSnapshot().WritePrometheus(w)
+	if err != nil {
+		return n, err
+	}
+	m, err := writeWindowed(w)
+	return n + m, err
+}
+
+// writeWindowed emits the rolling-quantile and SLO series.
+func writeWindowed(w io.Writer) (int64, error) {
+	var b strings.Builder
+	quants := QuantileSnapshots()
+	for _, name := range sortedKeys(quants) {
+		q := quants[name]
+		family, labels := splitSeries(name)
+		fmt.Fprintf(&b, "# TYPE %s summary\n", family)
+		for _, p := range []struct {
+			q string
+			v float64
+		}{{"0.5", q.P50}, {"0.9", q.P90}, {"0.95", q.P95}, {"0.99", q.P99}} {
+			fmt.Fprintf(&b, "%s{%squantile=%q} %s\n", family, labelPrefix(labels), p.q, formatFloat(p.v))
+		}
+		fmt.Fprintf(&b, "%s_count%s %d\n", family, wrapLabels(labels), q.Count)
+	}
+	slos := SLOSnapshots()
+	if len(slos) > 0 {
+		fmt.Fprintln(&b, "# TYPE hdface_slo_compliance gauge")
+		for _, name := range sortedKeys(slos) {
+			fmt.Fprintf(&b, "hdface_slo_compliance{slo=%q} %s\n", name, formatFloat(slos[name].Compliance))
+		}
+		fmt.Fprintln(&b, "# TYPE hdface_slo_budget_used gauge")
+		for _, name := range sortedKeys(slos) {
+			fmt.Fprintf(&b, "hdface_slo_budget_used{slo=%q} %s\n", name, formatFloat(slos[name].BudgetUsed))
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
 }
 
 // WritePrometheus writes the snapshot in Prometheus text exposition

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// timeNow is swapped by tests for deterministic windowed-state output.
+var timeNow = time.Now
+
+// RollingQuantile tracks latency quantiles over a sliding time window —
+// the "what is p99 *right now*" complement to the cumulative fixed-bucket
+// Histogram, whose tails are diluted by every request since process
+// start. Observations land in a bounded ring of (timestamp, value)
+// samples; quantiles are computed on demand over the samples still inside
+// the window, so a drift-recovery episode or a deploy shows up within one
+// window length instead of being averaged away.
+//
+// Observe is mutex-guarded rather than lock-free: it runs once per
+// request (not per window or per primitive op), where a short critical
+// section is noise. A nil *RollingQuantile is a valid no-op receiver, and
+// the disabled path records nothing, like every other obs series.
+type RollingQuantile struct {
+	name, help string
+	window     time.Duration
+
+	mu      sync.Mutex
+	samples []qsample // ring, cap maxSamples
+	pos     int
+	n       int
+}
+
+type qsample struct {
+	at time.Time
+	v  float64
+}
+
+// defaultQuantileSamples bounds the ring: enough for ~1.6k requests per
+// window before oldest-first overwrite starts subsampling the window.
+const defaultQuantileSamples = 1 << 11
+
+// NewRollingQuantile returns the rolling-quantile series registered under
+// name, creating it with the given window on first use (non-positive
+// window defaults to one minute).
+func NewRollingQuantile(name, help string, window time.Duration) *RollingQuantile {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if r, ok := reg.rollers[name]; ok {
+		return r
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	r := &RollingQuantile{name: name, help: help, window: window}
+	reg.rollers[name] = r
+	return r
+}
+
+// Observe records v at the current time when instrumentation is enabled.
+func (r *RollingQuantile) Observe(v float64) {
+	if r == nil || !armed.Load() {
+		return
+	}
+	now := timeNow()
+	r.mu.Lock()
+	if r.n < defaultQuantileSamples {
+		r.samples = append(r.samples, qsample{now, v})
+		r.n++
+	} else {
+		r.samples[r.pos] = qsample{now, v}
+		r.pos = (r.pos + 1) % defaultQuantileSamples
+	}
+	r.mu.Unlock()
+}
+
+// QuantileSnapshot is the point-in-time windowed view of one series.
+type QuantileSnapshot struct {
+	WindowSeconds float64 `json:"window_seconds"`
+	Count         int     `json:"count"`
+	P50           float64 `json:"p50"`
+	P90           float64 `json:"p90"`
+	P95           float64 `json:"p95"`
+	P99           float64 `json:"p99"`
+}
+
+// Snapshot computes the windowed quantiles as of now. An empty window
+// yields zeros with Count 0.
+func (r *RollingQuantile) Snapshot() QuantileSnapshot {
+	if r == nil {
+		return QuantileSnapshot{}
+	}
+	cutoff := timeNow().Add(-r.window)
+	r.mu.Lock()
+	vals := make([]float64, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		if s := r.samples[i]; !s.at.Before(cutoff) {
+			vals = append(vals, s.v)
+		}
+	}
+	r.mu.Unlock()
+	snap := QuantileSnapshot{WindowSeconds: r.window.Seconds(), Count: len(vals)}
+	if len(vals) == 0 {
+		return snap
+	}
+	sort.Float64s(vals)
+	snap.P50 = quantileOf(vals, 0.50)
+	snap.P90 = quantileOf(vals, 0.90)
+	snap.P95 = quantileOf(vals, 0.95)
+	snap.P99 = quantileOf(vals, 0.99)
+	return snap
+}
+
+// Reset drops every sample (the obs.Reset hook).
+func (r *RollingQuantile) reset() {
+	r.mu.Lock()
+	r.samples, r.pos, r.n = r.samples[:0], 0, 0
+	r.mu.Unlock()
+}
+
+// quantileOf returns the nearest-rank quantile of sorted values.
+func quantileOf(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// QuantileSnapshots returns the windowed view of every registered
+// rolling-quantile series, keyed by name. Windowed state is live-only by
+// design: it does not appear in TakeSnapshot, whose output must be a
+// deterministic function of recorded values (quantiles decay with the
+// clock even when nothing records).
+func QuantileSnapshots() map[string]QuantileSnapshot {
+	reg.mu.RLock()
+	rollers := make([]*RollingQuantile, 0, len(reg.rollers))
+	for _, r := range reg.rollers {
+		rollers = append(rollers, r)
+	}
+	reg.mu.RUnlock()
+	out := make(map[string]QuantileSnapshot, len(rollers))
+	for _, r := range rollers {
+		out[r.name] = r.Snapshot()
+	}
+	return out
+}

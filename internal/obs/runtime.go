@@ -1,0 +1,35 @@
+package obs
+
+import "runtime"
+
+// Go runtime gauges: the generic fleet-health signals a router or
+// dashboard watches next to the domain metrics (is a replica leaking
+// goroutines? is the heap growing? is GC eating the latency budget?).
+// They are captured on demand by CaptureRuntime — called from the
+// /metrics handlers and from obscli.Finish — rather than continuously,
+// because runtime.ReadMemStats briefly stops the world and a scrape-time
+// reading is exactly as fresh as the scrape.
+var (
+	gGoroutines = NewGauge("go_goroutines", "goroutines currently live")
+	gNumCPU     = NewGauge("go_num_cpu", "logical CPUs available to the process")
+	gHeapInuse  = NewGauge("go_heap_inuse_bytes", "bytes in in-use heap spans")
+	gHeapAlloc  = NewGauge("go_heap_alloc_bytes", "bytes of allocated, not yet freed heap objects")
+	gGCCycles   = NewGauge("go_gc_cycles_total", "completed GC cycles")
+	gGCPause    = NewGauge("go_gc_pause_seconds_total", "cumulative stop-the-world GC pause time")
+)
+
+// CaptureRuntime refreshes the go_* runtime gauges. It records nothing
+// when instrumentation is disabled, like every other entry point.
+func CaptureRuntime() {
+	if !armed.Load() {
+		return
+	}
+	gGoroutines.Set(float64(runtime.NumGoroutine()))
+	gNumCPU.Set(float64(runtime.NumCPU()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gHeapInuse.Set(float64(ms.HeapInuse))
+	gHeapAlloc.Set(float64(ms.HeapAlloc))
+	gGCCycles.Set(float64(ms.NumGC))
+	gGCPause.Set(float64(ms.PauseTotalNs) / 1e9)
+}

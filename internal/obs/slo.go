@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO tracks a latency service-level objective over a sliding window: a
+// target latency, the fraction of requests that must meet it (the
+// objective), and the error budget that falls out of the two. Every
+// request is observed as good (finished under target, no error) or bad;
+// the burn rate — bad fraction divided by allowed bad fraction — reads
+// 1.0 when the service is spending its budget exactly as fast as the
+// objective permits, and is exported as a gauge so dashboards and the
+// `hdface top` view can watch it move during a drift episode or deploy.
+//
+// Like RollingQuantile, windowed SLO state is live-only (served by
+// /debug/slo and SLOSnapshots), not part of TakeSnapshot.
+type SLO struct {
+	name      string
+	target    time.Duration
+	objective float64
+	window    time.Duration
+	burn      *Gauge
+
+	mu     sync.Mutex
+	events []sloEvent // ring, cap sloEventCap
+	pos, n int
+}
+
+type sloEvent struct {
+	at   time.Time
+	good bool
+}
+
+// sloEventCap bounds the per-SLO event ring.
+const sloEventCap = 1 << 12
+
+// NewSLO returns the SLO registered under name, creating it on first use.
+// target is the per-request latency goal, objective the fraction of
+// requests that must meet it (defaults to 0.99 when out of (0,1)), window
+// the sliding evaluation window (default one minute).
+func NewSLO(name string, target time.Duration, objective float64, window time.Duration) *SLO {
+	reg.mu.Lock()
+	if s, ok := reg.slos[name]; ok {
+		reg.mu.Unlock()
+		return s
+	}
+	if objective <= 0 || objective >= 1 {
+		objective = 0.99
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	s := &SLO{name: name, target: target, objective: objective, window: window}
+	reg.slos[name] = s
+	reg.mu.Unlock()
+	// Registered outside reg.mu: NewGauge takes the same lock.
+	s.burn = NewGauge("hdface_slo_burn_rate{slo=\""+name+"\"}",
+		"windowed error-budget burn rate (1.0 = spending budget exactly at the objective)")
+	return s
+}
+
+// Observe records one request outcome when instrumentation is enabled:
+// good means it finished without error within the target latency.
+func (s *SLO) Observe(latency time.Duration, failed bool) {
+	if s == nil || !armed.Load() {
+		return
+	}
+	good := !failed && latency <= s.target
+	now := timeNow()
+	s.mu.Lock()
+	if s.n < sloEventCap {
+		s.events = append(s.events, sloEvent{now, good})
+		s.n++
+	} else {
+		s.events[s.pos] = sloEvent{now, good}
+		s.pos = (s.pos + 1) % sloEventCap
+	}
+	s.mu.Unlock()
+	s.burn.Set(s.Snapshot().BurnRate)
+}
+
+// SLOSnapshot is the point-in-time state of one SLO.
+type SLOSnapshot struct {
+	Name          string  `json:"name"`
+	TargetSeconds float64 `json:"target_seconds"`
+	Objective     float64 `json:"objective"`
+	WindowSeconds float64 `json:"window_seconds"`
+	Total         int     `json:"total"`
+	Good          int     `json:"good"`
+	Bad           int     `json:"bad"`
+	// Compliance is the good fraction (1.0 on an empty window: no
+	// requests, nothing violated).
+	Compliance float64 `json:"compliance"`
+	// ErrorBudget is the allowed bad fraction, 1 - objective.
+	ErrorBudget float64 `json:"error_budget"`
+	// BudgetUsed is the consumed fraction of the error budget; above 1.0
+	// the objective is breached for this window.
+	BudgetUsed float64 `json:"budget_used"`
+	// BurnRate equals BudgetUsed over one evaluation window: how many
+	// windows' worth of budget the current bad rate spends per window.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// Snapshot evaluates the SLO over its window as of now.
+func (s *SLO) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{}
+	}
+	cutoff := timeNow().Add(-s.window)
+	var total, good int
+	s.mu.Lock()
+	for i := 0; i < s.n; i++ {
+		if e := s.events[i]; !e.at.Before(cutoff) {
+			total++
+			if e.good {
+				good++
+			}
+		}
+	}
+	s.mu.Unlock()
+	snap := SLOSnapshot{
+		Name:          s.name,
+		TargetSeconds: s.target.Seconds(),
+		Objective:     s.objective,
+		WindowSeconds: s.window.Seconds(),
+		Total:         total,
+		Good:          good,
+		Bad:           total - good,
+		Compliance:    1,
+		ErrorBudget:   1 - s.objective,
+	}
+	if total > 0 {
+		snap.Compliance = float64(good) / float64(total)
+		badRatio := float64(snap.Bad) / float64(total)
+		snap.BudgetUsed = badRatio / snap.ErrorBudget
+		snap.BurnRate = snap.BudgetUsed
+	}
+	return snap
+}
+
+func (s *SLO) reset() {
+	s.mu.Lock()
+	s.events, s.pos, s.n = s.events[:0], 0, 0
+	s.mu.Unlock()
+}
+
+// SLOSnapshots evaluates every registered SLO, keyed by name.
+func SLOSnapshots() map[string]SLOSnapshot {
+	reg.mu.RLock()
+	slos := make([]*SLO, 0, len(reg.slos))
+	for _, s := range reg.slos {
+		slos = append(slos, s)
+	}
+	reg.mu.RUnlock()
+	out := make(map[string]SLOSnapshot, len(slos))
+	for _, s := range slos {
+		out[s.name] = s.Snapshot()
+	}
+	return out
+}

@@ -10,11 +10,30 @@ import (
 // spans; see SetTrackAllocs.
 var trackAllocs atomic.Bool
 
+// allocOwner serialises allocation accounting: at most one span holds it
+// at a time (see SetTrackAllocs), so two concurrent spans can no longer
+// both bracket the same runtime.MemStats window and double-attribute the
+// same allocations.
+var allocOwner atomic.Bool
+
+// obsAllocSkipped counts spans that wanted allocation accounting but
+// found another span already holding the owner slot; their Mallocs /
+// AllocBytes report zero rather than a misattributed delta.
+var obsAllocSkipped = NewCounter("hdface_obs_alloc_track_skipped_total",
+	"spans denied allocation accounting because a concurrent span held it")
+
 // SetTrackAllocs switches per-span allocation accounting on or off. It is
 // off by default because ReadMemStats briefly stops the world; turn it on
-// only for profiling runs (the CLI's -stats-allocs flag). Deltas are
-// process-global, so concurrent spans attribute each other's allocations —
-// treat the numbers as indicative, exact only for serial phases.
+// only for profiling runs (the CLI's -stats-allocs flag).
+//
+// Accounting is single-flight: runtime.MemStats deltas are process-global
+// (Go exposes no per-goroutine allocation counters), so when spans
+// overlap, only the first to start owns the accounting window and the
+// rest record zero (counted by hdface_obs_alloc_track_skipped_total)
+// instead of silently re-attributing the owner's window to themselves.
+// The owning span's numbers are still process-global for its duration —
+// exact when nothing else allocates concurrently, an upper bound
+// otherwise — but each allocation is now attributed to at most one stage.
 func SetTrackAllocs(on bool) { trackAllocs.Store(on) }
 
 // Stage aggregates every span recorded under one stage name: call count,
@@ -89,11 +108,15 @@ func StartSpan(name string) *Span {
 	}
 	sp := &Span{stage: getStage(name), start: time.Now()}
 	if trackAllocs.Load() {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		sp.allocTracked = true
-		sp.startMallocs = ms.Mallocs
-		sp.startBytes = ms.TotalAlloc
+		if allocOwner.CompareAndSwap(false, true) {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			sp.allocTracked = true
+			sp.startMallocs = ms.Mallocs
+			sp.startBytes = ms.TotalAlloc
+		} else {
+			obsAllocSkipped.Inc()
+		}
 	}
 	return sp
 }
@@ -119,6 +142,7 @@ func (s *Span) End() {
 		runtime.ReadMemStats(&ms)
 		mallocs = int64(ms.Mallocs - s.startMallocs)
 		bytes = int64(ms.TotalAlloc - s.startBytes)
+		allocOwner.Store(false)
 	}
 	s.stage.record(dur, s.items, mallocs, bytes)
 }

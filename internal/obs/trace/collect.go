@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Retention bounds. The collector keeps three bounded sets: a ring of the
+// most recent traces (whatever their fate), the slowest traces seen, and
+// a ring of error/degraded traces. Rings overwrite oldest-first; the slow
+// set evicts its fastest member. Tail-based retention means a burst of
+// fast, healthy traffic can never flush the one trace that explains an
+// SLO breach.
+const (
+	recentCap = 256
+	slowCap   = 32
+	errCap    = 64
+)
+
+// collector is the process-global finished-trace store.
+type collector struct {
+	mu     sync.Mutex
+	recent []*Trace // ring, cap recentCap
+	pos    int
+	slow   []*Trace // sorted ascending by duration, cap slowCap
+	errs   []*Trace // ring, cap errCap
+	errPos int
+}
+
+var col collector
+
+// add applies the retention policy to one finished trace. Called from
+// Finish with t sealed, so reading t.dur and flags needs no trace lock.
+func (c *collector) add(t *Trace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Recent ring.
+	if len(c.recent) < recentCap {
+		c.recent = append(c.recent, t)
+	} else {
+		c.recent[c.pos] = t
+		c.pos = (c.pos + 1) % recentCap
+	}
+	// Error/degraded ring.
+	if t.err || t.degraded {
+		if len(c.errs) < errCap {
+			c.errs = append(c.errs, t)
+		} else {
+			c.errs[c.errPos] = t
+			c.errPos = (c.errPos + 1) % errCap
+		}
+	}
+	// Slowest set: insertion-sort into a small sorted slice.
+	if len(c.slow) < slowCap {
+		c.slow = append(c.slow, t)
+		sort.Slice(c.slow, func(i, j int) bool { return c.slow[i].dur < c.slow[j].dur })
+	} else if t.dur > c.slow[0].dur {
+		c.slow[0] = t
+		sort.Slice(c.slow, func(i, j int) bool { return c.slow[i].dur < c.slow[j].dur })
+	}
+}
+
+// Reset drops every collected trace. For tests and for separating a
+// warm-up phase from a measured phase, like obs.Reset.
+func Reset() {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.recent, col.pos = nil, 0
+	col.slow = nil
+	col.errs, col.errPos = nil, 0
+}
+
+// Filter selects traces for Snapshot. The zero Filter selects from the
+// recent ring. Setting any of Slow/Errors/Degraded restricts the source
+// to the union of those retention sets; Kind and Stage then filter the
+// candidates; Limit caps the result (default 64, newest first).
+type Filter struct {
+	Slow     bool   // slowest-retained traces
+	Errors   bool   // error traces
+	Degraded bool   // degraded traces
+	Kind     string // only traces of this kind ("predict", "detect", ...)
+	Stage    string // only traces containing a span with this name
+	Limit    int
+}
+
+// Snapshot exports the selected traces as an hdface-trace/v1 document,
+// newest first. It is safe to call concurrently with tracing.
+func Snapshot(f Filter) Export {
+	if f.Limit <= 0 {
+		f.Limit = 64
+	}
+	restricted := f.Slow || f.Errors || f.Degraded
+	col.mu.Lock()
+	seen := make(map[*Trace]bool)
+	var cand []*Trace
+	take := func(ts []*Trace, want func(*Trace) bool) {
+		for _, t := range ts {
+			if t != nil && !seen[t] && want(t) {
+				seen[t] = true
+				cand = append(cand, t)
+			}
+		}
+	}
+	any := func(*Trace) bool { return true }
+	if restricted {
+		if f.Slow {
+			take(col.slow, any)
+		}
+		if f.Errors {
+			take(col.errs, func(t *Trace) bool { return t.err })
+		}
+		if f.Degraded {
+			take(col.errs, func(t *Trace) bool { return t.degraded })
+		}
+	} else {
+		take(col.recent, any)
+	}
+	col.mu.Unlock()
+
+	out := Export{Schema: ExportSchema}
+	// Newest first; traces are sealed before collection, so start/dur
+	// reads are stable without the trace lock.
+	sort.Slice(cand, func(i, j int) bool { return cand[i].start.After(cand[j].start) })
+	for _, t := range cand {
+		if f.Kind != "" && t.kind != f.Kind {
+			continue
+		}
+		t.mu.Lock()
+		keep := f.Stage == "" || hasStage(&t.root, f.Stage)
+		if keep {
+			out.Traces = append(out.Traces, exportLocked(t))
+		}
+		t.mu.Unlock()
+		if len(out.Traces) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Last returns the n most recent traces (the -trace-dump surface).
+func Last(n int) Export {
+	return Snapshot(Filter{Limit: n})
+}
+
+// hasStage reports whether the subtree contains a span named stage.
+func hasStage(s *Span, stage string) bool {
+	if s.name == stage {
+		return true
+	}
+	for _, c := range s.children {
+		if hasStage(c, stage) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExportSchema identifies the trace export JSON layout; bump on breaking
+// changes. EXPERIMENTS.md documents it for trajectory tooling.
+const ExportSchema = "hdface-trace/v1"
+
+// Export is the /debug/traces (and -trace-dump) document.
+type Export struct {
+	Schema string        `json:"schema"`
+	Traces []ExportTrace `json:"traces"`
+}
+
+// ExportTrace is one trace: identity, bounds, terminal flags and the span
+// tree. Durations are microseconds — the natural grain of this system,
+// where a window scores in microseconds and a request lives milliseconds.
+type ExportTrace struct {
+	TraceID       string            `json:"trace_id"`
+	Kind          string            `json:"kind"`
+	StartUnixNano int64             `json:"start_unix_nano"`
+	DurationUS    int64             `json:"duration_us"`
+	Error         bool              `json:"error,omitempty"`
+	Degraded      bool              `json:"degraded,omitempty"`
+	Attrs         map[string]string `json:"attrs,omitempty"`
+	Spans         []ExportSpan      `json:"spans,omitempty"`
+}
+
+// ExportSpan is one node of the span tree, offsets relative to the trace
+// start.
+type ExportSpan struct {
+	Name       string            `json:"name"`
+	StartUS    int64             `json:"start_us"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []ExportSpan      `json:"children,omitempty"`
+}
+
+// exportLocked deep-copies a trace into its export form. Caller holds
+// t.mu.
+func exportLocked(t *Trace) ExportTrace {
+	return ExportTrace{
+		TraceID:       t.id,
+		Kind:          t.kind,
+		StartUnixNano: t.start.UnixNano(),
+		DurationUS:    int64(t.dur / time.Microsecond),
+		Error:         t.err,
+		Degraded:      t.degraded,
+		Attrs:         attrMap(t.root.attrs),
+		Spans:         exportChildren(t.root.children),
+	}
+}
+
+func exportChildren(spans []*Span) []ExportSpan {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]ExportSpan, len(spans))
+	for i, s := range spans {
+		out[i] = ExportSpan{
+			Name:       s.name,
+			StartUS:    int64(s.start / time.Microsecond),
+			DurationUS: int64((s.end - s.start) / time.Microsecond),
+			Attrs:      attrMap(s.attrs),
+			Children:   exportChildren(s.children),
+		}
+	}
+	return out
+}
+
+func attrMap(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.K] = a.V
+	}
+	return m
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRollingQuantileWindow pins the nearest-rank quantile math and the
+// sliding-window expiry, using the timeNow hook for a deterministic
+// clock.
+func TestRollingQuantileWindow(t *testing.T) {
+	Enable()
+	defer func() {
+		timeNow = time.Now
+		Disable()
+		Reset()
+	}()
+	base := time.Unix(1700000000, 0).UTC()
+	now := base
+	timeNow = func() time.Time { return now }
+
+	q := NewRollingQuantile("win_test_seconds", "t", time.Minute)
+	for i := 1; i <= 100; i++ {
+		q.Observe(float64(i))
+	}
+	snap := q.Snapshot()
+	if snap.Count != 100 {
+		t.Fatalf("count = %d, want 100", snap.Count)
+	}
+	if snap.P50 != 50 || snap.P95 != 95 || snap.P99 != 99 {
+		t.Fatalf("p50/p95/p99 = %v/%v/%v, want 50/95/99", snap.P50, snap.P95, snap.P99)
+	}
+
+	// Age the first hundred out of the window; only fresh samples remain.
+	now = base.Add(2 * time.Minute)
+	q.Observe(7)
+	q.Observe(9)
+	snap = q.Snapshot()
+	if snap.Count != 2 {
+		t.Fatalf("after expiry count = %d, want 2", snap.Count)
+	}
+	if snap.P50 != 7 || snap.P99 != 9 {
+		t.Fatalf("after expiry p50/p99 = %v/%v, want 7/9", snap.P50, snap.P99)
+	}
+}
+
+func TestRollingQuantileDisabledAndRegistry(t *testing.T) {
+	Disable()
+	Reset()
+	q := NewRollingQuantile("win_disabled_seconds", "t", time.Minute)
+	q.Observe(1)
+	if snap := q.Snapshot(); snap.Count != 0 {
+		t.Fatalf("disabled quantile recorded %d samples", snap.Count)
+	}
+	if q2 := NewRollingQuantile("win_disabled_seconds", "other", 0); q2 != q {
+		t.Fatal("re-registration returned a different instance")
+	}
+}
+
+// TestSLOBurn pins the SLO arithmetic: compliance, budget use and burn
+// rate for a known mix of good and bad requests.
+func TestSLOBurn(t *testing.T) {
+	Enable()
+	defer func() {
+		timeNow = time.Now
+		Disable()
+		Reset()
+	}()
+	base := time.Unix(1700000000, 0).UTC()
+	now := base
+	timeNow = func() time.Time { return now }
+
+	s := NewSLO("burn_test", 100*time.Millisecond, 0.99, time.Minute)
+	for i := 0; i < 98; i++ {
+		s.Observe(10*time.Millisecond, false)
+	}
+	s.Observe(500*time.Millisecond, false) // too slow → bad
+	s.Observe(10*time.Millisecond, true)   // failed → bad
+	snap := s.Snapshot()
+	if snap.Total != 100 || snap.Good != 98 || snap.Bad != 2 {
+		t.Fatalf("total/good/bad = %d/%d/%d, want 100/98/2", snap.Total, snap.Good, snap.Bad)
+	}
+	if snap.Compliance != 0.98 {
+		t.Fatalf("compliance = %v, want 0.98", snap.Compliance)
+	}
+	// 2% bad against a 1% budget: the budget is doubly spent.
+	if snap.BurnRate < 1.99 || snap.BurnRate > 2.01 {
+		t.Fatalf("burn rate = %v, want ~2.0", snap.BurnRate)
+	}
+
+	// Outside the window the slate is clean and compliance reads 1.
+	now = base.Add(2 * time.Minute)
+	snap = s.Snapshot()
+	if snap.Total != 0 || snap.Compliance != 1 || snap.BurnRate != 0 {
+		t.Fatalf("expired window: %+v", snap)
+	}
+}
+
+// TestWindowedInPrometheus asserts the windowed series ride the /metrics
+// exposition: quantile summaries and SLO gauges.
+func TestWindowedInPrometheus(t *testing.T) {
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	q := NewRollingQuantile("promwin_seconds", "t", time.Minute)
+	q.Observe(0.25)
+	s := NewSLO("promwin", 100*time.Millisecond, 0.99, time.Minute)
+	s.Observe(10*time.Millisecond, false)
+
+	var sb strings.Builder
+	if _, err := WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`promwin_seconds{quantile="0.99"} 0.25`,
+		"promwin_seconds_count 1",
+		`hdface_slo_compliance{slo="promwin"} 1`,
+		`hdface_slo_budget_used{slo="promwin"} 0`,
+		"go_goroutines ",
+		"go_num_cpu ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("WriteTo output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRuntimeGauges checks CaptureRuntime populates the Go runtime
+// gauges when armed and stays silent when disabled.
+func TestRuntimeGauges(t *testing.T) {
+	Disable()
+	Reset()
+	CaptureRuntime()
+	if v := TakeSnapshot().Gauges["go_goroutines"]; v != 0 {
+		t.Fatalf("disabled CaptureRuntime recorded go_goroutines = %v", v)
+	}
+
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	CaptureRuntime()
+	gauges := TakeSnapshot().Gauges
+	goroutines, ncpu := gauges["go_goroutines"], gauges["go_num_cpu"]
+	if goroutines < 1 {
+		t.Fatalf("go_goroutines = %v, want >= 1", goroutines)
+	}
+	if ncpu < 1 {
+		t.Fatalf("go_num_cpu = %v, want >= 1", ncpu)
+	}
+}
+
+// TestAllocTrackingSingleFlight is the regression test for the
+// SetTrackAllocs cross-attribution fix: when spans overlap, exactly one
+// owns the process-global runtime.MemStats window; the others are
+// counted as skipped and report zero instead of stealing the owner's
+// allocations.
+func TestAllocTrackingSingleFlight(t *testing.T) {
+	Enable()
+	SetTrackAllocs(true)
+	defer func() {
+		SetTrackAllocs(false)
+		Disable()
+		Reset()
+	}()
+	Reset()
+
+	owner := StartSpan("alloc_owner")
+	overlapped := StartSpan("alloc_overlap") // owner slot taken → must skip
+	if !owner.allocTracked {
+		t.Fatal("first span did not acquire allocation tracking")
+	}
+	if overlapped.allocTracked {
+		t.Fatal("overlapping span also acquired allocation tracking (double attribution)")
+	}
+	// The overlapped span allocates; none of it may land on its stage.
+	sink := make([]byte, 1<<16)
+	_ = sink
+	overlapped.End()
+	owner.End()
+
+	// Once the owner released the slot, the next span tracks again.
+	after := StartSpan("alloc_after")
+	if !after.allocTracked {
+		t.Fatal("owner slot not released by End")
+	}
+	after.End()
+
+	snap := TakeSnapshot()
+	if skipped := snap.Counters["hdface_obs_alloc_track_skipped_total"]; skipped != 1 {
+		t.Fatalf("skipped counter = %v, want 1", skipped)
+	}
+	if st := snap.Stages["alloc_overlap"]; st.Mallocs != 0 {
+		t.Fatalf("overlapped span attributed %d mallocs, want 0", st.Mallocs)
+	}
+}
+
+// TestAllocTrackingConcurrent hammers overlapping tracked spans; under
+// -race this proves the owner CAS serialises MemStats windows, and the
+// invariant holds that every span either tracked or was counted skipped.
+func TestAllocTrackingConcurrent(t *testing.T) {
+	Enable()
+	SetTrackAllocs(true)
+	defer func() {
+		SetTrackAllocs(false)
+		Disable()
+		Reset()
+	}()
+	Reset()
+
+	const workers, iters = 4, 50
+	var wg sync.WaitGroup
+	var tracked sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sp := StartSpan("alloc_hammer")
+				if sp.allocTracked {
+					tracked.Store([2]int{w, i}, true)
+				}
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	nTracked := 0
+	tracked.Range(func(_, _ any) bool { nTracked++; return true })
+	skipped := TakeSnapshot().Counters["hdface_obs_alloc_track_skipped_total"]
+	if nTracked+int(skipped) != workers*iters {
+		t.Fatalf("tracked %d + skipped %d != %d spans", nTracked, skipped, workers*iters)
+	}
+	if nTracked == 0 {
+		t.Fatal("no span ever acquired tracking")
+	}
+}

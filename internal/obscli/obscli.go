@@ -5,6 +5,8 @@
 //	-stats-json F    write the obs snapshot (schema hdface-obs/v1) to F
 //	-stats-allocs    record per-stage allocation deltas (implies -stats)
 //	-pprof ADDR      serve net/http/pprof plus Prometheus /metrics on ADDR
+//	-trace-dump N    collect request traces, print the last N as JSON
+//	                 (schema hdface-trace/v1) after the run
 //
 // All three hdface binaries register the same flags, so trajectory tooling
 // sees one snapshot schema regardless of which binary produced it (the
@@ -20,6 +22,7 @@ import (
 	"os"
 
 	"hdface/internal/obs"
+	"hdface/internal/obs/trace"
 )
 
 // Flags carries the parsed observability flags of one binary invocation.
@@ -28,6 +31,7 @@ type Flags struct {
 	StatsJSON   string
 	StatsAllocs bool
 	PprofAddr   string
+	TraceDump   int
 	meta        map[string]string
 }
 
@@ -38,6 +42,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.StatsJSON, "stats-json", "", "write the observability snapshot as JSON to this path")
 	fs.BoolVar(&f.StatsAllocs, "stats-allocs", false, "record per-stage allocation deltas (slower; implies -stats)")
 	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. :6060)")
+	fs.IntVar(&f.TraceDump, "trace-dump", 0, "collect request traces and print the last N as hdface-trace/v1 JSON after the run")
 	return f
 }
 
@@ -68,27 +73,36 @@ func (f *Flags) Activate(meta map[string]string) {
 		obs.Enable()
 		obs.SetTrackAllocs(f.StatsAllocs)
 	}
+	if f.TraceDump > 0 {
+		trace.Enable()
+	}
 }
 
 // Finish emits the requested reports after the run: the human report on
-// stdout and/or the JSON snapshot file.
+// stdout and/or the JSON snapshot file, then the trace dump.
 func (f *Flags) Finish() error {
-	if !f.Active() {
-		return nil
-	}
-	snap := obs.TakeSnapshot()
-	snap.Meta = f.meta
-	if f.Stats || f.StatsAllocs {
-		if err := snap.WriteReport(os.Stdout); err != nil {
-			return err
+	if f.Active() {
+		snap := obs.TakeSnapshot()
+		snap.Meta = f.meta
+		if f.Stats || f.StatsAllocs {
+			if err := snap.WriteReport(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if f.StatsJSON != "" {
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(f.StatsJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
 		}
 	}
-	if f.StatsJSON != "" {
-		data, err := json.MarshalIndent(snap, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(f.StatsJSON, append(data, '\n'), 0o644); err != nil {
+	if f.TraceDump > 0 {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(trace.Last(f.TraceDump)); err != nil {
 			return err
 		}
 	}

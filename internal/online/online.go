@@ -11,6 +11,7 @@ package online
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -18,6 +19,7 @@ import (
 	"hdface/internal/hdc"
 	"hdface/internal/hv"
 	"hdface/internal/obs"
+	"hdface/internal/obs/trace"
 	"hdface/internal/registry"
 )
 
@@ -289,10 +291,23 @@ func (t *Trainer) Step(s Sample) uint64 {
 }
 
 // round refines a candidate from the live model on the accumulated batch
-// and promotes it if it survives the shadow-evaluation gate.
+// and promotes it if it survives the shadow-evaluation gate. Each round
+// records a "train_round" trace (mini_batch → shadow_eval → promote spans
+// with an outcome attribute) so /debug/traces explains why a candidate
+// was or was not promoted.
 func (t *Trainer) round(live *registry.Version) uint64 {
 	t.rounds.Add(1)
 	obsRounds.Inc()
+	tr := trace.New("train_round", "")
+	defer tr.Finish()
+	tr.SetAttr("base_version", strconv.FormatUint(live.ID, 10))
+	reject := func(outcome string) uint64 {
+		t.rejections.Add(1)
+		obsRejections.Inc()
+		tr.SetAttr("outcome", outcome)
+		return 0
+	}
+
 	feats := make([]*hv.Vector, len(t.batch))
 	labels := make([]int, len(t.batch))
 	for i, s := range t.batch {
@@ -300,47 +315,56 @@ func (t *Trainer) round(live *registry.Version) uint64 {
 	}
 	t.batch = t.batch[:0]
 
+	bsp := tr.StartSpan("mini_batch")
+	bsp.SetAttrInt("samples", int64(len(feats)))
+	bsp.SetAttrInt("epochs", int64(t.cfg.Epochs))
 	cand := live.Model.Clone()
 	for e := 0; e < t.cfg.Epochs; e++ {
 		mistakes, err := cand.Update(feats, labels, t.cfg.Opts)
 		if err != nil {
-			t.rejections.Add(1)
-			obsRejections.Inc()
-			return 0
+			bsp.End()
+			tr.SetError(true)
+			return reject("update_error")
 		}
 		if mistakes == 0 {
 			break
 		}
 	}
+	bsp.End()
 
 	// Shadow evaluation: the candidate must beat the live model on the
 	// held-out window. With too little held-out evidence, reject — a
 	// wrong promotion serves bad predictions to everyone.
 	if len(t.holdout) < t.cfg.MinHoldout {
-		t.rejections.Add(1)
-		obsRejections.Inc()
-		return 0
+		return reject("holdout_too_small")
 	}
+	esp := tr.StartSpan("shadow_eval")
+	esp.SetAttrInt("holdout", int64(len(t.holdout)))
 	liveAcc := accuracy(live.Model, t.holdout)
 	candAcc := accuracy(cand, t.holdout)
+	esp.SetAttr("live_acc", strconv.FormatFloat(liveAcc, 'g', 4, 64))
+	esp.SetAttr("cand_acc", strconv.FormatFloat(candAcc, 'g', 4, 64))
+	esp.End()
 	if candAcc <= liveAcc+t.cfg.PromoteEpsilon {
-		t.rejections.Add(1)
-		obsRejections.Inc()
-		return 0
+		return reject("shadow_eval_lost")
 	}
 
+	psp := tr.StartSpan("promote")
 	cand.Finalize(t.cfg.Pipe.Seed ^ 0xf1a1)
 	id, err := t.reg.Put(t.cfg.Pipe, cand)
 	if err != nil {
-		t.rejections.Add(1)
-		obsRejections.Inc()
-		return 0
+		psp.End()
+		tr.SetError(true)
+		return reject("put_error")
 	}
 	if err := t.reg.Promote(id); err != nil {
-		t.rejections.Add(1)
-		obsRejections.Inc()
-		return 0
+		psp.End()
+		tr.SetError(true)
+		return reject("promote_error")
 	}
+	psp.SetAttrInt("version", int64(id))
+	psp.End()
+	tr.SetAttr("outcome", "promoted")
 	t.promotions.Add(1)
 	obsPromotions.Inc()
 	// The world changed: old margins describe the previous model.

@@ -1,0 +1,82 @@
+package online
+
+import (
+	"testing"
+
+	"hdface/internal/obs/trace"
+)
+
+// TestRoundLeavesTrace drives the trainer through a rejected and a
+// promoted refinement round with tracing enabled, and checks each round
+// left a train_round trace whose outcome attribute and span tree explain
+// the decision.
+func TestRoundLeavesTrace(t *testing.T) {
+	trace.Enable()
+	defer func() {
+		trace.Disable()
+		trace.Reset()
+	}()
+	trace.Reset()
+
+	cs := newClusterStream(3, 0.1)
+	reg := seededRegistry(t, cs, identity)
+	tr, err := New(Config{
+		Registry:  reg,
+		Pipe:      testConfig(),
+		BatchSize: 16, WindowSize: 16, HoldoutEvery: 3, MinHoldout: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Agreeing feedback: rounds run but the shadow gate rejects.
+	for i := 0; i < 64; i++ {
+		tr.Step(cs.sample(i % 2))
+	}
+	// Flipped labels: eventually a candidate wins and is promoted.
+	promoted := uint64(0)
+	for i := 0; i < 400 && promoted == 0; i++ {
+		s := cs.sample(i % 2)
+		s.Label = flipped(s.Label)
+		promoted = tr.Step(s)
+	}
+	if promoted == 0 {
+		t.Fatal("no promotion; trace assertions would be vacuous")
+	}
+
+	exp := trace.Snapshot(trace.Filter{Kind: "train_round", Limit: 256})
+	if len(exp.Traces) == 0 {
+		t.Fatal("no train_round traces collected")
+	}
+	outcomes := map[string]int{}
+	for _, et := range exp.Traces {
+		outcomes[et.Attrs["outcome"]]++
+		spans := map[string]bool{}
+		for _, sp := range et.Spans {
+			spans[sp.Name] = true
+		}
+		if !spans["mini_batch"] {
+			t.Fatalf("round trace missing mini_batch span: %+v", et.Spans)
+		}
+		if et.Attrs["outcome"] == "promoted" && (!spans["shadow_eval"] || !spans["promote"]) {
+			t.Fatalf("promoted round missing shadow_eval/promote spans: %+v", et.Spans)
+		}
+	}
+	if outcomes["promoted"] == 0 {
+		t.Fatalf("no promoted round trace: %v", outcomes)
+	}
+	if outcomes["shadow_eval_lost"] == 0 && outcomes["holdout_too_small"] == 0 {
+		t.Fatalf("no rejected round trace: %v", outcomes)
+	}
+
+	// The promotion also left a registry_swap trace.
+	swaps := trace.Snapshot(trace.Filter{Kind: "registry_swap", Limit: 16})
+	found := false
+	for _, et := range swaps.Traces {
+		if et.Attrs["op"] == "promote" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("promotion left no registry_swap trace: %+v", swaps.Traces)
+	}
+}

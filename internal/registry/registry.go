@@ -27,6 +27,7 @@ import (
 	"hdface"
 	"hdface/internal/hdc"
 	"hdface/internal/obs"
+	"hdface/internal/obs/trace"
 )
 
 // versionPattern names version files inside a registry dir. The zero
@@ -259,8 +260,12 @@ func (r *Registry) Promote(id uint64) error {
 	if _, ok := r.versions[id]; !ok {
 		return fmt.Errorf("registry: Promote: no version %d", id)
 	}
-	if cur := r.live.Load(); cur != nil && cur.ID == id {
-		return nil // already live; keep history clean
+	var from uint64
+	if cur := r.live.Load(); cur != nil {
+		if cur.ID == id {
+			return nil // already live; keep history clean
+		}
+		from = cur.ID
 	}
 	r.history = append(r.history, id)
 	if len(r.history) > maxHistory {
@@ -275,7 +280,22 @@ func (r *Registry) Promote(id uint64) error {
 	r.publish()
 	r.gcLocked()
 	obsPromotes.Inc()
+	swapTrace("promote", from, id)
 	return nil
+}
+
+// swapTrace records a live-slot swap as a short trace so /debug/traces
+// shows when the serving model changed — the event that explains a
+// score discontinuity mid-trajectory. No-op while tracing is disabled.
+func swapTrace(op string, from, to uint64) {
+	tr := trace.New("registry_swap", "")
+	if tr == nil {
+		return
+	}
+	tr.SetAttr("op", op)
+	tr.SetAttr("from_version", strconv.FormatUint(from, 10))
+	tr.SetAttr("to_version", strconv.FormatUint(to, 10))
+	tr.Finish()
 }
 
 // Rollback pops the promote history, making the previously live version
@@ -296,6 +316,7 @@ func (r *Registry) Rollback() (uint64, error) {
 	}
 	r.publish()
 	obsRollbacks.Inc()
+	swapTrace("rollback", popped, r.history[len(r.history)-1])
 	return r.history[len(r.history)-1], nil
 }
 

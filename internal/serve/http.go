@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"hdface/internal/imgproc"
 	"hdface/internal/obs"
+	"hdface/internal/obs/trace"
 	"hdface/internal/online"
 	"hdface/internal/registry"
 )
@@ -24,6 +26,9 @@ type PredictResponse struct {
 	Scores       []float64 `json:"scores"`
 	ModelVersion uint64    `json:"model_version"`
 	RequestID    string    `json:"request_id,omitempty"`
+	// TraceID names the request's trace in /debug/traces (also echoed in
+	// the X-Hdface-Trace response header).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // BoxJSON is one detection in image coordinates.
@@ -44,6 +49,9 @@ type DetectResponse struct {
 	Windows      int64     `json:"windows"`
 	Levels       int       `json:"levels"`
 	ModelVersion uint64    `json:"model_version"`
+	// TraceID names the request's trace in /debug/traces, where the
+	// per-level sweep spans explain a degraded or slow response.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // FeedbackResponse is the /feedback reply.
@@ -78,7 +86,8 @@ type errorJSON struct {
 
 // Handler returns the server's HTTP surface: POST /predict, POST /detect,
 // POST /feedback, GET /models, POST /models/promote, POST /models/rollback,
-// GET /healthz, GET /metrics.
+// GET /healthz, GET /metrics, and the introspection pair GET /debug/traces
+// and GET /debug/slo.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
@@ -88,11 +97,73 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/models/promote", s.handlePromote)
 	mux.HandleFunc("/models/rollback", s.handleRollback)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/slo", s.handleSLO)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		obs.WriteTo(w)
 	})
 	return mux
+}
+
+// handleTraces serves the collected traces as hdface-trace/v1 JSON.
+// Query parameters: filter=slow,error,degraded restricts to the
+// tail-retention sets (comma-separable; default recent), kind=predict|
+// detect|... and stage=<span name> narrow further, n= caps the count.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET /debug/traces")
+		return
+	}
+	var f trace.Filter
+	for _, part := range strings.Split(r.URL.Query().Get("filter"), ",") {
+		switch strings.TrimSpace(part) {
+		case "":
+		case "slow":
+			f.Slow = true
+		case "error", "errors":
+			f.Errors = true
+		case "degraded":
+			f.Degraded = true
+		default:
+			writeErr(w, http.StatusBadRequest, "filter %q: want slow, error or degraded", part)
+			return
+		}
+	}
+	f.Kind = r.URL.Query().Get("kind")
+	f.Stage = r.URL.Query().Get("stage")
+	if nq := r.URL.Query().Get("n"); nq != "" {
+		n, err := strconv.Atoi(nq)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "n %q: want a positive integer", nq)
+			return
+		}
+		f.Limit = n
+	}
+	writeJSON(w, http.StatusOK, trace.Snapshot(f))
+}
+
+// SLOResponse is the GET /debug/slo reply: every registered SLO plus the
+// windowed latency quantiles, evaluated as of the request.
+type SLOResponse struct {
+	Schema    string                          `json:"schema"`
+	SLOs      map[string]obs.SLOSnapshot      `json:"slos"`
+	Quantiles map[string]obs.QuantileSnapshot `json:"quantiles"`
+}
+
+// SLOSchema identifies the /debug/slo JSON layout.
+const SLOSchema = "hdface-slo/v1"
+
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET /debug/slo")
+		return
+	}
+	writeJSON(w, http.StatusOK, SLOResponse{
+		Schema:    SLOSchema,
+		SLOs:      obs.SLOSnapshots(),
+		Quantiles: obs.QuantileSnapshots(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -133,6 +204,27 @@ func (s *Server) submit(w http.ResponseWriter, j *job) (result, bool) {
 	return <-j.resp, true
 }
 
+// startTrace mints (or inherits, via the X-Hdface-Trace request header) a
+// trace for one request and echoes its ID in the response header so callers
+// can correlate the reply with /debug/traces. The returned finish closure
+// seals the trace and feeds the request's SLO and windowed latency
+// quantile; call it exactly once, on every exit path. With tracing
+// disabled tr is nil and everything here is a no-op.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request, kind string, slo *obs.SLO) (tr *trace.Trace, finish func(failed bool)) {
+	start := time.Now()
+	tr = trace.New(kind, r.Header.Get(trace.Header))
+	if tr != nil {
+		w.Header().Set(trace.Header, tr.ID())
+	}
+	return tr, func(failed bool) {
+		lat := time.Since(start)
+		tr.SetError(failed)
+		tr.Finish()
+		slo.Observe(lat, failed)
+		obsWinLatency.Observe(lat.Seconds())
+	}
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if s.reg.Live() == nil {
@@ -144,21 +236,26 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obsPredictReqs.Inc()
-	j := &job{kind: kindPredict, img: img, resp: make(chan result, 1)}
+	tr, finish := s.startTrace(w, r, "predict", s.sloPredict)
+	j := &job{kind: kindPredict, img: img, resp: make(chan result, 1), tr: tr, enq: time.Now()}
 	res, ok := s.submit(w, j)
 	if !ok {
+		finish(true)
 		return
 	}
 	obsLatency.Observe(time.Since(start).Seconds())
 	if res.err != nil {
+		finish(true)
 		writeErr(w, http.StatusInternalServerError, "predict: %v", res.err)
 		return
 	}
+	finish(false)
 	writeJSON(w, http.StatusOK, PredictResponse{
 		Label:        res.label,
 		Scores:       res.scores,
 		ModelVersion: res.version,
 		RequestID:    res.reqID,
+		TraceID:      tr.ID(),
 	})
 }
 
@@ -184,20 +281,24 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	obsDetectReqs.Inc()
+	tr, finish := s.startTrace(w, r, "detect", s.sloDetect)
 	// The budget starts now, before queueing: a request stuck behind a long
 	// queue degrades instead of consuming its full budget late.
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
-	j := &job{kind: kindDetect, img: img, ctx: ctx, resp: make(chan result, 1)}
+	j := &job{kind: kindDetect, img: img, ctx: ctx, resp: make(chan result, 1), tr: tr, enq: time.Now()}
 	res, ok := s.submit(w, j)
 	if !ok {
+		finish(true)
 		return
 	}
 	obsLatency.Observe(time.Since(start).Seconds())
 	if res.err != nil {
+		finish(true)
 		writeErr(w, http.StatusInternalServerError, "detect: %v", res.err)
 		return
 	}
+	finish(false)
 	boxes := make([]BoxJSON, len(res.boxes))
 	for i, b := range res.boxes {
 		boxes[i] = BoxJSON{X0: b.X0, Y0: b.Y0, X1: b.X1, Y1: b.Y1, Score: b.Score, Scale: b.Scale}
@@ -208,6 +309,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		Windows:      res.stats.Windows,
 		Levels:       res.stats.Levels,
 		ModelVersion: res.version,
+		TraceID:      tr.ID(),
 	})
 }
 

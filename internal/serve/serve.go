@@ -30,6 +30,7 @@ import (
 	"hdface/internal/hv"
 	"hdface/internal/imgproc"
 	"hdface/internal/obs"
+	"hdface/internal/obs/trace"
 	"hdface/internal/online"
 	"hdface/internal/registry"
 )
@@ -48,6 +49,12 @@ var (
 	obsScorerSwaps  = obs.NewCounter("hdface_serve_scorer_rebuilds_total", "detect scorers rebuilt after a model swap")
 	obsLatency      = obs.NewHistogram("hdface_serve_request_seconds", "request latency from admission to response",
 		[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10})
+	// obsWinLatency is the windowed complement of obsLatency: the same
+	// observations, but quantiled over the last minute only, so "p99 right
+	// now" is readable during a drift episode instead of being diluted by
+	// every request since process start.
+	obsWinLatency = obs.NewRollingQuantile("hdface_serve_request_seconds_window",
+		"request latency quantiles over the trailing window", time.Minute)
 )
 
 // recentCap bounds the request-ID → feature ring used by /feedback
@@ -90,6 +97,15 @@ type Config struct {
 	// Win=DetectWin, Stride=Win/2, Scales={1,2}, NMSIoU=0.3; Workers
 	// defaults to the pipeline's worker count.
 	DetectParams detect.Params
+	// SLOTarget is the per-request latency goal tracked by the /predict
+	// and /detect SLOs (default 250ms).
+	SLOTarget time.Duration
+	// SLOObjective is the fraction of requests that must meet SLOTarget
+	// (default 0.99).
+	SLOObjective float64
+	// SLOWindow is the sliding window the SLOs and rolling quantiles are
+	// evaluated over (default one minute).
+	SLOWindow time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -133,6 +149,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.DetectParams.Workers <= 0 {
 		c.DetectParams.Workers = c.Pipeline.Config().Workers
 	}
+	if c.SLOTarget <= 0 {
+		c.SLOTarget = 250 * time.Millisecond
+	}
+	if c.SLOObjective <= 0 || c.SLOObjective >= 1 {
+		c.SLOObjective = 0.99
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = time.Minute
+	}
 	return c, nil
 }
 
@@ -167,6 +192,13 @@ type job struct {
 	// admission, so time spent queued counts against the deadline.
 	ctx  context.Context
 	resp chan result // buffered (cap 1): the dispatcher never blocks on it
+
+	// tr is the request's trace (nil when tracing is off); enq and deq
+	// bracket the admission queue so the dispatcher can attribute queue
+	// wait vs. batch wait vs. inference.
+	tr  *trace.Trace
+	enq time.Time
+	deq time.Time
 }
 
 // Server is the batched inference engine plus its HTTP surface.
@@ -192,6 +224,11 @@ type Server struct {
 	recentMu sync.Mutex
 	recent   map[string]*hv.Vector
 	recentQ  []string
+
+	// Per-endpoint latency SLOs, evaluated over Config.SLOWindow and
+	// served by /debug/slo.
+	sloPredict *obs.SLO
+	sloDetect  *obs.SLO
 }
 
 // New validates the configuration, seeds the registry if needed and starts
@@ -203,9 +240,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	// A daemon that exports /metrics should have live metrics: arm the
-	// (process-global) obs layer. The overhead is a few atomic adds per
-	// request — noise next to feature extraction.
+	// (process-global) obs layer, and the tracer with it — /debug/traces
+	// and per-response trace IDs are part of the serving contract. The
+	// overhead is a few atomic adds plus one small span tree per request —
+	// noise next to feature extraction.
 	obs.Enable()
+	trace.Enable()
 	reg := cfg.Registry
 	if reg == nil {
 		if reg, err = registry.Open("", 0); err != nil {
@@ -229,12 +269,14 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		trainer: cfg.Online,
-		queue:   make(chan *job, cfg.MaxQueue),
-		done:    make(chan struct{}),
-		recent:  make(map[string]*hv.Vector),
+		cfg:        cfg,
+		reg:        reg,
+		trainer:    cfg.Online,
+		queue:      make(chan *job, cfg.MaxQueue),
+		done:       make(chan struct{}),
+		recent:     make(map[string]*hv.Vector),
+		sloPredict: obs.NewSLO("predict", cfg.SLOTarget, cfg.SLOObjective, cfg.SLOWindow),
+		sloDetect:  obs.NewSLO("detect", cfg.SLOTarget, cfg.SLOObjective, cfg.SLOWindow),
 	}
 	if s.trainer != nil {
 		s.trainer.Start()
@@ -295,6 +337,7 @@ func (s *Server) dispatch() {
 // behind it.
 func (s *Server) run(first *job) {
 	obsQueueDepth.Set(float64(len(s.queue)))
+	first.deq = time.Now()
 	if first.kind != kindPredict {
 		s.runOther(first)
 		return
@@ -310,6 +353,7 @@ func (s *Server) run(first *job) {
 				if !ok {
 					break collect
 				}
+				j.deq = time.Now()
 				if j.kind != kindPredict {
 					// Non-predict jobs don't batch; run it right after
 					// this batch rather than re-queueing behind new
@@ -348,6 +392,18 @@ func (s *Server) runOther(j *job) {
 func (s *Server) runPredicts(batch []*job) {
 	obsBatches.Inc()
 	obsBatchImgs.Add(int64(len(batch)))
+	// Queue wait (admission to dequeue) and batch wait (dequeue to
+	// dispatch) are attributed per job: the first job of a batch pays
+	// batch wait for the stragglers it waited on, the stragglers pay
+	// queue wait. This is the split that tells an operator whether to
+	// raise MaxBatch or shrink FlushInterval.
+	infStart := time.Now()
+	for _, j := range batch {
+		if j.tr != nil {
+			j.tr.AddSpan("queue_wait", j.enq, j.deq)
+			j.tr.AddSpan("batch_wait", j.deq, infStart)
+		}
+	}
 	live := s.reg.Live()
 	if live == nil {
 		for _, j := range batch {
@@ -367,6 +423,7 @@ func (s *Server) runPredicts(batch []*job) {
 		}
 		return
 	}
+	extractEnd := time.Now()
 	for i, j := range batch {
 		scores := live.Model.Scores(feats[i])
 		best := 0
@@ -378,6 +435,12 @@ func (s *Server) runPredicts(batch []*job) {
 		reqID := ""
 		if s.trainer != nil {
 			reqID = s.remember(feats[i])
+		}
+		if j.tr != nil {
+			sp := j.tr.AddSpan("inference", infStart, time.Now())
+			sp.SetAttrInt("batch_size", int64(len(batch)))
+			sp.SetAttrInt("model_version", int64(live.ID))
+			sp.AddSpan("extract", infStart, extractEnd)
 		}
 		j.resp <- result{label: best, scores: scores, version: live.ID, reqID: reqID}
 	}
@@ -409,7 +472,12 @@ func (s *Server) lookupRecent(id string) (*hv.Vector, bool) {
 // runFeedback extracts the image's feature on the dispatcher (the pipeline
 // is not goroutine-safe) and hands the sample to the trainer.
 func (s *Server) runFeedback(j *job) {
+	if j.tr != nil {
+		j.tr.AddSpan("queue_wait", j.enq, time.Now())
+	}
+	sp := j.tr.StartSpan("extract")
 	f := s.cfg.Pipeline.Feature(j.img)
+	sp.End()
 	j.resp <- result{err: s.trainer.Enqueue(online.Sample{Feature: f, Label: j.label})}
 }
 
@@ -417,17 +485,26 @@ func (s *Server) runFeedback(j *job) {
 // deadline degrades (best-so-far boxes, Degraded flag) rather than erroring
 // — the detect package's anytime contract.
 func (s *Server) runDetect(j *job) {
+	if j.tr != nil {
+		j.tr.AddSpan("queue_wait", j.enq, time.Now())
+	}
 	live := s.reg.Live()
 	if live == nil {
 		j.resp <- result{err: fmt.Errorf("no live model")}
 		return
 	}
-	scorer, err := s.detectScorer(live)
+	scorer, err := s.detectScorer(live, j.tr)
 	if err != nil {
 		j.resp <- result{err: err}
 		return
 	}
-	boxes, stats, err := detect.Sweep(j.ctx, j.img, scorer, s.cfg.DetectParams)
+	// The sweep hangs its own span tree (per-level spans, the parallel
+	// scoring region) under the trace carried by the context.
+	ctx := trace.NewContext(j.ctx, j.tr)
+	boxes, stats, err := detect.Sweep(ctx, j.img, scorer, s.cfg.DetectParams)
+	if j.tr != nil {
+		j.tr.SetAttr("model_version", strconv.FormatUint(live.ID, 10))
+	}
 	j.resp <- result{boxes: boxes, stats: stats, version: live.ID, err: err}
 }
 
@@ -435,11 +512,13 @@ func (s *Server) runDetect(j *job) {
 // rebuilding the cached one after a swap. DetectScorer forks pipeline
 // state, so it must run on the dispatcher goroutine — and does: the only
 // caller is runDetect.
-func (s *Server) detectScorer(live *registry.Version) (detect.WindowScorer, error) {
+func (s *Server) detectScorer(live *registry.Version, tr *trace.Trace) (detect.WindowScorer, error) {
 	// Version IDs start at 1, so the zero scorerVer always misses first.
 	if s.scorerVer != live.ID {
+		sp := tr.StartSpan("scorer_build")
 		s.scorer, s.scorerErr = s.cfg.Pipeline.DetectScorer(live.Model, s.cfg.DetectWin)
 		s.scorerVer = live.ID
+		sp.End()
 		obsScorerSwaps.Inc()
 	}
 	return s.scorer, s.scorerErr

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hdface/internal/dataset"
+	"hdface/internal/hv"
+	"hdface/internal/obs/trace"
+)
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("decode %s: %v (%s)", url, err, data)
+	}
+	return resp.StatusCode
+}
+
+func findTrace(exp trace.Export, id string) *trace.ExportTrace {
+	for i := range exp.Traces {
+		if exp.Traces[i].TraceID == id {
+			return &exp.Traces[i]
+		}
+	}
+	return nil
+}
+
+// TestServeTraceIDEndToEnd checks the ingress contract: every /predict
+// and /detect reply names its trace (body field and X-Hdface-Trace
+// header), an inbound header ID is honoured, and the trace lands in
+// /debug/traces with the dispatcher's span tree.
+func TestServeTraceIDEndToEnd(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	trace.Reset()
+
+	face := pgmBytes(t, dataset.RenderFace(48, 48, 0, hv.NewRNG(5)))
+
+	// Minted ID: present in body, echoed in header.
+	resp, err := http.Post(ts.URL+"/predict", "image/x-portable-graymap", bytes.NewReader(face))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d: %s", resp.StatusCode, data)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.TraceID == "" {
+		t.Fatal("predict reply has no trace_id")
+	}
+	if h := resp.Header.Get(trace.Header); h != pr.TraceID {
+		t.Fatalf("header %s = %q, body trace_id = %q", trace.Header, h, pr.TraceID)
+	}
+
+	// Inbound ID from an upstream router is honoured.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/predict", bytes.NewReader(face))
+	req.Header.Set(trace.Header, "router-leg-1")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	var pr2 PredictResponse
+	if err := json.Unmarshal(data2, &pr2); err != nil {
+		t.Fatal(err)
+	}
+	if pr2.TraceID != "router-leg-1" {
+		t.Fatalf("inbound trace ID not honoured: got %q", pr2.TraceID)
+	}
+
+	// Both traces are queryable, with the dispatcher's phase split.
+	var exp trace.Export
+	if code := getJSON(t, ts.URL+"/debug/traces?kind=predict", &exp); code != http.StatusOK {
+		t.Fatalf("/debug/traces: status %d", code)
+	}
+	if exp.Schema != trace.ExportSchema {
+		t.Fatalf("schema %q, want %q", exp.Schema, trace.ExportSchema)
+	}
+	for _, id := range []string{pr.TraceID, "router-leg-1"} {
+		et := findTrace(exp, id)
+		if et == nil {
+			t.Fatalf("trace %q not in /debug/traces", id)
+		}
+		names := map[string]bool{}
+		for _, sp := range et.Spans {
+			names[sp.Name] = true
+		}
+		if !names["queue_wait"] || !names["inference"] {
+			t.Fatalf("trace %q spans = %v, want queue_wait and inference", id, names)
+		}
+	}
+
+	// Stage filtering narrows to traces containing the span.
+	var byStage trace.Export
+	getJSON(t, ts.URL+"/debug/traces?stage=inference", &byStage)
+	if findTrace(byStage, pr.TraceID) == nil {
+		t.Fatal("stage=inference filter dropped a predict trace")
+	}
+}
+
+// TestServeDegradedTraceRetained is the observability half of the
+// anytime contract: a deadline-blown detect must leave a degraded trace
+// in /debug/traces — retained by the tail policy, flagged degraded, with
+// a non-empty per-level span tree under detect_sweep.
+func TestServeDegradedTraceRetained(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	trace.Reset()
+
+	scene := pgmBytes(t, dataset.GenerateScene(192, 192, 48, 2, 5).Image)
+	code, data := postPGM(t, ts.URL+"/detect?deadline=1ns", scene)
+	if code != http.StatusOK {
+		t.Fatalf("deadline-blown detect: status %d (%s)", code, data)
+	}
+	var dr DetectResponse
+	if err := json.Unmarshal(data, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Degraded {
+		t.Fatalf("1ns budget should degrade, got %+v", dr)
+	}
+	if dr.TraceID == "" {
+		t.Fatal("degraded detect reply has no trace_id")
+	}
+
+	var exp trace.Export
+	getJSON(t, ts.URL+"/debug/traces?filter=degraded&kind=detect", &exp)
+	et := findTrace(exp, dr.TraceID)
+	if et == nil {
+		t.Fatalf("degraded trace %q not retained", dr.TraceID)
+	}
+	if !et.Degraded {
+		t.Fatal("retained trace not flagged degraded")
+	}
+	var sweep *trace.ExportSpan
+	for i := range et.Spans {
+		if et.Spans[i].Name == "detect_sweep" {
+			sweep = &et.Spans[i]
+		}
+	}
+	if sweep == nil {
+		t.Fatalf("degraded trace has no detect_sweep span: %+v", et.Spans)
+	}
+	levels := 0
+	for _, c := range sweep.Children {
+		if c.Name == "level" {
+			levels++
+		}
+	}
+	if levels == 0 {
+		t.Fatalf("degraded trace has an empty per-level span tree: %+v", sweep.Children)
+	}
+}
+
+// TestServeSLOEndpoint checks /debug/slo: schema, the per-endpoint SLOs,
+// and the windowed latency quantiles fed by real requests.
+func TestServeSLOEndpoint(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	face := pgmBytes(t, dataset.RenderFace(48, 48, 0, hv.NewRNG(5)))
+	for i := 0; i < 3; i++ {
+		if code, data := postPGM(t, ts.URL+"/predict", face); code != http.StatusOK {
+			t.Fatalf("predict: status %d (%s)", code, data)
+		}
+	}
+
+	var got SLOResponse
+	if code := getJSON(t, ts.URL+"/debug/slo", &got); code != http.StatusOK {
+		t.Fatalf("/debug/slo: status %d", code)
+	}
+	if got.Schema != SLOSchema {
+		t.Fatalf("schema %q, want %q", got.Schema, SLOSchema)
+	}
+	pSLO, ok := got.SLOs["predict"]
+	if !ok {
+		t.Fatalf("no predict SLO in %v", got.SLOs)
+	}
+	if pSLO.Total < 3 {
+		t.Fatalf("predict SLO observed %d requests, want >= 3", pSLO.Total)
+	}
+	if _, ok := got.SLOs["detect"]; !ok {
+		t.Fatal("no detect SLO registered")
+	}
+	q, ok := got.Quantiles["hdface_serve_request_seconds_window"]
+	if !ok {
+		t.Fatalf("no windowed latency quantile in %v", got.Quantiles)
+	}
+	if q.Count < 3 || q.P99 <= 0 {
+		t.Fatalf("windowed quantile not fed: %+v", q)
+	}
+}
+
+// TestServeTracesBadParams pins the /debug/traces parameter validation.
+func TestServeTracesBadParams(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, q := range []string{"?filter=bogus", "?n=0", "?n=nope"} {
+		resp, err := http.Get(ts.URL + "/debug/traces" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /debug/traces%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}

@@ -72,6 +72,25 @@ curl -sf --data-binary @"$out/probe.pgm" "http://$addr/predict" | grep -q '"labe
     || { echo "predict failed" >&2; exit 1; }
 curl -sf "http://$addr/metrics" | grep -q hdface_serve_predict_requests_total \
     || { echo "metrics failed" >&2; exit 1; }
+# A deadline-degraded detection must leave an explanatory trace behind:
+# retained by the error/degraded set, flagged degraded=true, and carrying
+# a non-empty per-level span tree under detect_sweep.
+degraded=$(curl -sf --data-binary @"$out/probe.pgm" "http://$addr/detect?deadline=1ns")
+echo "$degraded" | grep -q '"degraded":true' \
+    || { echo "1ns detect was not degraded: $degraded" >&2; exit 1; }
+echo "$degraded" | grep -q '"trace_id":"' \
+    || { echo "degraded detect reply missing trace_id: $degraded" >&2; exit 1; }
+traces=$(curl -sf "http://$addr/debug/traces?filter=degraded&kind=detect")
+echo "$traces" | grep -q '"schema":"hdface-trace/v1"' \
+    || { echo "/debug/traces missing schema: $traces" >&2; exit 1; }
+echo "$traces" | grep -q '"degraded":true' \
+    || { echo "degraded detect trace not retained: $traces" >&2; exit 1; }
+echo "$traces" | grep -q '"name":"detect_sweep"' \
+    || { echo "degraded trace missing detect_sweep span: $traces" >&2; exit 1; }
+echo "$traces" | grep -q '"name":"level"' \
+    || { echo "degraded trace has an empty per-level span tree: $traces" >&2; exit 1; }
+curl -sf "http://$addr/debug/slo" | grep -q '"schema":"hdface-slo/v1"' \
+    || { echo "/debug/slo failed" >&2; exit 1; }
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "serve daemon exited non-zero" >&2; cat "$out/serve.log" >&2; exit 1; }
 grep -q "drained; bye" "$out/serve.log" || { echo "no clean drain" >&2; cat "$out/serve.log" >&2; exit 1; }
