@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-online check fmt vet
+.PHONY: build test bench bench-online bench-detect check fmt vet
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ bench:
 # Regenerate the online drift-recovery benchmark (results/BENCH_online.json).
 bench-online:
 	$(GO) run ./cmd/hdface-bench -exp onlinebench -out results
+
+# Regenerate the detection sweep benchmark (results/BENCH_detect.json),
+# including the fused zero-alloc scoring-kernel configs.
+bench-detect:
+	$(GO) run ./cmd/hdface-bench -exp detectbench -out results
 
 # Full hygiene gate: gofmt -l, go vet, go test -race (see scripts/check.sh).
 check:

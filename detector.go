@@ -58,6 +58,18 @@ type FaceScorer struct {
 	// hypervectors are what the fault harness corrupts. The model must
 	// have been Finalized. Set before the first sweep.
 	Hamming bool
+	// Fused switches grid-capable levels to the zero-allocation fused
+	// scoring kernel: window bundling, binarisation and the per-class
+	// Hamming popcount run as one word-at-a-time pass over positional IDs
+	// rematerialized from seeds (hdhog.FusedWindowScore), instead of
+	// materialising the feature and scoring it in a second pass. Scores
+	// are Hamming-mode by construction, and a fused sweep is byte-identical
+	// to the two-pass path with Hamming set, at any worker count. The model
+	// must have been Finalized; off-lattice windows still fall back to full
+	// extraction, and BindBundle extractors (whose bundle operands are data
+	// hypervectors, not rematerializable IDs) ignore the flag. Set before
+	// the first sweep.
+	Fused bool
 	// OnGrid, when set, is installed as the hdhog.Extractor GridHook of
 	// every pyramid-level extraction, handing the fault harness each
 	// freshly cached cell grid to corrupt before windows are assembled
@@ -191,6 +203,15 @@ func (s *FaceScorer) PrepareLevel(level *imgproc.Image, levelIdx, win, workers i
 		l.grid = l.ext.LevelGrid(level, hv.Mix64(l.lvlSeed, saltGrid), workers)
 		l.winCells = win / cs
 		s.p.harvest(l.ext)
+		if s.Fused && !s.hd.P.BindBundle {
+			// BinWords panics before Finalize — the same precondition
+			// Hamming-mode scoring already imposes.
+			l.classes = s.model.BinWords()
+			l.arena = hdhog.NewScoreArena(s.model.D, l.winCells, s.hd.P.Bins, len(l.classes))
+		}
+		// One encode span per level fork (ended in CloseLevel) replaces the
+		// old per-window spans: same stage, items = windows assembled.
+		l.sp = obs.StartSpan("encode")
 	}
 	return l
 }
@@ -204,6 +225,15 @@ type faceLevelScorer struct {
 	win      int
 	winCells int
 	lvlSeed  uint64
+
+	// Fused-path state, exclusively owned by this fork: the packed class
+	// memory view, the reusable scoring arena, the per-level encode span
+	// and the count of grid windows it will carry. classes/arena are nil
+	// when the scorer is not fused or the level has no grid.
+	classes [][]uint64
+	arena   *hdhog.ScoreArena
+	sp      *obs.Span
+	windows int64
 }
 
 // ScoreAt scores the window at (x, y). The extractor reseeds from the
@@ -212,22 +242,50 @@ type faceLevelScorer struct {
 func (l *faceLevelScorer) ScoreAt(x, y, idx int) (bool, float64) {
 	l.ext.Reseed(hv.Mix64(l.lvlSeed, uint64(idx)))
 	cs := l.ext.P.CellSize
-	var f *hv.Vector
 	if l.grid != nil && x%cs == 0 && y%cs == 0 {
-		f = l.ext.WindowFeature(l.grid, x/cs, y/cs, l.winCells)
+		l.windows++
 		obsGridWindows.Inc()
-	} else {
-		f = l.ext.Feature(l.s.sized(l.level.Crop(x, y, l.win, l.win)))
-		obsFullWindows.Inc()
+		if l.arena != nil {
+			// Fused path: bundle, binarise and popcount in one pass; no
+			// feature materialisation, no per-window harvest (grid window
+			// assembly runs no codec ops — counters batch in CloseLevel).
+			d := l.ext.FusedWindowScore(l.grid, x/cs, y/cs, l.winCells, l.classes, l.arena)
+			return l.s.model.ScoreBinaryFromDistances(d[0], d[1])
+		}
+		f := l.ext.WindowFeature(l.grid, x/cs, y/cs, l.winCells)
+		return l.s.score(f)
 	}
+	f := l.ext.Feature(l.s.sized(l.level.Crop(x, y, l.win, l.win)))
+	obsFullWindows.Inc()
 	l.s.p.harvest(l.ext)
 	return l.s.score(f)
 }
 
-// Fork clones the level scorer for another sweep worker; the cell grid is
-// immutable and shared.
+// Fork clones the level scorer for another sweep worker; the cell grid and
+// class memory are immutable and shared, while the extractor, arena and
+// encode span are per-fork owned state.
 func (l *faceLevelScorer) Fork() detect.LevelScorer {
 	c := *l
 	c.ext = l.ext.Fork()
+	if l.arena != nil {
+		c.arena = hdhog.NewScoreArena(l.s.model.D, l.winCells, c.ext.P.Bins, len(l.classes))
+	}
+	c.windows = 0
+	c.sp = nil
+	if l.grid != nil {
+		c.sp = obs.StartSpan("encode")
+	}
 	return &c
+}
+
+// CloseLevel implements detect.LevelCloser: called serially by the sweep
+// after all workers finish, it ends the fork's per-level encode span with
+// its window count and folds the fork's extractor work counters into the
+// pipeline once — bookkeeping the per-window hot path no longer pays.
+func (l *faceLevelScorer) CloseLevel() {
+	l.sp.AddItems(l.windows)
+	l.sp.End()
+	l.sp = nil
+	l.windows = 0
+	l.s.p.harvest(l.ext)
 }

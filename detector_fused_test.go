@@ -1,0 +1,79 @@
+package hdface_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"hdface/internal/dataset"
+	"hdface/internal/detect"
+)
+
+// TestFusedSweepByteIdenticalToTwoPass is the tentpole's determinism
+// contract end to end: a fused sweep (single-pass bundle/binarise/popcount
+// over rematerialized IDs) must produce byte-identical boxes — scores
+// included — to the legacy two-pass Hamming sweep, at any worker count.
+// Run with -race (check.sh does) to exercise the per-worker arena path.
+func TestFusedSweepByteIdenticalToTwoPass(t *testing.T) {
+	p := trainedDetectPipeline(t, 1024)
+	scene := dataset.GenerateScene(128, 128, 48, 1, 33)
+	params := detect.Params{Win: 48, Stride: 24, Scales: []float64{1, 1.5, 2}, NMSIoU: 0.3}
+
+	sweep := func(fused bool, workers int) ([]detect.Box, detect.SweepStats) {
+		t.Helper()
+		scorer, err := p.DetectScorer(nil, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scorer.Hamming = !fused // fused implies Hamming-mode scores on its own
+		scorer.Fused = fused
+		pp := params
+		pp.Workers = workers
+		boxes, stats, err := detect.Sweep(context.Background(), scene.Image, scorer, pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.FallbackWindows != 0 {
+			t.Fatalf("48px windows on 8px cells should all ride the grid: %+v", stats)
+		}
+		return boxes, stats
+	}
+
+	ref, refStats := sweep(false, 1)
+	if refStats.Hits == 0 {
+		t.Fatal("two-pass sweep found nothing; identity test is vacuous")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		boxes, _ := sweep(true, workers)
+		if !reflect.DeepEqual(boxes, ref) {
+			t.Fatalf("fused sweep (%d workers) diverged from two-pass Hamming:\n got %+v\nwant %+v",
+				workers, boxes, ref)
+		}
+	}
+}
+
+// TestFusedScoreAtAllocs pins the zero-allocation contract at the
+// integration level: once a level is prepared, a fused window score —
+// reseed, gather, fused kernel, score — allocates nothing.
+func TestFusedScoreAtAllocs(t *testing.T) {
+	p := trainedDetectPipeline(t, 2048)
+	scene := dataset.GenerateScene(96, 96, 48, 1, 7)
+	scorer, err := p.DetectScorer(nil, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorer.Fused = true
+	ls := scorer.PrepareLevel(scene.Image, 0, 48, 1)
+	if ls == nil {
+		t.Fatal("StochHOG level preparation declined")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		ls.ScoreAt(8, 8, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("fused ScoreAt allocated %.1f times per run, want 0", allocs)
+	}
+	if c, ok := ls.(detect.LevelCloser); ok {
+		c.CloseLevel()
+	}
+}

@@ -140,6 +140,16 @@ type LevelScorer interface {
 	Fork() LevelScorer
 }
 
+// LevelCloser is implemented by LevelScorers holding per-worker resources —
+// scoring arenas, per-level stage spans, batched work counters — that need
+// a deterministic flush once scoring ends. Sweep calls CloseLevel exactly
+// once per level fork (including the original returned by PrepareLevel),
+// serially, after every worker goroutine has finished; implementations may
+// therefore touch shared state without synchronisation.
+type LevelCloser interface {
+	CloseLevel()
+}
+
 // GridScorer is implemented by scorers that can precompute per-level state
 // (an integral image, the hyperspace HOG cell grid) and score windows from
 // it instead of from cropped pixels.
@@ -487,6 +497,16 @@ func Sweep(ctx context.Context, img *imgproc.Image, scorer WindowScorer, p Param
 	}
 	wg.Wait()
 	close(watchDone)
+
+	// All workers are done: flush per-fork level resources (arena-backed
+	// scorers batch their work accounting and per-level spans behind this).
+	for _, row := range lsForks {
+		for _, ls := range row {
+			if c, ok := ls.(LevelCloser); ok {
+				c.CloseLevel()
+			}
+		}
+	}
 
 	stats.Panics = panics
 	stats.CompletedPerLevel = completed

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"reflect"
+	"sync"
 	"testing"
 
 	"hdface/internal/imgproc"
@@ -332,5 +333,61 @@ func TestMatchTruth(t *testing.T) {
 	tp, fp, fn = MatchTruth(nil, truth, 0.5)
 	if tp != 0 || fp != 0 || fn != 2 {
 		t.Fatal("empty detections wrong")
+	}
+}
+
+// closingScorer instruments the grid path with LevelCloser accounting: every
+// level fork (original included) must be closed exactly once, serially,
+// after scoring ends.
+type closingScorer struct {
+	stubScorer
+	mu    sync.Mutex
+	forks []*closingLevel
+}
+
+type closingLevel struct {
+	stubLevel
+	s      *closingScorer
+	closes int
+}
+
+func (s *closingScorer) track(l *closingLevel) *closingLevel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.forks = append(s.forks, l)
+	return l
+}
+
+func (s *closingScorer) PrepareLevel(level *imgproc.Image, levelIdx, win, workers int) LevelScorer {
+	return s.track(&closingLevel{stubLevel: stubLevel{w: level.W, h: level.H}, s: s})
+}
+
+func (l *closingLevel) Fork() LevelScorer {
+	return l.s.track(&closingLevel{stubLevel: l.stubLevel, s: l.s})
+}
+
+// CloseLevel runs serially per the LevelCloser contract, so the unguarded
+// counter increment below is itself part of what the race detector checks.
+func (l *closingLevel) CloseLevel() { l.closes++ }
+
+func TestSweepClosesEveryLevelFork(t *testing.T) {
+	img := imgproc.NewImage(128, 128)
+	s := &closingScorer{}
+	p := Params{Win: 32, Stride: 16, Scales: []float64{1, 2}, Workers: 3}
+	_, stats, err := Sweep(context.Background(), img, s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PreparedLevels != 2 {
+		t.Fatalf("prepared %d levels, want 2", stats.PreparedLevels)
+	}
+	wantForks := stats.PreparedLevels * stats.Workers
+	if len(s.forks) != wantForks {
+		t.Fatalf("created %d level forks, want %d", len(s.forks), wantForks)
+	}
+	for i, l := range s.forks {
+		if l.closes != 1 {
+			t.Fatalf("fork %d closed %d times, want exactly 1", i, l.closes)
+		}
 	}
 }

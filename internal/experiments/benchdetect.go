@@ -27,6 +27,12 @@ type DetectBenchConfig struct {
 	NsPerWindow     float64 `json:"ns_per_window"`
 	WindowsPerSec   float64 `json:"windows_per_sec"`
 	AllocsPerWindow float64 `json:"allocs_per_window"`
+	// Scope is what the timed region covers: "sweep" (the default when
+	// empty) times a full detect.Sweep including pyramid build and level
+	// preparation; "score" prepares every level untimed and measures the
+	// pure window-scoring phase — the region the fused kernel optimises,
+	// which full-sweep numbers bury under level-grid extraction cost.
+	Scope string `json:"scope,omitempty"`
 }
 
 // DetectBenchReport is the BENCH_detect.json schema.
@@ -41,10 +47,11 @@ type DetectBenchReport struct {
 	Configs []DetectBenchConfig `json:"configs"`
 }
 
-// DetectBench measures the detection sweep three ways — the legacy serial
-// crop-and-re-extract path, the cell-grid engine on one worker, and the
-// cell-grid engine with a worker pool — and writes BENCH_detect.json. It
-// is the machine-readable counterpart of BenchmarkDetectSweep.
+// DetectBench measures the detection sweep several ways — the legacy serial
+// crop-and-re-extract path, the cell-grid engine (whole sweep, and its
+// scoring phase in isolation), and the fused zero-alloc scoring kernel
+// (scoring phase and whole sweep) — and writes BENCH_detect.json. It is
+// the machine-readable counterpart of BenchmarkDetectSweep.
 func DetectBench(w io.Writer, o Options) error {
 	o = o.withDefaults()
 	section(w, "detection sweep benchmark")
@@ -148,9 +155,111 @@ func DetectBench(w io.Writer, o Options) error {
 		}
 	}
 
+	// Scoring-phase comparison: the two-pass cell-grid path and the fused
+	// kernel, each over identically prepared levels so the timed region is
+	// purely per-window work. ~99.8% of a cellgrid sweep's allocations and
+	// ~93% of its wall are level-grid preparation, identical in both paths;
+	// whole-sweep numbers would bury the per-window delta it targets.
+	type preparedLevel struct {
+		ls     detect.LevelScorer
+		nx, ny int
+	}
+	prepare := func(fused bool) ([]preparedLevel, error) {
+		scorer, err := p.DetectScorer(nil, win)
+		if err != nil {
+			return nil, err
+		}
+		scorer.Hamming = !fused // hold the scoring math fixed: fused is Hamming-mode
+		scorer.Fused = fused
+		var lvls []preparedLevel
+		for li, s := range params.Scales {
+			lw, lh := int(float64(size)/s), int(float64(size)/s)
+			if lw < win || lh < win {
+				continue
+			}
+			img := scene.Image
+			if s != 1 {
+				img = img.Resize(lw, lh)
+			}
+			ls := scorer.PrepareLevel(img, li, win, 1)
+			if ls == nil {
+				return nil, fmt.Errorf("level %d declined preparation", li)
+			}
+			lvls = append(lvls, preparedLevel{
+				ls: ls,
+				nx: (img.W-win)/params.Stride + 1,
+				ny: (img.H-win)/params.Stride + 1,
+			})
+		}
+		return lvls, nil
+	}
+	scoreAll := func(lvls []preparedLevel) (int64, int, error) {
+		var windows int64
+		hits := 0
+		for _, l := range lvls {
+			for idx := 0; idx < l.nx*l.ny; idx++ {
+				x := idx % l.nx * params.Stride
+				y := idx / l.nx * params.Stride
+				hit, _ := l.ls.ScoreAt(x, y, idx)
+				if hit {
+					hits++
+				}
+				windows++
+			}
+		}
+		for _, l := range lvls {
+			if c, ok := l.ls.(detect.LevelCloser); ok {
+				c.CloseLevel()
+			}
+		}
+		return windows, hits, nil
+	}
+	for _, cfg := range []struct {
+		name  string
+		fused bool
+	}{{"cellgrid-score", false}, {"fused", true}} {
+		lvls, err := prepare(cfg.fused)
+		if err != nil {
+			return fmt.Errorf("detectbench %s: %w", cfg.name, err)
+		}
+		if err := measure(cfg.name, 1, func() (int64, int, error) {
+			return scoreAll(lvls)
+		}); err != nil {
+			return err
+		}
+		report.Configs[len(report.Configs)-1].Scope = "score"
+	}
+	// And the honest end-to-end number: a full fused sweep, preparation
+	// included, directly comparable with the cellgrid row.
+	if err := measure("fused-sweep", 1, func() (int64, int, error) {
+		scorer, err := p.DetectScorer(nil, win)
+		if err != nil {
+			return 0, 0, err
+		}
+		scorer.Fused = true
+		boxes, stats, err := detect.Sweep(context.Background(), scene.Image, scorer, params)
+		return stats.Windows, len(boxes), err
+	}); err != nil {
+		return err
+	}
+
 	serial, grid := report.Configs[0], report.Configs[1]
 	if grid.WallMS > 0 {
 		fmt.Fprintf(w, "single-worker speedup over serial: %.2fx\n", serial.WallMS/grid.WallMS)
+	}
+	var twoPass, fused DetectBenchConfig
+	for _, c := range report.Configs {
+		switch c.Config {
+		case "cellgrid-score":
+			twoPass = c
+		case "fused":
+			fused = c
+		}
+	}
+	if fused.NsPerWindow > 0 {
+		fmt.Fprintf(w, "fused scoring speedup over two-pass: %.2fx (%.0f -> %.0f ns/window, %.1f -> %.1f allocs/window)\n",
+			twoPass.NsPerWindow/fused.NsPerWindow, twoPass.NsPerWindow, fused.NsPerWindow,
+			twoPass.AllocsPerWindow, fused.AllocsPerWindow)
 	}
 
 	dir := o.OutDir

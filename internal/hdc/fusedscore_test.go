@@ -1,0 +1,54 @@
+package hdc
+
+import (
+	"testing"
+
+	"hdface/internal/hv"
+)
+
+// TestScoreBinaryFromDistancesMatchesHamming pins the fused-entry contract:
+// given the true per-class Hamming distances, ScoreBinaryFromDistances must
+// reproduce ScoreBinaryHamming's decision and margin exactly (same float
+// expression, same rounding), and BinWords must expose the very words the
+// distances were measured against.
+func TestScoreBinaryFromDistancesMatchesHamming(t *testing.T) {
+	feats, labels, _ := makeClusters(512, 2, 12, 0.4, 19)
+	m := mustTrain(t, feats, labels, 2, TrainOpts{Seed: 4})
+	m.Finalize(9)
+
+	bw := m.BinWords()
+	for c := range bw {
+		for wi, w := range bw[c] {
+			if w != m.Bin[c].Words()[wi] {
+				t.Fatalf("BinWords class %d word %d does not alias the class memory", c, wi)
+			}
+		}
+	}
+
+	rng := hv.NewRNG(77)
+	for i := 0; i < 20; i++ {
+		v := hv.NewRand(rng, 512)
+		wantFace, wantMargin := m.ScoreBinaryHamming(v)
+		gotFace, gotMargin := m.ScoreBinaryFromDistances(m.Bin[0].Hamming(v), m.Bin[1].Hamming(v))
+		if gotFace != wantFace || gotMargin != wantMargin {
+			t.Fatalf("sample %d: fused entry (%v, %v) vs two-pass (%v, %v)",
+				i, gotFace, gotMargin, wantFace, wantMargin)
+		}
+	}
+
+	before := m.Stats.Similarities
+	m.ScoreBinaryFromDistances(100, 90)
+	if m.Stats.Similarities != before+2 {
+		t.Fatal("fused entry did not account its similarity evaluations")
+	}
+}
+
+func TestScoreBinaryFromDistancesPanicsBeforeFinalize(t *testing.T) {
+	m := NewModel(64, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unfinalized fused score did not panic")
+		}
+	}()
+	m.ScoreBinaryFromDistances(1, 2)
+}

@@ -33,6 +33,43 @@ func (m *Model) ScoreBinaryHamming(v *hv.Vector) (bool, float64) {
 	return s1 > s0, s1 - s0
 }
 
+// BinWords returns the packed words of the binarised class memory, one
+// word slice per class — the read-only view fused scoring kernels stream
+// class bits from (hdhog.FusedWindowScore) without going through Vector
+// methods. Finalize must have been called. The returned slices alias the
+// model's class memory and must not be mutated.
+func (m *Model) BinWords() [][]uint64 {
+	if m.Bin == nil {
+		panic("hdc: BinWords before Finalize")
+	}
+	out := make([][]uint64, len(m.Bin))
+	for c, v := range m.Bin {
+		out[c] = v.Words()
+	}
+	return out
+}
+
+// ScoreBinaryFromDistances is the fused-kernel entry point of binary
+// Hamming classification: callers that already hold the per-class Hamming
+// distances of a query (computed inline by a fused scoring pass over
+// BinWords) get exactly ScoreBinaryHamming's decision and margin, including
+// its work accounting, without re-touching the query hypervector.
+// h0 and h1 are the Hamming distances to class 0 and class 1. Safe for
+// concurrent use; allocates nothing.
+func (m *Model) ScoreBinaryFromDistances(h0, h1 int) (bool, float64) {
+	if m.K != 2 {
+		panic(fmt.Sprintf("hdc: ScoreBinaryFromDistances needs a binary model, got %d classes", m.K))
+	}
+	if m.Bin == nil {
+		panic("hdc: ScoreBinaryFromDistances before Finalize")
+	}
+	s0 := 1 - float64(h0)/float64(m.D)
+	s1 := 1 - float64(h1)/float64(m.D)
+	atomic.AddInt64(&m.Stats.Similarities, 2)
+	obsSims.Add(2)
+	return s1 > s0, s1 - s0
+}
+
 // Reconsolidate rebuilds the binarised class memory by majority re-bundling
 // retained training features: each class hypervector becomes the bitwise
 // majority of its features (seeded tie-breaking), overwriting whatever the

@@ -1,0 +1,94 @@
+package hdhog
+
+import (
+	"fmt"
+
+	"hdface/internal/hv"
+)
+
+// ScoreArena holds the reusable per-worker buffers of the fused window-
+// scoring path: the gathered (seed, weight) operand lists, the bundled
+// output words and the per-class distances. One arena per goroutine makes
+// FusedWindowScore allocation-free — the arena is sized for the worst-case
+// operand count at construction, so not even slice growth occurs.
+//
+// An arena is exclusively owned scratch, like Extractor.scratch: share an
+// Extractor fork and its arena with exactly one goroutine at a time.
+type ScoreArena struct {
+	seeds []uint64
+	w2    []int32
+	out   []uint64
+	dist  []int
+}
+
+// NewScoreArena sizes an arena for scoring winCells x winCells windows with
+// bins orientation bins against classes class hypervectors of dimension d.
+func NewScoreArena(d, winCells, bins, classes int) *ScoreArena {
+	pairs := winCells * winCells * bins
+	return &ScoreArena{
+		seeds: make([]uint64, 0, pairs),
+		w2:    make([]int32, 0, pairs),
+		out:   make([]uint64, (d+63)/64),
+		dist:  make([]int, classes),
+	}
+}
+
+// Out returns the packed words of the most recent window's bundled feature
+// hypervector (tail masked). Valid until the next FusedWindowScore call on
+// the same arena.
+func (ar *ScoreArena) Out() []uint64 { return ar.out }
+
+// FusedWindowScore scores the winCells-sized square window whose top-left
+// cell is (cx0, cy0) against the packed class hypervectors in a single
+// fused pass, returning the per-class Hamming distances (owned by the
+// arena, valid until the next call).
+//
+// It computes exactly WindowFeature followed by Hamming distances to each
+// class — byte-identical output for the same extractor seed state — but
+// never materializes the feature's operands: positional IDs are
+// rematerialized word-by-word from (idBase, cell, bin) seeds inside
+// hv.FusedHamming, bundling/binarization run on a bit-sliced accumulator,
+// and each output word is folded straight into the class popcounts. Per
+// window it allocates nothing and its working set is the window's grid
+// weights plus the cache-resident arena.
+//
+// Like WindowFeature, callers must Reseed the extractor per window for
+// schedule-independent determinism; the tie-break stream drawn here matches
+// WindowFeature's draw exactly. BindBundle extractors have no fused
+// equivalent (their bundle operands are data hypervectors, not
+// rematerializable IDs) and panic.
+func (e *Extractor) FusedWindowScore(g *CellGrid, cx0, cy0, winCells int, classes [][]uint64, ar *ScoreArena) []int {
+	if g.bins != e.P.Bins {
+		panic(fmt.Sprintf("hdhog: grid has %d bins, extractor %d", g.bins, e.P.Bins))
+	}
+	if cx0 < 0 || cy0 < 0 || winCells <= 0 || cx0+winCells > g.CW || cy0+winCells > g.CH {
+		panic(fmt.Sprintf("hdhog: window cells (%d,%d)+%d outside %dx%d grid",
+			cx0, cy0, winCells, g.CW, g.CH))
+	}
+	if e.P.BindBundle {
+		panic("hdhog: FusedWindowScore does not support BindBundle extractors")
+	}
+	if len(ar.dist) != len(classes) {
+		panic(fmt.Sprintf("hdhog: arena sized for %d classes, got %d", len(ar.dist), len(classes)))
+	}
+	seeds, w2 := ar.seeds[:0], ar.w2[:0]
+	var bias int32
+	for wy := 0; wy < winCells; wy++ {
+		for wx := 0; wx < winCells; wx++ {
+			ci := wy*winCells + wx           // window-local ID index
+			gi := (cy0+wy)*g.CW + (cx0 + wx) // level-grid cell index
+			ws := g.weights[gi*g.bins : (gi+1)*g.bins]
+			for b, w := range ws {
+				if w == 0 {
+					continue
+				}
+				bias += w
+				seeds = append(seeds, e.idSeed(ci, b))
+				w2 = append(w2, 2*w)
+			}
+		}
+	}
+	ar.seeds, ar.w2 = seeds, w2
+	hv.FusedHamming(e.codec.D(), seeds, w2, bias, e.rng, classes, ar.out, ar.dist)
+	return ar.dist
+}

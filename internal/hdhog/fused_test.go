@@ -1,0 +1,108 @@
+package hdhog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hdface/internal/hv"
+)
+
+// TestRematIDMatchesCachedID pins the rematerialization contract: the lazily
+// cached positional ID and the pure (idBase, cell, bin) hash stream must be
+// bit-identical, regardless of the order IDs were first touched in.
+func TestRematIDMatchesCachedID(t *testing.T) {
+	e := newTestExtractor(1000, 3)
+	// Touch IDs out of order to prove order-independence.
+	for _, cb := range [][2]int{{7, 3}, {0, 0}, {2, 8}, {7, 3}, {1, 5}} {
+		cached := e.id(cb[0], cb[1])
+		remat := hv.NewRemat(e.idSeed(cb[0], cb[1]), 1000)
+		if !cached.Equal(remat) {
+			t.Fatalf("ID (%d,%d): cached and rematerialized forms differ", cb[0], cb[1])
+		}
+	}
+	// A second extractor of the same dimensionality agrees on every ID
+	// without any shared state or warm order.
+	e2 := newTestExtractor(1000, 99)
+	if !e.id(7, 3).Equal(e2.id(7, 3)) {
+		t.Fatal("extractors of equal D disagree on a positional ID")
+	}
+}
+
+// TestFusedWindowScoreMatchesWindowFeature is the byte-identity property
+// test of the tentpole: over random seeds and geometries, the fused
+// single-pass kernel must produce exactly the legacy two-pass result — the
+// same bundled feature words AND the same per-class Hamming distances.
+func TestFusedWindowScoreMatchesWindowFeature(t *testing.T) {
+	img := textured(40, 32, 21)
+	check := func(seed uint64, dPick, winPick uint8) bool {
+		d := []int{192, 256, 320, 500}[int(dPick)%4]
+		winCells := []int{2, 3, 4}[int(winPick)%3]
+		e := newTestExtractor(d, seed|1)
+		g := e.LevelGrid(img, seed^0xabc, 2)
+
+		crng := hv.NewRNG(seed ^ 0x5a5a)
+		classes := []*hv.Vector{hv.NewRand(crng, d), hv.NewRand(crng, d)}
+		classWords := [][]uint64{classes[0].Words(), classes[1].Words()}
+		ar := NewScoreArena(d, winCells, e.P.Bins, len(classes))
+
+		for _, pos := range [][2]int{{0, 0}, {1, 0}, {g.CW - winCells, g.CH - winCells}} {
+			wseed := hv.Mix64(seed, uint64(pos[0]*31+pos[1]))
+			e.Reseed(wseed)
+			legacy := e.WindowFeature(g, pos[0], pos[1], winCells)
+			wantDist := []int{legacy.Hamming(classes[0]), legacy.Hamming(classes[1])}
+
+			e.Reseed(wseed)
+			dist := e.FusedWindowScore(g, pos[0], pos[1], winCells, classWords, ar)
+
+			for wi, w := range ar.Out() {
+				if w != legacy.Words()[wi] {
+					t.Logf("d=%d win=%d pos=%v: out word %d = %#x, want %#x",
+						d, winCells, pos, wi, w, legacy.Words()[wi])
+					return false
+				}
+			}
+			if dist[0] != wantDist[0] || dist[1] != wantDist[1] {
+				t.Logf("d=%d win=%d pos=%v: dist %v, want %v", d, winCells, pos, dist, wantDist)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusedWindowScoreAllocs pins the zero-allocation contract of the fused
+// hot path: once the arena exists, scoring a window — including the
+// per-window Reseed the sweep performs — must not allocate at all.
+func TestFusedWindowScoreAllocs(t *testing.T) {
+	const d = 2048
+	img := textured(48, 48, 33)
+	e := newTestExtractor(d, 5)
+	g := e.LevelGrid(img, 17, 1)
+	crng := hv.NewRNG(8)
+	classes := [][]uint64{hv.NewRand(crng, d).Words(), hv.NewRand(crng, d).Words()}
+	ar := NewScoreArena(d, 6, e.P.Bins, len(classes))
+	allocs := testing.AllocsPerRun(50, func() {
+		e.Reseed(42)
+		e.FusedWindowScore(g, 0, 0, 6, classes, ar)
+	})
+	if allocs != 0 {
+		t.Fatalf("fused window score allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestFusedWindowScorePanicsOnBindBundle(t *testing.T) {
+	img := textured(48, 48, 34)
+	e := newTestExtractor(256, 6)
+	e.P.BindBundle = true
+	g := e.LevelGrid(img, 1, 1)
+	ar := NewScoreArena(256, 6, e.P.Bins, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BindBundle fused score did not panic")
+		}
+	}()
+	e.FusedWindowScore(g, 0, 0, 6, [][]uint64{hv.NewRand(hv.NewRNG(1), 256).Words()}, ar)
+}

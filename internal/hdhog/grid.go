@@ -148,19 +148,16 @@ func (e *Extractor) WindowFeature(g *CellGrid, cx0, cy0, winCells int) *hv.Vecto
 		panic(fmt.Sprintf("hdhog: window cells (%d,%d)+%d outside %dx%d grid",
 			cx0, cy0, winCells, g.CW, g.CH))
 	}
-	// Window assembly is the stoch-mode counterpart of the projection
-	// encoder, as in Feature: it carries the "encode" stage span.
-	sp := obs.StartSpan("encode")
-	defer sp.End()
-	sp.AddItems(1)
+	// No per-window span here: window assembly still belongs to the
+	// "encode" stage, but at 650+ windows per level the span bookkeeping
+	// itself is measurable and pollutes the alloc profile, so callers
+	// sweeping a grid carry one per-level encode span with an item count
+	// (see hdface's level scorer) instead.
 	d := e.codec.D()
 	if e.P.BindBundle {
 		return e.windowFeatureBind(g, cx0, cy0, winCells)
 	}
-	if len(e.scratch) < d {
-		e.scratch = make([]int32, d)
-	}
-	acc := e.scratch[:d]
+	acc := e.scratch
 	for i := range acc {
 		acc[i] = 0
 	}
@@ -185,7 +182,7 @@ func (e *Extractor) WindowFeature(g *CellGrid, cx0, cy0, winCells int) *hv.Vecto
 			}
 		}
 	}
-	tie := hv.NewRand(e.rng, d)
+	tie := e.tieBuf.Rand(e.rng)
 	out := hv.New(d)
 	for i := 0; i < d; i++ {
 		switch c := acc[i] - bias; {

@@ -81,13 +81,24 @@ type Extractor struct {
 	highs  []boundary   // boundaries in (pi/2, pi): theta_k+1..theta_B-1
 	midBin int          // bin containing pi/2
 
-	// positional ID hypervectors, one per (cell index, bin); generated
-	// lazily as images of new geometries arrive.
+	// idBase seeds positional-ID rematerialization: the ID of (cell c,
+	// bin b) is the pure function hv.NewRemat(idSeed(c, b), D), so any
+	// kernel can regenerate ID words on the fly (hv.RematWord) without
+	// touching the cache. A function of the codec dimensionality only, so
+	// extractors of the same geometry produce interoperable features.
+	idBase uint64
+
+	// ids caches materialized positional IDs for the feature paths that
+	// still read whole vectors; filled lazily (or via WarmIDs), always
+	// bit-identical to rematerializing from idSeed.
 	ids map[[3]int]*hv.Vector
 
 	// scratch is the reusable per-dimension counter buffer of
-	// WindowFeature's bundling loop.
+	// WindowFeature's bundling loop; tieBuf the reusable tie-break vector.
+	// Both are sized once at construction (the codec's D never changes for
+	// a live extractor) and owned exclusively: Fork allocates fresh ones.
 	scratch []int32
+	tieBuf  *hv.Vector
 
 	// GridHook, when set, is invoked on every freshly extracted CellGrid —
 	// the fault-injection seam of the chaos harness, which corrupts cell
@@ -119,10 +130,13 @@ func New(codec *stoch.Codec, p Params) *Extractor {
 		p.Stride = d.Stride
 	}
 	e := &Extractor{
-		P:     p,
-		codec: codec,
-		rng:   hv.NewRNG(0xfeed ^ uint64(codec.D())),
-		ids:   make(map[[3]int]*hv.Vector),
+		P:       p,
+		codec:   codec,
+		rng:     hv.NewRNG(0xfeed ^ uint64(codec.D())),
+		idBase:  hv.Mix64(0xfeed^uint64(codec.D()), 0x1d),
+		ids:     make(map[[3]int]*hv.Vector),
+		scratch: make([]int32, codec.D()),
+		tieBuf:  hv.New(codec.D()),
 	}
 	// Pixels map onto the full [-1, 1] value range (black -> -1, white ->
 	// +1) rather than [0, 1]: the doubled amplitude halves the relative
@@ -166,7 +180,8 @@ func (e *Extractor) Fork() *Extractor {
 	f := *e
 	f.codec = e.codec.Fork()
 	f.rng = hv.NewRNG(e.rng.Uint64())
-	f.scratch = nil
+	f.scratch = make([]int32, e.codec.D())
+	f.tieBuf = hv.New(e.codec.D())
 	f.Pixels = 0
 	return &f
 }
@@ -193,13 +208,24 @@ func (e *Extractor) WarmIDs(w, h int) {
 	}
 }
 
-// id returns the (possibly lazily created) positional ID for cell c, bin b.
+// idSeed derives the rematerialization seed of the (cell, bin) positional
+// ID. Word wi of the ID is hv.RematWord(idSeed(c, b), wi); the fused
+// scoring kernel regenerates words from this seed instead of reading the
+// cached vector, and both views are bit-identical by construction.
+func (e *Extractor) idSeed(c, b int) uint64 {
+	return hv.Mix64(e.idBase, uint64(c)*uint64(e.P.Bins)+uint64(b))
+}
+
+// id returns the positional ID for cell c, bin b, materializing it into the
+// cache on first use. IDs are pure functions of (idBase, cell, bin) — no
+// RNG stream is consumed and creation order is irrelevant, so extractors of
+// the same dimensionality always agree on every ID.
 func (e *Extractor) id(c, b int) *hv.Vector {
 	key := [3]int{c, b, 0}
 	if v, ok := e.ids[key]; ok {
 		return v
 	}
-	v := hv.NewRand(e.rng, e.codec.D())
+	v := hv.NewRemat(e.idSeed(c, b), e.codec.D())
 	e.ids[key] = v
 	return v
 }

@@ -368,7 +368,10 @@ func TestGoldenFeatureBits(t *testing.T) {
 	img.GradientFill(0, 0, 15, 15, 0, 255)
 	f := e.Feature(img)
 	got := fmt.Sprintf("%016x%016x", f.Words()[0], f.Words()[1])
-	const want = "10f251655c1e1445ec9f6dda259ee232"
+	// Re-pinned when positional IDs moved from RNG-stream draws to pure
+	// (idBase, cell, bin) rematerialization hashes — an intentional
+	// representation change (the IDs are different, equally random bits).
+	const want = "72ae42b5089de41c41d4e0cd349dfa1e"
 	if got != want {
 		t.Fatalf("feature bits drifted:\n got %s\nwant %s", got, want)
 	}

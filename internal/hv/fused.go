@@ -1,0 +1,175 @@
+package hv
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file holds the word-level primitives of the fused window-scoring
+// kernel: seed rematerialization of basis hypervectors and a bit-sliced
+// bundle-binarize-popcount pass that never materializes the bundled
+// hypervector's operands.
+//
+// Rematerialization (Schmuck et al.) trades memory traffic for cheap
+// recompute: instead of caching every positional basis hypervector and
+// streaming D/8 bytes per operand through the cache hierarchy, a kernel
+// regenerates each 64-bit word from a seed with one Mix64 hash exactly when
+// it is consumed. The working set of a window-scoring pass collapses to the
+// window's weights plus a cache-resident accumulator.
+
+// RematWord returns word wi of the hypervector rematerialized from seed:
+// the packed-word stream Mix64(seed, 0), Mix64(seed, 1), ... Each word is
+// an independent hash of (seed, wi), so kernels can regenerate any word in
+// O(1) with no sequential dependency — the property that lets a word-at-a-
+// time loop interleave many rematerialized operands.
+func RematWord(seed uint64, wi int) uint64 { return Mix64(seed, uint64(wi)) }
+
+// Remat overwrites v with the hypervector defined by seed (word wi =
+// RematWord(seed, wi), tail bits cleared) and returns v. Cached and
+// on-the-fly forms of a rematerialized hypervector are therefore
+// bit-identical by construction.
+func (v *Vector) Remat(seed uint64) *Vector {
+	for i := range v.words {
+		v.words[i] = Mix64(seed, uint64(i))
+	}
+	v.maskTail()
+	return v
+}
+
+// NewRemat returns a fresh hypervector rematerialized from seed.
+func NewRemat(seed uint64, d int) *Vector { return New(d).Remat(seed) }
+
+// fusedPlanes bounds the bit-sliced counter depth of FusedHamming:
+// per-dimension weight mass up to 2^fusedPlanes - 1. Realistic window
+// bundles stay far below it (a 6x6-cell window at weightScale 64 sums to a
+// few hundred thousand at most); the guard exists so silent counter
+// overflow is impossible.
+const fusedPlanes = 32
+
+// addScaledWord adds m copies of the set bits of word into the bit-sliced
+// counters: one ripple-carry add of word at every set bit position of m.
+// With the counters held as bit planes, adding a 64-dimension operand costs
+// popcount(m) short carry chains of word-parallel AND/XOR — this is where
+// the kernel's word-at-a-time claim is earned, replacing 64 scalar lane
+// updates per operand word.
+func addScaledWord(planes *[fusedPlanes + 1]uint64, word uint64, m uint32) {
+	for ; m != 0; m &= m - 1 {
+		j := bits.TrailingZeros32(m)
+		carry := word
+		for carry != 0 {
+			t := planes[j] & carry
+			planes[j] ^= carry
+			carry = t
+			j++
+		}
+	}
+}
+
+// comparePlanes compares the bit-sliced per-dimension sums against the
+// scalar threshold b, scanning planes most-significant first. It returns
+// the dimension masks (value > b) and (value == b). Every sum must fit in
+// len(planes) bits and b must satisfy b < 2^len(planes).
+func comparePlanes(planes []uint64, b uint64) (gt, eq uint64) {
+	eq = ^uint64(0)
+	for j := len(planes) - 1; j >= 0; j-- {
+		p := planes[j]
+		if b>>uint(j)&1 == 1 {
+			// Threshold bit set: dimensions with a clear plane bit (and
+			// equal prefixes) fall below b — they leave the race entirely.
+			eq &= p
+		} else {
+			// Threshold bit clear: dimensions with a set plane bit (and
+			// equal prefixes) exceed b.
+			gt |= eq & p
+			eq &^= p
+		}
+	}
+	return
+}
+
+// FusedHamming is the single-pass scoring kernel: it computes the binarized
+// weighted bundle sign(sum_j w_j * HV(seeds_j) - bias) word by word —
+// rematerializing each operand word from its seed on the fly — and folds
+// every word straight into Hamming-distance popcounts against the packed
+// class hypervectors. Nothing is allocated and no operand hypervector is
+// ever materialized: per output word the kernel touches only a stack-
+// resident bit-sliced accumulator, the seed/weight arrays and one word per
+// class.
+//
+// Arguments:
+//   - d: dimensionality of the bundle and of every class vector.
+//   - seeds, w2: per-operand rematerialization seed (see RematWord) and
+//     DOUBLED weight 2*w_j > 0; operands contribute +w_j on set bits and
+//     -w_j on clear bits, accumulated as +2*w_j over set bits with bias
+//     subtracted once.
+//   - bias: sum of the (un-doubled) weights w_j.
+//   - tie: exact-zero ties take the next rng word's bit, one word drawn per
+//     output word in order — bit-compatible with thresholding against a
+//     NewRand(tie, d) tie vector, so a fused pass is byte-identical to the
+//     two-pass bundle-then-score path seeded the same way.
+//   - classes: packed words of each class hypervector (Vector.Words).
+//   - out: scratch receiving the bundled hypervector's words (tail masked);
+//     len(out) words for d dimensions.
+//   - dist: overwritten with per-class Hamming distances.
+//
+// The caller owns every slice; reusing them across calls makes the kernel
+// allocation-free (see the AllocsPerRun pins in fused_test.go).
+func FusedHamming(d int, seeds []uint64, w2 []int32, bias int32, tie *RNG, classes [][]uint64, out []uint64, dist []int) {
+	nw := wordsFor(d)
+	if d <= 0 {
+		panic("hv: FusedHamming dimensionality must be positive")
+	}
+	if len(seeds) != len(w2) {
+		panic(fmt.Sprintf("hv: FusedHamming %d seeds vs %d weights", len(seeds), len(w2)))
+	}
+	if len(out) != nw {
+		panic(fmt.Sprintf("hv: FusedHamming out has %d words, want %d", len(out), nw))
+	}
+	if len(dist) != len(classes) {
+		panic(fmt.Sprintf("hv: FusedHamming %d distances vs %d classes", len(dist), len(classes)))
+	}
+	for c, cw := range classes {
+		if len(cw) != nw {
+			panic(fmt.Sprintf("hv: FusedHamming class %d has %d words, want %d", c, len(cw), nw))
+		}
+	}
+	if bias < 0 {
+		panic("hv: FusedHamming bias must be non-negative")
+	}
+	// Counter depth: every per-dimension sum is at most sum(w2) = 2*bias.
+	p := bits.Len64(2 * uint64(bias))
+	if p > fusedPlanes {
+		panic("hv: FusedHamming weight mass overflows the bit-sliced counters")
+	}
+	for c := range dist {
+		dist[c] = 0
+	}
+	tail := tailMaskFor(d)
+	var planes [fusedPlanes + 1]uint64
+	for wi := 0; wi < nw; wi++ {
+		for j := 0; j <= p; j++ {
+			planes[j] = 0
+		}
+		for j, s := range seeds {
+			addScaledWord(&planes, Mix64(s, uint64(wi)), uint32(w2[j]))
+		}
+		gt, eq := comparePlanes(planes[:p], uint64(bias))
+		ow := gt | eq&tie.Uint64()
+		if wi == nw-1 {
+			ow &= tail
+		}
+		out[wi] = ow
+		for c, cw := range classes {
+			dist[c] += bits.OnesCount64(ow ^ cw[wi])
+		}
+	}
+}
+
+// tailMaskFor returns the valid-bit mask of the final packed word for
+// dimensionality d (all ones when d is a multiple of 64).
+func tailMaskFor(d int) uint64 {
+	if r := uint(d % 64); r != 0 {
+		return (1 << r) - 1
+	}
+	return ^uint64(0)
+}

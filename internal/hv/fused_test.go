@@ -1,0 +1,206 @@
+package hv
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// naiveFusedRef recomputes FusedHamming the slow, obvious way: materialize
+// every operand with NewRemat, accumulate signed counts per dimension in
+// int64, threshold against bias with a NewRand tie vector, then take plain
+// Hamming distances. The fused kernel must match it bit for bit.
+func naiveFusedRef(d int, seeds []uint64, w2 []int32, bias int32, tieSeed uint64, classes []*Vector) (*Vector, []int) {
+	acc := make([]int64, d)
+	for j, s := range seeds {
+		op := NewRemat(s, d)
+		for i := 0; i < d; i++ {
+			if op.Bit(i) > 0 {
+				acc[i] += int64(w2[j])
+			}
+		}
+	}
+	tie := NewRand(NewRNG(tieSeed), d)
+	out := New(d)
+	for i := 0; i < d; i++ {
+		c := acc[i] - int64(bias)
+		switch {
+		case c > 0:
+			out.SetBit(i, 1)
+		case c == 0:
+			out.SetBit(i, tie.Bit(i))
+		}
+	}
+	dist := make([]int, len(classes))
+	for c, cv := range classes {
+		dist[c] = out.Hamming(cv)
+	}
+	return out, dist
+}
+
+func TestRematDeterministicAndCacheIdentical(t *testing.T) {
+	for _, d := range []int{64, 100, 128, 1000, 2048} {
+		a := NewRemat(42, d)
+		b := NewRemat(42, d)
+		if !a.Equal(b) {
+			t.Fatalf("d=%d: NewRemat not deterministic", d)
+		}
+		if a.Equal(NewRemat(43, d)) {
+			t.Fatalf("d=%d: distinct seeds collided", d)
+		}
+		// Word-level view must agree with the whole-vector view.
+		for wi, w := range a.Words() {
+			want := RematWord(42, wi)
+			if wi == len(a.Words())-1 {
+				want &= tailMaskFor(d)
+			}
+			if w != want {
+				t.Fatalf("d=%d word %d: got %#x want %#x", d, wi, w, want)
+			}
+		}
+		// Tail bits beyond d must be clear.
+		if last := a.Words()[len(a.Words())-1]; last&^tailMaskFor(d) != 0 {
+			t.Fatalf("d=%d: tail bits set: %#x", d, last)
+		}
+	}
+}
+
+func TestRematAllocs(t *testing.T) {
+	v := New(2048)
+	allocs := testing.AllocsPerRun(100, func() { v.Remat(7) })
+	if allocs != 0 {
+		t.Fatalf("Remat allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestAddScaledWordAndComparePlanes(t *testing.T) {
+	// Scalar cross-check of the bit-sliced primitives on random inputs.
+	rng := NewRNG(99)
+	for iter := 0; iter < 200; iter++ {
+		var planes [fusedPlanes + 1]uint64
+		sums := make([]uint64, 64)
+		terms := rng.Intn(8)
+		var total uint64
+		for j := 0; j < terms; j++ {
+			word := rng.Uint64()
+			m := uint32(rng.Intn(1<<12) + 1)
+			total += uint64(m)
+			if bits.Len64(total) > fusedPlanes {
+				break
+			}
+			addScaledWord(&planes, word, m)
+			for i := 0; i < 64; i++ {
+				if word>>uint(i)&1 == 1 {
+					sums[i] += uint64(m)
+				}
+			}
+		}
+		p := bits.Len64(total)
+		b := uint64(rng.Intn(int(total) + 2))
+		if bits.Len64(b) > p {
+			b = total
+		}
+		gt, eq := comparePlanes(planes[:p], b)
+		for i := 0; i < 64; i++ {
+			// Re-read the planes for lane i to confirm the add was exact.
+			var got uint64
+			for j := 0; j <= p; j++ {
+				got |= (planes[j] >> uint(i) & 1) << uint(j)
+			}
+			if got != sums[i] {
+				t.Fatalf("iter %d lane %d: bit-sliced sum %d, want %d", iter, i, got, sums[i])
+			}
+			if wantGT := sums[i] > b; gt>>uint(i)&1 == 1 != wantGT {
+				t.Fatalf("iter %d lane %d: gt mask wrong (sum %d vs b %d)", iter, i, sums[i], b)
+			}
+			if wantEQ := sums[i] == b; eq>>uint(i)&1 == 1 != wantEQ {
+				t.Fatalf("iter %d lane %d: eq mask wrong (sum %d vs b %d)", iter, i, sums[i], b)
+			}
+		}
+	}
+}
+
+func TestFusedHammingMatchesNaive(t *testing.T) {
+	rng := NewRNG(7)
+	for iter := 0; iter < 60; iter++ {
+		d := []int{64, 100, 128, 320, 512, 1000}[iter%6]
+		nTerms := rng.Intn(24)
+		seeds := make([]uint64, nTerms)
+		w2 := make([]int32, nTerms)
+		var bias int32
+		for j := range seeds {
+			seeds[j] = rng.Uint64()
+			w := int32(rng.Intn(300) + 1)
+			w2[j] = 2 * w
+			bias += w
+		}
+		nClasses := rng.Intn(3) + 1
+		classes := make([]*Vector, nClasses)
+		classWords := make([][]uint64, nClasses)
+		for c := range classes {
+			classes[c] = NewRand(rng, d)
+			classWords[c] = classes[c].Words()
+		}
+		tieSeed := rng.Uint64()
+
+		wantOut, wantDist := naiveFusedRef(d, seeds, w2, bias, tieSeed, classes)
+
+		out := make([]uint64, wordsFor(d))
+		dist := make([]int, nClasses)
+		FusedHamming(d, seeds, w2, bias, NewRNG(tieSeed), classWords, out, dist)
+
+		for wi, w := range out {
+			if w != wantOut.Words()[wi] {
+				t.Fatalf("iter %d d=%d terms=%d: out word %d = %#x, want %#x",
+					iter, d, nTerms, wi, w, wantOut.Words()[wi])
+			}
+		}
+		for c := range dist {
+			if dist[c] != wantDist[c] {
+				t.Fatalf("iter %d d=%d: dist[%d] = %d, want %d", iter, d, c, dist[c], wantDist[c])
+			}
+		}
+	}
+}
+
+func TestFusedHammingEmptyWindow(t *testing.T) {
+	// Zero weight mass: every dimension ties, so the output is exactly the
+	// tie vector (tail masked) — the same answer the two-pass path gives.
+	const d = 100
+	out := make([]uint64, wordsFor(d))
+	dist := make([]int, 1)
+	cls := NewRand(NewRNG(3), d)
+	FusedHamming(d, nil, nil, 0, NewRNG(11), [][]uint64{cls.Words()}, out, dist)
+	want := NewRand(NewRNG(11), d)
+	for wi, w := range out {
+		if w != want.Words()[wi] {
+			t.Fatalf("word %d = %#x, want tie word %#x", wi, w, want.Words()[wi])
+		}
+	}
+	if dist[0] != want.Hamming(cls) {
+		t.Fatalf("dist = %d, want %d", dist[0], want.Hamming(cls))
+	}
+}
+
+func TestFusedHammingAllocs(t *testing.T) {
+	const d = 2048
+	rng := NewRNG(5)
+	seeds := make([]uint64, 40)
+	w2 := make([]int32, 40)
+	var bias int32
+	for j := range seeds {
+		seeds[j] = rng.Uint64()
+		w := int32(rng.Intn(100) + 1)
+		w2[j] = 2 * w
+		bias += w
+	}
+	classes := [][]uint64{NewRand(rng, d).Words(), NewRand(rng, d).Words()}
+	out := make([]uint64, wordsFor(d))
+	dist := make([]int, 2)
+	tie := NewRNG(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		FusedHamming(d, seeds, w2, bias, tie, classes, out, dist)
+	})
+	if allocs != 0 {
+		t.Fatalf("FusedHamming allocated %.1f times per run, want 0", allocs)
+	}
+}

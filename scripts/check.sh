@@ -27,6 +27,32 @@ go test -race -timeout 120s ./internal/detect ./internal/hdc ./internal/fault
 echo "== detection sweep bench smoke =="
 go test -run=XXX -bench=DetectSweep -benchtime=1x .
 
+echo "== detect bench smoke (fused perf gate) =="
+# The fused scoring kernel's contract is zero per-window allocations and a
+# clear throughput lead over the two-pass cell-grid path. Regressions show
+# up here as allocs/window above the pinned ceiling (8, vs ~0.003 today and
+# ~2786 pre-fusion) or fused windows/sec dropping under 3x cellgrid's.
+out=$(mktemp -d)
+go run ./cmd/hdface-bench -exp detectbench -quick -out "$out" >/dev/null
+test -s "$out/BENCH_detect.json" || { echo "BENCH_detect.json missing" >&2; exit 1; }
+awk '
+    /"config":/   { cfg = $2; gsub(/[",]/, "", cfg) }
+    /"windows_per_sec":/      { gsub(/,/, "", $2); wps[cfg] = $2 + 0 }
+    /"allocs_per_window":/    { gsub(/,/, "", $2); apw[cfg] = $2 + 0 }
+    END {
+        if (!("fused" in apw) || !("cellgrid" in wps)) {
+            print "detect bench missing fused/cellgrid configs" > "/dev/stderr"; exit 1
+        }
+        if (apw["fused"] > 8) {
+            printf "fused allocs/window %.2f exceeds pinned ceiling 8\n", apw["fused"] > "/dev/stderr"; exit 1
+        }
+        if (wps["fused"] < 3 * wps["cellgrid"]) {
+            printf "fused windows/sec %.0f below 3x cellgrid %.0f\n", wps["fused"], wps["cellgrid"] > "/dev/stderr"; exit 1
+        }
+    }
+' "$out/BENCH_detect.json"
+rm -rf "$out"
+
 echo "== fault sweep smoke =="
 out=$(mktemp -d)
 go run ./cmd/hdface-bench -exp faultsweep -quick -out "$out" >/dev/null
