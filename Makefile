@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-online bench-detect check fmt vet
+.PHONY: build test bench bench-online bench-detect bench-fleet check fmt vet
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ bench-online:
 # including the fused zero-alloc scoring-kernel configs.
 bench-detect:
 	$(GO) run ./cmd/hdface-bench -exp detectbench -out results
+
+# Regenerate the serving fleet benchmark (results/BENCH_fleet.json):
+# scaling, availability under a killed replica, split-feedback merge.
+bench-fleet:
+	$(GO) run ./cmd/hdface-bench -exp fleetbench -out results
 
 # Full hygiene gate: gofmt -l, go vet, go test -race (see scripts/check.sh).
 check:

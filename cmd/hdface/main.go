@@ -5,6 +5,7 @@
 //	hdface detect -scene scene.pgm -model face.hdc -out overlay.pgm
 //	hdface scene  -out scene.pgm            # render a test scene
 //	hdface serve  -snapshot face.hdfs -addr :8466
+//	hdface route  -replicas http://h1:8466,http://h2:8466 -addr :8465
 //	hdface top    -addr localhost:8466
 //	hdface models -registry models/ [-promote N | -rollback]
 //
@@ -430,6 +431,8 @@ func cmdServe(args []string) error {
 	retain := fs.Int("retain", 8, "max model versions the registry keeps (<=0 keeps all)")
 	onlineOn := fs.Bool("online", false, "enable POST /feedback online learning")
 	onlineBatch := fs.Int("online-batch", 32, "feedback samples per refinement round")
+	replicaID := fs.String("replica-id", "", "this replica's name in a routed fleet (labels its feedback delta)")
+	deltaOnly := fs.Bool("delta-only", false, "accumulate feedback into the delta only; model updates arrive via the router's merge (implies -online)")
 	sloTarget := fs.Duration("slo-target", 250*time.Millisecond, "per-request latency goal of the /debug/slo objects")
 	sloObjective := fs.Float64("slo-objective", 0.99, "fraction of requests that must meet -slo-target")
 	sloWindow := fs.Duration("slo-window", time.Minute, "sliding window the SLOs and latency quantiles evaluate over")
@@ -459,11 +462,13 @@ func cmdServe(args []string) error {
 		}
 	}
 	var trainer *online.Trainer
-	if *onlineOn {
+	if *onlineOn || *deltaOnly {
 		trainer, err = online.New(online.Config{
 			Registry:  reg,
 			Pipe:      cfg,
 			BatchSize: *onlineBatch,
+			Replica:   *replicaID,
+			DeltaOnly: *deltaOnly,
 			Opts:      cfg.Train,
 		})
 		if err != nil {
@@ -577,7 +582,7 @@ func cmdModels(args []string) error {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: hdface <train|eval|detect|scene|features|serve|top|models> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: hdface <train|eval|detect|scene|features|serve|route|top|models> [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -594,6 +599,8 @@ func main() {
 		err = cmdFeatures(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "route":
+		err = cmdRoute(os.Args[2:])
 	case "top":
 		err = cmdTop(os.Args[2:])
 	case "models":

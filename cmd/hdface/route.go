@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hdface/internal/fleet"
+	"hdface/internal/obscli"
+)
+
+// cmdRoute runs the fleet router: health-gated failover across N serve
+// daemons, hedged retries, load shedding, and (with -merge-interval) the
+// periodic CRDT feedback merge that keeps a fleet of -delta-only replicas
+// learning as one.
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	replicas := fs.String("replicas", "", "comma-separated replica base URLs, e.g. http://10.0.0.1:8466,http://10.0.0.2:8466 (required)")
+	addr := fs.String("addr", ":8465", "listen address (use :0 for an ephemeral port; the bound address is printed)")
+	probeInterval := fs.Duration("probe-interval", 250*time.Millisecond, "period of the /healthz scrape on every replica")
+	ejectAfter := fs.Int("eject-after", 3, "consecutive probe failures that eject a replica from rotation")
+	rejoinAfter := fs.Int("rejoin-after", 2, "consecutive probe successes that bring an ejected replica back")
+	breakAfter := fs.Int("break-after", 3, "consecutive request failures that open a replica's circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "time an open breaker waits before its half-open trial")
+	maxAttempts := fs.Int("max-attempts", 3, "max replica attempts per client request (plus one hedge)")
+	retryBackoff := fs.Duration("retry-backoff", 5*time.Millisecond, "base of the jittered exponential retry backoff")
+	hedgeQuantile := fs.Float64("hedge-quantile", 0.95, "rolling latency quantile that arms the tail-latency hedge")
+	maxInflight := fs.Int("max-inflight", 0, "router-wide inflight cap at full health (0 = 16 per replica); scales with the available fraction")
+	maxDeadline := fs.Duration("max-deadline", 30*time.Second, "per-request budget when the client names none")
+	mergeInterval := fs.Duration("merge-interval", 0, "period of the feedback delta merge loop (0 = merging off)")
+	mergeLR := fs.Float64("merge-lr", 1, "weight of merged delta evidence when folded into the fleet model")
+	seed := fs.Uint64("seed", 1, "seed for retry jitter and merge finalisation")
+	of := obscli.Register(fs)
+	fs.Parse(args)
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("route: -replicas is required")
+	}
+	of.Activate(map[string]string{
+		"cmd": "route", "replicas": strconv.Itoa(len(urls)),
+	})
+
+	router, err := fleet.New(fleet.Config{
+		Replicas:        urls,
+		ProbeInterval:   *probeInterval,
+		EjectAfter:      *ejectAfter,
+		RejoinAfter:     *rejoinAfter,
+		BreakAfter:      *breakAfter,
+		BreakerCooldown: *breakerCooldown,
+		MaxAttempts:     *maxAttempts,
+		RetryBackoff:    *retryBackoff,
+		HedgeQuantile:   *hedgeQuantile,
+		MaxInflight:     *maxInflight,
+		MaxDeadline:     *maxDeadline,
+		MergeInterval:   *mergeInterval,
+		MergeLR:         *mergeLR,
+		Seed:            *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		router.Close()
+		return err
+	}
+	merging := "merging off"
+	if *mergeInterval > 0 {
+		merging = fmt.Sprintf("merging every %s", *mergeInterval)
+	}
+	fmt.Printf("routing %d replicas (%s) on http://%s\n", len(urls), merging, ln.Addr())
+
+	srv := &http.Server{Handler: router.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		router.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting for drain
+	fmt.Println("signal received; draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+	}
+	router.Close()
+	<-errCh
+	fmt.Println("drained; bye")
+	return of.Finish()
+}

@@ -189,6 +189,7 @@ func All() []Runner {
 		{"servebench", "serving daemon load benchmark (BENCH_serve.json)", ServeBench},
 		{"faultsweep", "bit-error chaos harness with self-repair (BENCH_fault.json)", FaultSweep},
 		{"onlinebench", "online learning drift-recovery benchmark (BENCH_online.json)", OnlineBench},
+		{"fleetbench", "fault-tolerant serving fleet benchmark (BENCH_fleet.json)", FleetBench},
 		{"verify", "reproduction gate: assert the structural claims", Verify},
 	}
 }

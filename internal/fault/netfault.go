@@ -1,0 +1,151 @@
+package fault
+
+// Network chaos for the serving fleet: a deterministic http.RoundTripper
+// wrapper that injects the failure modes a router must survive — latency
+// spikes, blackholes (a connection that hangs until the caller's context
+// gives up), bursts of 5xx, and a partition of the feedback plane (the
+// /delta, /models/push and /feedback paths fail while inference traffic
+// flows). Like the bit-fault harness, every decision is drawn from a
+// seeded stream so a chaotic scenario replays exactly; unlike it, the
+// injector is called from many goroutines at once, so the stream sits
+// behind a mutex.
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"hdface/internal/hv"
+	"hdface/internal/obs"
+)
+
+var (
+	obsNetLatency = obs.NewCounter("hdface_fault_net_latency_injected_total",
+		"latency spikes injected into upstream requests")
+	obsNetBlackhole = obs.NewCounter("hdface_fault_net_blackholes_total",
+		"requests blackholed until the caller's context expired")
+	obsNetErrors = obs.NewCounter("hdface_fault_net_errors_injected_total",
+		"synthetic 5xx responses injected")
+	obsNetPartitioned = obs.NewCounter("hdface_fault_net_partitioned_total",
+		"feedback-plane requests dropped by the partition")
+)
+
+const saltNet = 0x2e7f
+
+// NetPlan describes one network-fault scenario.
+type NetPlan struct {
+	// LatencyP is the per-request probability of a latency spike of
+	// Latency (default 100ms when LatencyP > 0 and Latency is zero).
+	LatencyP float64
+	Latency  time.Duration
+	// BlackholeP is the per-request probability that the request hangs
+	// until its context is cancelled — the pathological peer that
+	// accepts the connection and says nothing.
+	BlackholeP float64
+	// ErrorP is the per-request probability of starting a burst of
+	// ErrorBurst consecutive injected 503s (default burst 1). Bursts
+	// model a crashing process being restarted, not independent noise:
+	// consecutive failures are what trips breakers.
+	ErrorP     float64
+	ErrorBurst int
+	// PartitionFeedback fails every feedback-plane request (/delta,
+	// /models/push, /feedback) while leaving inference traffic intact.
+	PartitionFeedback bool
+	// Seed keys the injection stream.
+	Seed uint64
+}
+
+// feedbackPath reports whether a URL path belongs to the fleet's
+// feedback plane.
+func feedbackPath(path string) bool {
+	return path == "/delta" || path == "/models/push" || path == "/feedback" ||
+		strings.HasPrefix(path, "/delta/")
+}
+
+// NetInjector wraps an http.RoundTripper with NetPlan faults. Safe for
+// concurrent use.
+type NetInjector struct {
+	plan NetPlan
+	next http.RoundTripper
+
+	mu    sync.Mutex
+	rng   *hv.RNG
+	burst int // remaining injected errors in the current burst
+}
+
+// NewNetInjector wraps next (nil = http.DefaultTransport).
+func NewNetInjector(plan NetPlan, next http.RoundTripper) *NetInjector {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if plan.ErrorBurst <= 0 {
+		plan.ErrorBurst = 1
+	}
+	if plan.LatencyP > 0 && plan.Latency <= 0 {
+		plan.Latency = 100 * time.Millisecond
+	}
+	return &NetInjector{
+		plan: plan,
+		next: next,
+		rng:  hv.NewRNG(hv.Mix64(plan.Seed, saltNet)),
+	}
+}
+
+// netError is a synthetic injected 503.
+func netError(req *http.Request, msg string) *http.Response {
+	return &http.Response{
+		Status:     "503 " + msg,
+		StatusCode: http.StatusServiceUnavailable,
+		Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header:  http.Header{"Content-Type": []string{"text/plain"}},
+		Body:    http.NoBody,
+		Request: req,
+	}
+}
+
+// RoundTrip applies the plan to one request.
+func (n *NetInjector) RoundTrip(req *http.Request) (*http.Response, error) {
+	if n.plan.PartitionFeedback && feedbackPath(req.URL.Path) {
+		obsNetPartitioned.Inc()
+		return nil, fmt.Errorf("fault: feedback plane partitioned (%s)", req.URL.Path)
+	}
+
+	n.mu.Lock()
+	var delay time.Duration
+	blackhole, errNow := false, false
+	if n.burst > 0 {
+		n.burst--
+		errNow = true
+	} else {
+		switch {
+		case n.plan.BlackholeP > 0 && n.rng.Float64() < n.plan.BlackholeP:
+			blackhole = true
+		case n.plan.ErrorP > 0 && n.rng.Float64() < n.plan.ErrorP:
+			errNow = true
+			n.burst = n.plan.ErrorBurst - 1
+		case n.plan.LatencyP > 0 && n.rng.Float64() < n.plan.LatencyP:
+			delay = n.plan.Latency
+		}
+	}
+	n.mu.Unlock()
+
+	switch {
+	case blackhole:
+		obsNetBlackhole.Inc()
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case errNow:
+		obsNetErrors.Inc()
+		return netError(req, "injected upstream error"), nil
+	case delay > 0:
+		obsNetLatency.Inc()
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	return n.next.RoundTrip(req)
+}

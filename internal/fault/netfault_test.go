@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// get performs one GET through an injector-backed client.
+func get(t *testing.T, client *http.Client, url string, timeout time.Duration) (*http.Response, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client.Do(req)
+}
+
+func TestNetInjectorErrorBurst(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+
+	// ErrorP=1: every non-burst draw starts a burst of 3. The sequence
+	// must be all injected 503s.
+	inj := NewNetInjector(NetPlan{ErrorP: 1, ErrorBurst: 3, Seed: 7}, nil)
+	client := &http.Client{Transport: inj}
+	for i := 0; i < 9; i++ {
+		resp, err := get(t, client, ts.URL, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d, want injected 503", i, resp.StatusCode)
+		}
+	}
+
+	// ErrorP=0 passes everything through untouched.
+	clean := &http.Client{Transport: NewNetInjector(NetPlan{Seed: 7}, nil)}
+	resp, err := get(t, clean, ts.URL, time.Second)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean plan: %v status %v", err, resp)
+	}
+	resp.Body.Close()
+}
+
+func TestNetInjectorBlackholeHonoursContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	inj := NewNetInjector(NetPlan{BlackholeP: 1, Seed: 3}, nil)
+	client := &http.Client{Transport: inj}
+	start := time.Now()
+	_, err := get(t, client, ts.URL, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("blackholed request returned a response")
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("blackhole released after %v, want ~the caller's 50ms budget", elapsed)
+	}
+}
+
+func TestNetInjectorPartitionsFeedbackPlaneOnly(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	inj := NewNetInjector(NetPlan{PartitionFeedback: true, Seed: 5}, nil)
+	client := &http.Client{Transport: inj}
+
+	for _, path := range []string{"/delta", "/models/push", "/feedback"} {
+		if _, err := get(t, client, ts.URL+path, time.Second); err == nil {
+			t.Fatalf("partitioned path %s still reachable", path)
+		}
+	}
+	for _, path := range []string{"/predict", "/detect", "/healthz", "/models/export"} {
+		resp, err := get(t, client, ts.URL+path, time.Second)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("inference path %s broken by feedback partition: %v %v", path, err, resp)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestNetInjectorLatencySpike(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	inj := NewNetInjector(NetPlan{LatencyP: 1, Latency: 60 * time.Millisecond, Seed: 9}, nil)
+	client := &http.Client{Transport: inj}
+	start := time.Now()
+	resp, err := get(t, client, ts.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("latency spike not applied: %v", elapsed)
+	}
+	// A spiked request must still honour its context.
+	start = time.Now()
+	if _, err := get(t, client, ts.URL, 10*time.Millisecond); err == nil {
+		t.Fatal("latency spike outlived the caller's context")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled spike released after %v", elapsed)
+	}
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"hdface/internal/obs"
+	"hdface/internal/obs/trace"
+)
+
+// ReplicaHealth is one replica's row in the router's /healthz.
+type ReplicaHealth struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Saturated bool   `json:"saturated"`
+	Breaker   string `json:"breaker"`
+	Served    int64  `json:"served"`
+	Failed    int64  `json:"failed"`
+	Inflight  int64  `json:"inflight"`
+}
+
+// HealthResponse is the router's /healthz reply. Status is "ok" with the
+// whole fleet available, "degraded" while any replica is out but at least
+// one serves, and "down" with none — degraded-but-serving is the state
+// the fleet is built to sustain.
+type HealthResponse struct {
+	Status    string          `json:"status"`
+	Replicas  []ReplicaHealth `json:"replicas"`
+	Available int             `json:"available"`
+	Merge     *MergeStatus    `json:"merge,omitempty"`
+}
+
+// MergeStatus summarises the feedback-merge loop for /healthz.
+type MergeStatus struct {
+	Rounds int64       `json:"rounds"`
+	Last   MergeReport `json:"last"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(r io.Reader, v any) error {
+	return json.NewDecoder(io.LimitReader(r, 1<<20)).Decode(v)
+}
+
+// Handler returns the router's HTTP surface: the proxied inference plane
+// (POST /predict, /detect, /feedback), GET /healthz, GET /metrics and
+// GET /debug/traces.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	proxy := func(path string) http.HandlerFunc {
+		return func(w http.ResponseWriter, req *http.Request) {
+			if req.Method != http.MethodPost {
+				writeErr(w, http.StatusMethodNotAllowed, "POST %s", path)
+				return
+			}
+			body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes))
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "read body: %v", err)
+				return
+			}
+			r.forward(w, req, path, body)
+		}
+	}
+	mux.HandleFunc("/predict", proxy("/predict"))
+	mux.HandleFunc("/detect", proxy("/detect"))
+	mux.HandleFunc("/feedback", proxy("/feedback"))
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	mux.HandleFunc("/debug/traces", handleTraces)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.WriteTo(w)
+	})
+	return mux
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	h := HealthResponse{Available: r.availableCount()}
+	healthy := 0
+	for _, rp := range r.replicas {
+		up := rp.healthy.Load()
+		if up {
+			healthy++
+		}
+		h.Replicas = append(h.Replicas, ReplicaHealth{
+			URL:       rp.url,
+			Healthy:   up,
+			Saturated: rp.saturated.Load(),
+			Breaker:   rp.breakerState(),
+			Served:    rp.served.Load(),
+			Failed:    rp.failed.Load(),
+			Inflight:  rp.inflight.Load(),
+		})
+	}
+	switch {
+	case h.Available == 0:
+		h.Status = "down"
+	case h.Available < len(r.replicas):
+		h.Status = "degraded"
+	default:
+		h.Status = "ok"
+	}
+	if last, rounds := r.LastMerge(); rounds > 0 {
+		h.Merge = &MergeStatus{Rounds: rounds, Last: last}
+	}
+	code := http.StatusOK
+	if h.Status == "down" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// handleTraces mirrors the serve daemon's /debug/traces (the tracer is
+// process-global).
+func handleTraces(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET /debug/traces")
+		return
+	}
+	var f trace.Filter
+	f.Kind = req.URL.Query().Get("kind")
+	f.Stage = req.URL.Query().Get("stage")
+	writeJSON(w, http.StatusOK, trace.Snapshot(f))
+}

@@ -1,0 +1,276 @@
+package fleet
+
+// The feedback merge: pull every replica's delta, bundle them (the CRDT
+// combine in internal/online), fold the merged evidence into the fleet's
+// base model and offer the candidate to every replica's adoption gate.
+// Every step tolerates partial failure — an unreachable replica is
+// skipped this round and its cumulative delta simply arrives next round;
+// nothing is lost because deltas are state, not operations.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"hdface"
+	"hdface/internal/hdc"
+	"hdface/internal/obs"
+	"hdface/internal/obs/trace"
+	"hdface/internal/online"
+)
+
+var (
+	obsMerges = obs.NewCounter("hdface_fleet_merges_total",
+		"feedback merge rounds attempted")
+	obsMergeSamples = obs.NewCounter("hdface_fleet_merge_samples_total",
+		"feedback samples carried by merged deltas")
+	obsMergePushAccepted = obs.NewCounter("hdface_fleet_merge_push_accepted_total",
+		"merged candidates accepted by a replica's adoption gate")
+	obsMergePushRejected = obs.NewCounter("hdface_fleet_merge_push_rejected_total",
+		"merged candidates rejected by a replica's adoption gate")
+)
+
+// merge is the router's merge-loop state.
+type merge struct {
+	merger *online.Merger
+	rounds atomic.Int64
+	lastMu sync.Mutex
+	last   MergeReport
+}
+
+// MergeReport describes one merge round for /healthz and the bench.
+type MergeReport struct {
+	// Outcome: "merged", "no_evidence" (no replica had matching-base
+	// samples), or "no_base" (no replica could export a model).
+	Outcome string `json:"outcome"`
+	// Base is the fingerprint the round merged against, hex.
+	Base string `json:"base,omitempty"`
+	// Samples carried by the merged delta.
+	Samples int64 `json:"samples"`
+	// Pulled / PullErrors: replicas whose delta arrived / didn't.
+	Pulled     int `json:"pulled"`
+	PullErrors int `json:"pull_errors"`
+	// Skipped deltas had a foreign base (replica behind on adoption).
+	Skipped int `json:"skipped"`
+	// Pushed / Adopted / Rejected: candidate delivery outcomes.
+	Pushed   int `json:"pushed"`
+	Adopted  int `json:"adopted"`
+	Rejected int `json:"rejected"`
+	// Version is the registry version the first adopting replica assigned.
+	Version uint64 `json:"version,omitempty"`
+}
+
+func (r *Router) mergeState() *merge {
+	r.mergeM.Lock()
+	defer r.mergeM.Unlock()
+	if r.merger == nil {
+		r.merger = &merge{merger: online.NewMerger()}
+	}
+	return r.merger
+}
+
+// MergeOnce runs one synchronous merge round. Safe to call concurrently
+// with serving; rounds themselves are serialized. Returns the round's
+// report; an error only for total failure (every replica unreachable for
+// export), never for partial degradation.
+func (r *Router) MergeOnce(ctx context.Context) (MergeReport, error) {
+	m := r.mergeState()
+	m.lastMu.Lock()
+	defer m.lastMu.Unlock() // serializes rounds; Report() contends briefly
+	obsMerges.Inc()
+	m.rounds.Add(1)
+	tr := trace.New("fleet_merge", "")
+	defer tr.Finish()
+
+	var rep MergeReport
+
+	// Base model: the first available replica's live snapshot. All
+	// replicas on a common base export the same bytes, so one export
+	// suffices; a replica behind on adoption only costs its delta a
+	// skipped round.
+	var baseCfg hdface.Config
+	var model *hdc.Model
+	var exportErr error
+	for _, rp := range r.replicas {
+		if !rp.healthy.Load() {
+			continue
+		}
+		cfg, mdl, err := r.pullModel(ctx, rp.url)
+		if err != nil {
+			exportErr = err
+			continue
+		}
+		baseCfg, model = cfg, mdl
+		break
+	}
+	if model == nil {
+		rep.Outcome = "no_base"
+		tr.SetAttr("outcome", rep.Outcome)
+		tr.SetError(true)
+		m.last = rep
+		if exportErr == nil {
+			exportErr = fmt.Errorf("fleet: no healthy replica")
+		}
+		return rep, fmt.Errorf("fleet: merge has no base model: %w", exportErr)
+	}
+	base := model.Fingerprint()
+	rep.Base = fmt.Sprintf("%016x", base)
+
+	// Pull deltas concurrently; per-replica failure is tolerated.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, rp := range r.replicas {
+		if !rp.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			d, err := r.pullDelta(ctx, u)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				rep.PullErrors++
+			case d == nil: // 204: no evidence yet
+				rep.Pulled++
+			default:
+				rep.Pulled++
+				m.merger.Offer(d)
+			}
+		}(rp.url)
+	}
+	wg.Wait()
+
+	merged, skipped := m.merger.Bundle(base)
+	rep.Skipped = skipped
+	if merged == nil {
+		rep.Outcome = "no_evidence"
+		tr.SetAttr("outcome", rep.Outcome)
+		m.last = rep
+		return rep, nil
+	}
+	rep.Samples = merged.Samples()
+	obsMergeSamples.Add(rep.Samples)
+
+	cand, err := online.ApplyDelta(model, merged, r.cfg.MergeLR, r.cfg.Seed^base)
+	if err != nil {
+		rep.Outcome = "apply_error"
+		tr.SetAttr("outcome", rep.Outcome)
+		tr.SetError(true)
+		m.last = rep
+		return rep, err
+	}
+	var blob bytes.Buffer
+	if err := hdface.EncodeSnapshot(&blob, baseCfg, cand); err != nil {
+		rep.Outcome = "encode_error"
+		tr.SetError(true)
+		m.last = rep
+		return rep, err
+	}
+
+	// Offer the candidate to every healthy replica's adoption gate.
+	for _, rp := range r.replicas {
+		if !rp.healthy.Load() {
+			continue
+		}
+		rep.Pushed++
+		version, outcome, err := r.pushModel(ctx, rp.url, blob.Bytes())
+		if err != nil || outcome == "gate_rejected" {
+			rep.Rejected++
+			obsMergePushRejected.Inc()
+			continue
+		}
+		rep.Adopted++
+		obsMergePushAccepted.Inc()
+		if rep.Version == 0 {
+			rep.Version = version
+		}
+	}
+	rep.Outcome = "merged"
+	tr.SetAttr("outcome", rep.Outcome)
+	tr.SetAttr("samples", fmt.Sprintf("%d", rep.Samples))
+	tr.SetAttr("adopted", fmt.Sprintf("%d", rep.Adopted))
+	m.last = rep
+	return rep, nil
+}
+
+// LastMerge returns the most recent merge round's report (zero value if
+// none ran) and the total number of rounds.
+func (r *Router) LastMerge() (MergeReport, int64) {
+	m := r.mergeState()
+	m.lastMu.Lock()
+	defer m.lastMu.Unlock()
+	return m.last, m.rounds.Load()
+}
+
+// pullModel fetches a replica's live model snapshot.
+func (r *Router) pullModel(ctx context.Context, base string) (hdface.Config, *hdc.Model, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/models/export", nil)
+	if err != nil {
+		return hdface.Config{}, nil, err
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return hdface.Config{}, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return hdface.Config{}, nil, fmt.Errorf("export: status %d", resp.StatusCode)
+	}
+	return hdface.DecodeSnapshot(io.LimitReader(resp.Body, r.cfg.MaxBodyBytes))
+}
+
+// pullDelta fetches a replica's feedback accumulator; (nil, nil) means the
+// replica has no evidence yet (204) or no feedback plane (501).
+func (r *Router) pullDelta(ctx context.Context, base string) (*online.Delta, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/delta", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return online.DecodeDelta(io.LimitReader(resp.Body, r.cfg.MaxBodyBytes))
+	case http.StatusNoContent, http.StatusNotImplemented:
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("delta: status %d", resp.StatusCode)
+	}
+}
+
+// pushModel offers a candidate snapshot to one replica's adoption gate.
+func (r *Router) pushModel(ctx context.Context, base string, blob []byte) (uint64, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/models/push", bytes.NewReader(blob))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var pr struct {
+		Outcome string `json:"outcome"`
+		Version uint64 `json:"version"`
+	}
+	if err := decodeJSON(resp.Body, &pr); err != nil {
+		return 0, "", err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		return 0, pr.Outcome, fmt.Errorf("push: status %d", resp.StatusCode)
+	}
+	return pr.Version, pr.Outcome, nil
+}

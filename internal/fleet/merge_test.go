@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"hdface/internal/dataset"
+	"hdface/internal/hv"
+	"hdface/internal/online"
+)
+
+// feedWrong POSTs n feedback samples to one replica, labelled opposite to
+// whatever its live model predicts, then waits for the evidence to land
+// in the replica's delta.
+func feedWrong(t *testing.T, base string, img []byte, n int) {
+	t.Helper()
+	code, body := postPGM(t, base+"/predict", img)
+	if code != http.StatusOK {
+		t.Fatalf("predict: status %d (%s)", code, body)
+	}
+	var pr struct {
+		Label int `json:"label"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	wrong := strconv.Itoa(1 - pr.Label)
+	for i := 0; i < n; i++ {
+		if code, body := postPGM(t, base+"/feedback?label="+wrong, img); code != http.StatusAccepted {
+			t.Fatalf("feedback: status %d (%s)", code, body)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		resp, err := http.Get(base + "/delta")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		d, err := online.DecodeDelta(resp.Body)
+		return err == nil && d.Samples() >= int64(n)
+	}, "replica never absorbed its feedback into the delta")
+}
+
+func replicaFingerprint(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/models/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export: status %d", resp.StatusCode)
+	}
+	return resp.Header.Get("X-Hdface-Model-Fingerprint")
+}
+
+// TestMergeOnceEndToEnd drives the full feedback loop: two replicas
+// accumulate disjoint evidence, one merge round bundles it, folds it into
+// the shared base and pushes the candidate through both adoption gates,
+// after which the fleet converges on one fingerprint and the next round
+// finds no evidence (the accumulators rebased).
+func TestMergeOnceEndToEnd(t *testing.T) {
+	p := trainedPipeline(t)
+	r0 := newTestReplica(t, p, "r0")
+	r1 := newTestReplica(t, p, "r1")
+	router := newTestRouter(t, Config{}, r0, r1)
+
+	img0 := pgmBytes(t, dataset.RenderFace(48, 48, 0, hv.NewRNG(8)))
+	img1 := pgmBytes(t, dataset.RenderNonFace(48, 48, hv.NewRNG(9)))
+	feedWrong(t, r0.ts.URL, img0, 3)
+	feedWrong(t, r1.ts.URL, img1, 3)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep, err := router.MergeOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != "merged" {
+		t.Fatalf("outcome %q, want merged (%+v)", rep.Outcome, rep)
+	}
+	if rep.Samples < 6 {
+		t.Fatalf("merged %d samples, want evidence from both replicas (>= 6)", rep.Samples)
+	}
+	if rep.Pulled != 2 || rep.PullErrors != 0 {
+		t.Fatalf("pulled=%d errors=%d, want 2/0", rep.Pulled, rep.PullErrors)
+	}
+	if rep.Adopted != 2 {
+		t.Fatalf("adopted=%d rejected=%d, want both replicas adopting", rep.Adopted, rep.Rejected)
+	}
+
+	// Convergence: both replicas now serve the identical merged model.
+	fp0, fp1 := replicaFingerprint(t, r0.ts.URL), replicaFingerprint(t, r1.ts.URL)
+	if fp0 == "" || fp0 != fp1 {
+		t.Fatalf("fleet diverged after merge: %s vs %s", fp0, fp1)
+	}
+	if fp0 == rep.Base {
+		t.Fatal("merge with evidence produced an unchanged model")
+	}
+
+	// The accumulators rebased onto the adopted model: a second round has
+	// nothing to merge, so re-delivery cannot double-apply evidence.
+	rep2, err := router.MergeOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Outcome != "no_evidence" {
+		t.Fatalf("second round outcome %q, want no_evidence (%+v)", rep2.Outcome, rep2)
+	}
+
+	// The merge surfaces in the router's health.
+	rt := httptest.NewServer(router.Handler())
+	defer rt.Close()
+	h := routerHealth(t, rt.URL)
+	if h.Merge == nil || h.Merge.Rounds < 2 || h.Merge.Last.Outcome != "no_evidence" {
+		t.Fatalf("healthz merge block = %+v", h.Merge)
+	}
+}
+
+// TestMergeSurvivesPartition: with one replica unreachable the merge
+// still completes from the survivor's evidence, and when the partitioned
+// replica returns, its cumulative delta (accumulated against the old
+// base) is skipped — not misapplied — until it adopts the fleet model.
+func TestMergeSurvivesPartition(t *testing.T) {
+	p := trainedPipeline(t)
+	r0 := newTestReplica(t, p, "r0")
+	r1 := newTestReplica(t, p, "r1")
+	// EjectAfter is effectively infinite so the partitioned replica stays
+	// in the merge's pull set and its failures are counted
+	// deterministically (the prober would otherwise race the merge).
+	router := newTestRouter(t, Config{EjectAfter: 1 << 30}, r0, r1)
+
+	img := pgmBytes(t, dataset.RenderFace(48, 48, 0, hv.NewRNG(10)))
+	feedWrong(t, r0.ts.URL, img, 3)
+	feedWrong(t, r1.ts.URL, pgmBytes(t, dataset.RenderNonFace(48, 48, hv.NewRNG(11))), 3)
+
+	r1.kill() // feedback-plane partition: /delta and /models/push now fail
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep, err := router.MergeOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != "merged" {
+		t.Fatalf("outcome %q, want merged despite the partition (%+v)", rep.Outcome, rep)
+	}
+	if rep.PullErrors != 1 || rep.Adopted != 1 || rep.Rejected != 1 {
+		t.Fatalf("partition round: %+v, want 1 pull error, 1 adoption, 1 failed push", rep)
+	}
+
+	// Heal the partition and give the merged base fresh evidence. r1
+	// still serves the old base with its old delta; the next round must
+	// NOT fold that stale-base evidence into the new model (Skipped) but
+	// must push the fleet model to r1, which adopts and converges.
+	r1.revive()
+	feedWrong(t, r0.ts.URL, img, 3)
+	rep2, err := router.MergeOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Outcome != "merged" {
+		t.Fatalf("healed round outcome %q (%+v)", rep2.Outcome, rep2)
+	}
+	if rep2.Skipped == 0 {
+		t.Fatalf("healed round %+v: stale-base delta was not excluded", rep2)
+	}
+	if rep2.Adopted != 2 {
+		t.Fatalf("healed round %+v: returning replica never adopted the fleet model", rep2)
+	}
+	if fp0, fp1 := replicaFingerprint(t, r0.ts.URL), replicaFingerprint(t, r1.ts.URL); fp0 != fp1 {
+		t.Fatalf("partitioned replica never converged: %s vs %s", fp0, fp1)
+	}
+}

@@ -1,0 +1,37 @@
+package hdc
+
+import (
+	"math"
+)
+
+// Fingerprint returns a content hash of the model's class memory (float
+// accumulators plus the binarised form when present). Two models decoded
+// from the same snapshot bytes fingerprint identically on every machine,
+// which is what lets a serving fleet agree on "which model is this" without
+// sharing a registry: version IDs are replica-local, fingerprints are not.
+// The distributed feedback merge keys its evidence epochs on this value.
+func (m *Model) Fingerprint() uint64 {
+	// FNV-1a over the exact bit patterns; float equality here is bit
+	// equality, which is the right notion for "same snapshot".
+	const offset, prime = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (x >> s) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(m.D))
+	mix(uint64(m.K))
+	for _, acc := range m.Classes {
+		for _, a := range acc {
+			mix(math.Float64bits(a))
+		}
+	}
+	for _, v := range m.Bin {
+		for _, w := range v.Words() {
+			mix(w)
+		}
+	}
+	return h
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzInboundTraceID throws hostile inbound X-Hdface-Trace values at the
+// validator path a router-fronted daemon exposes to the network. The
+// invariants: New never panics, always yields a bounded non-empty ID, and
+// echoes the inbound value back (into logs, /debug/traces and response
+// headers) only when it passes validID — anything else gets a freshly
+// minted ID instead of being reflected.
+func FuzzInboundTraceID(f *testing.F) {
+	f.Add("")
+	f.Add("abc-123")
+	f.Add(strings.Repeat("a", maxInboundID))
+	f.Add(strings.Repeat("a", maxInboundID+1))
+	f.Add("evil\r\nX-Injected: 1")
+	f.Add("..\\..\\etc\\passwd")
+	f.Add("\x00\x01\x02")
+	f.Add("caf\xc3\xa9") // valid UTF-8, but non-ASCII bytes
+	f.Add("\xff\xfe")    // invalid UTF-8
+	f.Add("{\"json\": \"bomb\"}")
+	f.Add("<script>alert(1)</script>")
+	f.Add(strings.Repeat("💣", 40))
+
+	Enable()
+	f.Cleanup(Disable)
+
+	f.Fuzz(func(t *testing.T, inbound string) {
+		tr := New("fuzz", inbound)
+		if tr == nil {
+			t.Fatal("tracing armed but New returned nil")
+		}
+		defer tr.Finish()
+
+		id := tr.ID()
+		if id == "" || len(id) > maxInboundID {
+			t.Fatalf("ID %q: want non-empty and <= %d bytes", id, maxInboundID)
+		}
+		// The assigned ID must itself satisfy the validator — whatever goes
+		// back out in headers and logs is always from the safe alphabet.
+		if !validID(id) {
+			t.Fatalf("assigned ID %q fails the echo-safety check", id)
+		}
+		// An inbound value may only ever be echoed when it is valid; a
+		// hostile value must never surface as the trace's identity.
+		if id == inbound && !validID(inbound) {
+			t.Fatalf("hostile inbound %q echoed unsanitized", inbound)
+		}
+		if validID(inbound) && id != inbound {
+			t.Fatalf("valid inbound %q not honoured (got %q)", inbound, id)
+		}
+	})
+}

@@ -36,6 +36,12 @@ var (
 		"Candidates rejected by the shadow-evaluation gate.")
 	obsDrift = obs.NewCounter("hdface_online_drift_events_total",
 		"Drift detections (mean similarity margin below threshold).")
+	obsDeltaSamples = obs.NewCounter("hdface_online_delta_samples_total",
+		"Mis-predicted feedback samples absorbed into the local delta.")
+	obsAdoptions = obs.NewCounter("hdface_online_adoptions_total",
+		"Pushed fleet candidates that passed the adoption gate.")
+	obsAdoptRejections = obs.NewCounter("hdface_online_adopt_rejections_total",
+		"Pushed fleet candidates rejected by the adoption gate.")
 )
 
 // Sample is one unit of feedback: the feature hypervector of an image the
@@ -84,6 +90,23 @@ type Config struct {
 	// accuracy must exceed the live model's to be promoted (default 0:
 	// strictly better).
 	PromoteEpsilon float64
+	// Replica names this trainer in the delta it exports to a fleet
+	// router (default "local"). Replica names must be unique within a
+	// fleet: the router's merger keys per-replica state on them.
+	Replica string
+	// DeltaOnly suppresses local refinement rounds: feedback still feeds
+	// the drift window, the held-out ring and the delta accumulator, but
+	// model updates only arrive via Adopt (the router's merged pushes).
+	// Fleet replicas run delta-only so they keep a common base model
+	// between merges — locally diverged bases would make their deltas
+	// unmergeable.
+	DeltaOnly bool
+	// AdoptEpsilon is how much held-out accuracy a pushed candidate may
+	// LOSE versus the live model and still be adopted (default 0: ties
+	// accepted). Adoption is deliberately laxer than promotion — the
+	// merged model carries other replicas' evidence that this replica's
+	// holdout cannot see — but still bounds merge-induced regressions.
+	AdoptEpsilon float64
 }
 
 func (c Config) withDefaults() Config {
@@ -111,25 +134,32 @@ func (c Config) withDefaults() Config {
 	if c.Epochs <= 0 {
 		c.Epochs = 3
 	}
+	if c.Replica == "" {
+		c.Replica = "local"
+	}
 	return c
 }
 
 // Stats is a point-in-time snapshot of trainer activity, safe to read
 // concurrently with ingestion.
 type Stats struct {
-	Seen        int64 `json:"seen"`
-	Dropped     int64 `json:"dropped"`
-	Rounds      int64 `json:"rounds"`
-	Promotions  int64 `json:"promotions"`
-	Rejections  int64 `json:"rejections"`
-	DriftEvents int64 `json:"drift_events"`
+	Seen            int64 `json:"seen"`
+	Dropped         int64 `json:"dropped"`
+	Rounds          int64 `json:"rounds"`
+	Promotions      int64 `json:"promotions"`
+	Rejections      int64 `json:"rejections"`
+	DriftEvents     int64 `json:"drift_events"`
+	DeltaSamples    int64 `json:"delta_samples"`
+	Adoptions       int64 `json:"adoptions"`
+	AdoptRejections int64 `json:"adopt_rejections"`
 }
 
 // Trainer consumes feedback and drives candidate refinement. Streaming
 // state (batch, held-out ring, margin window) is owned by whichever
 // goroutine calls Step — either the one launched by Start, or the caller
 // itself in synchronous use (benchmarks). The two modes must not be
-// mixed.
+// mixed. Adopt may be called from any goroutine (it is how a fleet
+// router's merged pushes arrive); stepMu serialises it against Step.
 type Trainer struct {
 	cfg Config
 	reg *registry.Registry
@@ -140,7 +170,12 @@ type Trainer struct {
 	started atomic.Bool
 	done    chan struct{}
 
-	// Step-owned streaming state.
+	// stepMu serialises the streaming state mutators: Step (trainer
+	// goroutine) and Adopt (any goroutine). Uncontended in the common
+	// case — Adopt only arrives on a merge push.
+	stepMu sync.Mutex
+
+	// Step-owned streaming state (under stepMu).
 	batch      []Sample
 	holdout    []Sample
 	holdoutPos int
@@ -148,7 +183,19 @@ type Trainer struct {
 	marginPos  int
 	marginN    int
 
+	// Delta accumulation for the fleet feedback plane. deltaMu is taken
+	// inside stepMu (never the reverse) so Delta() can snapshot without
+	// waiting out a refinement round.
+	deltaMu sync.Mutex
+	delta   *Delta
+	epoch   uint64
+	// fpVersion/fpValue cache the live model's fingerprint by registry
+	// version ID so Step doesn't rehash K*D floats per sample.
+	fpVersion uint64
+	fpValue   uint64
+
 	seen, dropped, rounds, promotions, rejections, drift atomic.Int64
+	deltaSamples, adoptions, adoptRejections             atomic.Int64
 }
 
 // New validates the config and builds a trainer (not yet running).
@@ -218,13 +265,53 @@ func (t *Trainer) Close() {
 // Stats snapshots the trainer counters.
 func (t *Trainer) Stats() Stats {
 	return Stats{
-		Seen:        t.seen.Load(),
-		Dropped:     t.dropped.Load(),
-		Rounds:      t.rounds.Load(),
-		Promotions:  t.promotions.Load(),
-		Rejections:  t.rejections.Load(),
-		DriftEvents: t.drift.Load(),
+		Seen:            t.seen.Load(),
+		Dropped:         t.dropped.Load(),
+		Rounds:          t.rounds.Load(),
+		Promotions:      t.promotions.Load(),
+		Rejections:      t.rejections.Load(),
+		DriftEvents:     t.drift.Load(),
+		DeltaSamples:    t.deltaSamples.Load(),
+		Adoptions:       t.adoptions.Load(),
+		AdoptRejections: t.adoptRejections.Load(),
 	}
+}
+
+// Replica returns this trainer's fleet replica name.
+func (t *Trainer) Replica() string { return t.cfg.Replica }
+
+// Delta returns a snapshot of the local feedback accumulator, or nil if
+// no feedback has arrived since the trainer started (the accumulator is
+// created lazily against the first live model Step sees). Safe to call
+// from any goroutine; the snapshot is a deep copy.
+func (t *Trainer) Delta() *Delta {
+	t.deltaMu.Lock()
+	defer t.deltaMu.Unlock()
+	if t.delta == nil {
+		return nil
+	}
+	return t.delta.Clone()
+}
+
+// liveFingerprint returns the live model's content fingerprint, cached by
+// registry version ID so steady-state Steps don't rehash the model.
+func (t *Trainer) liveFingerprint(live *registry.Version) uint64 {
+	if t.fpVersion != live.ID || t.fpVersion == 0 {
+		t.fpVersion, t.fpValue = live.ID, live.Model.Fingerprint()
+	}
+	return t.fpValue
+}
+
+// rebaseDelta resets the accumulator onto the (new) live model: evidence
+// gathered against the old base is either already inside the new model or
+// no longer safe to fold in, so the epoch advances and the sums clear.
+// Callers hold stepMu.
+func (t *Trainer) rebaseDelta(live *registry.Version) {
+	t.deltaMu.Lock()
+	defer t.deltaMu.Unlock()
+	t.epoch++
+	t.delta = NewDelta(t.cfg.Replica, t.liveFingerprint(live), t.epoch,
+		live.Model.D, live.Model.K)
 }
 
 // Step processes one feedback sample synchronously: it updates the drift
@@ -233,6 +320,8 @@ func (t *Trainer) Stats() Stats {
 // fills or drift fires. It returns the ID of a newly promoted version, or
 // 0. Step must only be called from one goroutine (see Trainer doc).
 func (t *Trainer) Step(s Sample) uint64 {
+	t.stepMu.Lock()
+	defer t.stepMu.Unlock()
 	live := t.reg.Live()
 	if live == nil || s.Feature == nil || s.Feature.D() != live.Model.D {
 		return 0 // nothing to adapt, or sample incompatible with live model
@@ -246,10 +335,11 @@ func (t *Trainer) Step(s Sample) uint64 {
 	// Drift signal: the live model's top-1 minus top-2 similarity on this
 	// sample. Margins shrink as class memories drift off the data.
 	scores := live.Model.Scores(s.Feature)
-	top1, top2 := -1.0, -1.0
-	for _, sc := range scores {
+	pred, top1, top2 := 0, -1.0, -1.0
+	for c, sc := range scores {
 		if sc > top1 {
 			top1, top2 = sc, top1
+			pred = c
 		} else if sc > top2 {
 			top2 = sc
 		}
@@ -261,6 +351,9 @@ func (t *Trainer) Step(s Sample) uint64 {
 	}
 
 	if n%int64(t.cfg.HoldoutEvery) == 0 {
+		// Held-out samples gate promotions and adoptions; keeping them out
+		// of the delta keeps the gate's evidence independent of the models
+		// it judges.
 		if len(t.holdout) < t.cfg.HoldoutSize {
 			t.holdout = append(t.holdout, s)
 		} else {
@@ -269,7 +362,30 @@ func (t *Trainer) Step(s Sample) uint64 {
 		}
 		return 0
 	}
-	t.batch = append(t.batch, s)
+
+	// Fleet feedback plane: mis-predicted samples carry evidence the live
+	// model lacks; absorb their ±1 feature bits into the local delta for
+	// the router's bundling merge. Correct predictions are redundant with
+	// the class memory and would only inflate it.
+	if pred != s.Label {
+		t.deltaMu.Lock()
+		// Rebase lazily on first use and whenever the live model changed
+		// underneath us (an operator promote/rollback does not go through
+		// round or Adopt, but still invalidates the accumulated evidence).
+		if t.delta == nil || t.delta.Base != t.liveFingerprint(live) {
+			t.epoch++
+			t.delta = NewDelta(t.cfg.Replica, t.liveFingerprint(live), t.epoch,
+				live.Model.D, live.Model.K)
+		}
+		t.delta.Add(s.Feature, s.Label, pred)
+		t.deltaMu.Unlock()
+		t.deltaSamples.Add(1)
+		obsDeltaSamples.Inc()
+	}
+
+	if !t.cfg.DeltaOnly {
+		t.batch = append(t.batch, s)
+	}
 
 	drifted := false
 	if t.marginN == len(t.margins) {
@@ -283,6 +399,9 @@ func (t *Trainer) Step(s Sample) uint64 {
 			obsDrift.Inc()
 			t.marginN, t.marginPos = 0, 0 // re-arm the detector
 		}
+	}
+	if t.cfg.DeltaOnly {
+		return 0 // refinement arrives via Adopt, not local rounds
 	}
 	if len(t.batch) >= t.cfg.BatchSize || (drifted && len(t.batch) > 0) {
 		return t.round(live)
@@ -367,9 +486,74 @@ func (t *Trainer) round(live *registry.Version) uint64 {
 	tr.SetAttr("outcome", "promoted")
 	t.promotions.Add(1)
 	obsPromotions.Inc()
-	// The world changed: old margins describe the previous model.
+	// The world changed: old margins describe the previous model, and the
+	// delta's evidence is now inside the live class memory.
 	t.marginN, t.marginPos = 0, 0
+	if nowLive := t.reg.Live(); nowLive != nil {
+		t.rebaseDelta(nowLive)
+	}
 	return id
+}
+
+// Adopt runs a pushed candidate — typically the fleet router's merged
+// model — through the replica-side adoption gate: shadow evaluation on
+// the held-out ring, accepting unless the candidate is worse than the
+// live model by more than AdoptEpsilon. On success the candidate is
+// stored, promoted and the local delta rebases onto it. The returned
+// outcome is one of "promoted", "no_holdout" (accepted without evidence),
+// or "gate_rejected"; id is non-zero only when promoted. Safe to call
+// from any goroutine.
+func (t *Trainer) Adopt(cfg hdface.Config, cand *hdc.Model) (id uint64, outcome string, err error) {
+	t.stepMu.Lock()
+	defer t.stepMu.Unlock()
+	tr := trace.New("delta_adopt", "")
+	defer tr.Finish()
+
+	live := t.reg.Live()
+	if live != nil && len(t.holdout) >= t.cfg.MinHoldout {
+		esp := tr.StartSpan("shadow_eval")
+		esp.SetAttrInt("holdout", int64(len(t.holdout)))
+		liveAcc := accuracy(live.Model, t.holdout)
+		candAcc := accuracy(cand, t.holdout)
+		esp.SetAttr("live_acc", strconv.FormatFloat(liveAcc, 'g', 4, 64))
+		esp.SetAttr("cand_acc", strconv.FormatFloat(candAcc, 'g', 4, 64))
+		esp.End()
+		if candAcc < liveAcc-t.cfg.AdoptEpsilon {
+			tr.SetAttr("outcome", "gate_rejected")
+			t.adoptRejections.Add(1)
+			obsAdoptRejections.Inc()
+			return 0, "gate_rejected", nil
+		}
+		outcome = "promoted"
+	} else {
+		// No live model or too little held-out evidence to judge: adopt.
+		// The router's merge already starts from a model every replica's
+		// promote gate accepted, so blind adoption is bounded-risk, and
+		// refusing would wedge a fresh replica out of the fleet forever.
+		outcome = "no_holdout"
+	}
+
+	psp := tr.StartSpan("promote")
+	id, err = t.reg.Put(cfg, cand)
+	if err == nil {
+		err = t.reg.Promote(id)
+	}
+	if err != nil {
+		psp.End()
+		tr.SetError(true)
+		tr.SetAttr("outcome", "promote_error")
+		return 0, "promote_error", err
+	}
+	psp.SetAttrInt("version", int64(id))
+	psp.End()
+	tr.SetAttr("outcome", outcome)
+	t.adoptions.Add(1)
+	obsAdoptions.Inc()
+	t.marginN, t.marginPos = 0, 0
+	if nowLive := t.reg.Live(); nowLive != nil {
+		t.rebaseDelta(nowLive)
+	}
+	return id, outcome, nil
 }
 
 func accuracy(m *hdc.Model, samples []Sample) float64 {

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"hdface"
+	"hdface/internal/dataset"
+	"hdface/internal/hv"
+	"hdface/internal/online"
+)
+
+// TestServeFleetEndpoints drives the replica side of the fleet feedback
+// plane end-to-end: /delta starts empty, fills from mis-predicted
+// feedback, and keys itself on the fingerprint /models/export advertises;
+// a pushed snapshot round-trips through the adoption gate.
+func TestServeFleetEndpoints(t *testing.T) {
+	_, ts, _ := onlineServer(t)
+	img := pgmBytes(t, dataset.RenderFace(48, 48, 0, hv.NewRNG(9)))
+
+	// Before any feedback the accumulator does not exist yet.
+	resp, err := http.Get(ts.URL + "/delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("empty delta status %d, want 204", resp.StatusCode)
+	}
+
+	// Ask the model what it calls the image, then feed back the opposite:
+	// guaranteed mis-predictions, the only samples that carry delta
+	// evidence.
+	code, data := postPGM(t, ts.URL+"/predict", img)
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d (%s)", code, data)
+	}
+	var pred PredictResponse
+	if err := json.Unmarshal(data, &pred); err != nil {
+		t.Fatal(err)
+	}
+	wrong := 1 - pred.Label
+	for i := 0; i < 6; i++ {
+		if code, data := postPGM(t, ts.URL+"/feedback?label="+strconv.Itoa(wrong), img); code != http.StatusAccepted {
+			t.Fatalf("feedback status %d (%s)", code, data)
+		}
+	}
+	// Feedback drains through the trainer goroutine; poll until evidence
+	// lands rather than sleeping a fixed amount.
+	var delta *online.Delta
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/delta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			d, err := online.DecodeDelta(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Samples() > 0 {
+				delta = d
+				break
+			}
+		} else {
+			resp.Body.Close()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if delta == nil {
+		t.Fatal("delta never accumulated any feedback evidence")
+	}
+	if delta.Replica != "local" || delta.Epoch == 0 {
+		t.Fatalf("delta identity = (%q, epoch %d), want (local, >0)", delta.Replica, delta.Epoch)
+	}
+
+	// Export: snapshot + fingerprint headers, and the delta's base must be
+	// exactly the fingerprint of the model the replica serves.
+	resp, err = http.Get(ts.URL + "/models/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status %d err %v", resp.StatusCode, err)
+	}
+	if resp.Header.Get(versionHeader) == "" {
+		t.Fatal("export missing version header")
+	}
+	_, model, err := hdface.DecodeSnapshot(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("exported snapshot does not decode: %v", err)
+	}
+	wantFP := resp.Header.Get(fingerprintHeader)
+	if gotFP := model.Fingerprint(); wantFP != fingerprintHex(gotFP) {
+		t.Fatalf("fingerprint header %s, decoded model %016x", wantFP, gotFP)
+	}
+	if delta.Base != model.Fingerprint() {
+		t.Fatalf("delta base %016x, live model fingerprint %016x", delta.Base, model.Fingerprint())
+	}
+
+	// Push the exported model straight back: identical to live, so the
+	// gate must not reject it (ties are adoptable), and the delta rebases.
+	resp, err = http.Post(ts.URL+"/models/push", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PushResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pr.Version == 0 {
+		t.Fatalf("push status %d outcome %q version %d, want 200 + promoted version", resp.StatusCode, pr.Outcome, pr.Version)
+	}
+	if pr.Outcome != "promoted" && pr.Outcome != "no_holdout" {
+		t.Fatalf("push outcome %q", pr.Outcome)
+	}
+
+	// Garbage push must be a clean 400, not a panic or a poisoned model.
+	resp, err = http.Post(ts.URL+"/models/push", "application/octet-stream",
+		bytes.NewReader([]byte("not a snapshot")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage push status %d, want 400", resp.StatusCode)
+	}
+
+	// The healthz delta block reflects the (rebased) accumulator.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Delta == nil || h.Delta.Replica != "local" {
+		t.Fatalf("healthz delta = %+v, want the local accumulator", h.Delta)
+	}
+}
+
+func fingerprintHex(fp uint64) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 16)
+	for i := 15; i >= 0; i-- {
+		out[i] = digits[fp&0xf]
+		fp >>= 4
+	}
+	return string(out)
+}
+
+// TestServeDeltaDisabled: without a trainer the feedback plane is 501.
+func TestServeDeltaDisabled(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	resp, err := http.Get(ts.URL + "/delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("delta without trainer: status %d, want 501", resp.StatusCode)
+	}
+}

@@ -66,18 +66,37 @@ type ModelsResponse struct {
 	Online   *online.Stats   `json:"online,omitempty"`
 }
 
-// HealthResponse is the /healthz reply.
-type HealthResponse struct {
-	Status      string `json:"status"`
-	Mode        string `json:"mode"`
-	D           int    `json:"d"`
-	Trained     bool   `json:"trained"`
-	QueueDepth  int    `json:"queue_depth"`
-	QueueCap    int    `json:"queue_cap"`
-	LiveVersion uint64 `json:"live_version"`
-	Versions    int    `json:"versions"`
-	Online      bool   `json:"online"`
+// DeltaInfo summarises the replica's local feedback accumulator for
+// /healthz — enough for a router (or operator) to see whether the
+// feedback plane is flowing without pulling the full delta.
+type DeltaInfo struct {
+	Replica string `json:"replica"`
+	Base    string `json:"base"` // model fingerprint, hex
+	Epoch   uint64 `json:"epoch"`
+	Seq     uint64 `json:"seq"`
+	Samples int64  `json:"samples"`
 }
+
+// HealthResponse is the /healthz reply. Status is "ok" until the
+// admission queue reaches saturatedAt occupancy, then "saturated" — still
+// serving, but a router should prefer other replicas.
+type HealthResponse struct {
+	Status      string     `json:"status"`
+	Mode        string     `json:"mode"`
+	D           int        `json:"d"`
+	Trained     bool       `json:"trained"`
+	QueueDepth  int        `json:"queue_depth"`
+	QueueCap    int        `json:"queue_cap"`
+	Saturation  float64    `json:"saturation"`
+	LiveVersion uint64     `json:"live_version"`
+	Versions    int        `json:"versions"`
+	Online      bool       `json:"online"`
+	Delta       *DeltaInfo `json:"delta,omitempty"`
+}
+
+// saturatedAt is the queue occupancy above which /healthz reports
+// "saturated" instead of "ok".
+const saturatedAt = 0.9
 
 // errorJSON is every non-2xx body.
 type errorJSON struct {
@@ -86,8 +105,9 @@ type errorJSON struct {
 
 // Handler returns the server's HTTP surface: POST /predict, POST /detect,
 // POST /feedback, GET /models, POST /models/promote, POST /models/rollback,
-// GET /healthz, GET /metrics, and the introspection pair GET /debug/traces
-// and GET /debug/slo.
+// GET /healthz, GET /metrics, the introspection pair GET /debug/traces
+// and GET /debug/slo, and the fleet feedback plane (GET /delta,
+// GET /models/export, POST /models/push — see fleet.go).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
@@ -96,6 +116,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/models/promote", s.handlePromote)
 	mux.HandleFunc("/models/rollback", s.handleRollback)
+	mux.HandleFunc("/models/push", s.handlePush)
+	mux.HandleFunc("/models/export", s.handleExport)
+	mux.HandleFunc("/delta", s.handleDelta)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/slo", s.handleSLO)
@@ -194,11 +217,32 @@ func (s *Server) readImage(w http.ResponseWriter, r *http.Request) (*imgproc.Ima
 	return img, true
 }
 
+// retryAfterSecs estimates when a shed request is worth retrying: the
+// current queue drains at roughly one batch-or-job per FlushInterval, so
+// the backlog ahead of a rejected request bounds its wait. Clamped to at
+// least 1s — the header's resolution — so clients never busy-spin.
+func (s *Server) retryAfterSecs() int {
+	wait := time.Duration(len(s.queue)+1) * s.cfg.FlushInterval
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// shed rejects a request with 503 plus a Retry-After hint derived from the
+// queue backlog, the signal a well-behaved client (and the fleet router's
+// load shedder) keys its backoff on.
+func (s *Server) shed(w http.ResponseWriter, format string, args ...any) {
+	obsRejected.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+	writeErr(w, http.StatusServiceUnavailable, format, args...)
+}
+
 // submit admits the job and waits for its result.
 func (s *Server) submit(w http.ResponseWriter, j *job) (result, bool) {
 	if !s.enqueue(j) {
-		obsRejected.Inc()
-		writeErr(w, http.StatusServiceUnavailable, "queue full, retry later")
+		s.shed(w, "queue full, retry later")
 		return result{}, false
 	}
 	return <-j.resp, true
@@ -354,8 +398,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := s.trainer.Enqueue(online.Sample{Feature: f, Label: fb.Label}); err != nil {
-			obsRejected.Inc()
-			writeErr(w, http.StatusServiceUnavailable, "feedback: %v", err)
+			s.shed(w, "feedback: %v", err)
 			return
 		}
 		obsFeedbackReqs.Inc()
@@ -382,8 +425,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if res.err != nil {
-		obsRejected.Inc()
-		writeErr(w, http.StatusServiceUnavailable, "feedback: %v", res.err)
+		s.shed(w, "feedback: %v", res.err)
 		return
 	}
 	obsFeedbackReqs.Inc()
@@ -440,18 +482,34 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	cfg := s.cfg.Pipeline.Config()
 	live := s.reg.Live()
+	depth := len(s.queue)
 	h := HealthResponse{
 		Status:     "ok",
 		Mode:       cfg.Mode.String(),
 		D:          cfg.D,
 		Trained:    live != nil,
-		QueueDepth: len(s.queue),
+		QueueDepth: depth,
 		QueueCap:   cap(s.queue),
+		Saturation: float64(depth) / float64(cap(s.queue)),
 		Versions:   len(s.reg.List()),
 		Online:     s.trainer != nil,
 	}
+	if h.Saturation >= saturatedAt {
+		h.Status = "saturated"
+	}
 	if live != nil {
 		h.LiveVersion = live.ID
+	}
+	if s.trainer != nil {
+		if d := s.trainer.Delta(); d != nil {
+			h.Delta = &DeltaInfo{
+				Replica: d.Replica,
+				Base:    fmt.Sprintf("%016x", d.Base),
+				Epoch:   d.Epoch,
+				Seq:     d.Seq,
+				Samples: d.Samples(),
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, h)
 }

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -217,13 +218,29 @@ func TestServeAdmissionControl(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	img := dataset.RenderFace(48, 48, 0, hv.NewRNG(1))
-	code, data := postPGM(t, ts.URL+"/predict", pgmBytes(t, img))
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("full queue: status %d (%s), want 503", code, data)
+	resp, err := http.Post(ts.URL+"/predict", "image/x-portable-graymap",
+		bytes.NewReader(pgmBytes(t, img)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("full queue: status %d (%s), want 503", resp.StatusCode, data)
 	}
 	var e errorJSON
 	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
 		t.Fatalf("503 body %q should carry a JSON error", data)
+	}
+	// A shed request must tell the client when retrying is worthwhile: the
+	// Retry-After hint, derived from queue backlog x flush interval, is
+	// what the fleet router keys its backoff on.
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("503 Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
 	}
 }
 

@@ -73,6 +73,19 @@ grep -q '"recovered_within_epsilon": true' "$out/BENCH_online.json" \
     || { echo "online bench did not recover from drift" >&2; exit 1; }
 rm -rf "$out"
 
+echo "== fleet bench smoke =="
+# The fleet's two headline contracts: a killed replica costs zero client
+# requests, and feedback split across replicas then merged by bundling
+# matches a single trainer's accuracy within epsilon.
+out=$(mktemp -d)
+go run ./cmd/hdface-bench -exp fleetbench -quick -out "$out" >/dev/null
+test -s "$out/BENCH_fleet.json" || { echo "BENCH_fleet.json missing" >&2; exit 1; }
+grep -q '"zero_failed": true' "$out/BENCH_fleet.json" \
+    || { echo "fleet bench lost client requests during the kill run" >&2; exit 1; }
+grep -q '"merge_matches_single": true' "$out/BENCH_fleet.json" \
+    || { echo "fleet merge accuracy diverged from the single trainer" >&2; exit 1; }
+rm -rf "$out"
+
 echo "== serve daemon smoke =="
 # End-to-end over the real binary: train a tiny snapshot, boot the daemon on
 # an ephemeral port, round-trip /predict and /metrics, then SIGTERM and
@@ -151,6 +164,59 @@ kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "serve daemon exited non-zero" >&2; cat "$out/serve.log" >&2; exit 1; }
 "$out/hdface" models -registry "$out/reg" | grep -q '^\* v1$' \
     || { echo "persisted registry lost the live version" >&2; exit 1; }
+rm -rf "$out"
+
+echo "== fleet router smoke =="
+# End-to-end over the real binaries: two delta-only replicas behind a
+# router. Kill one replica with SIGKILL; the router must keep answering
+# /predict (failover) while its /healthz reports degraded-but-serving.
+out=$(mktemp -d)
+go build -o "$out/hdface" ./cmd/hdface
+(cd "$out" && ./hdface train -dataset face2 -d 512 -n 16 -test 8 \
+    -model face.hdc -snapshot face.hdfs -seed 7 >/dev/null)
+(cd "$out" && ./hdface scene -out probe.pgm -w 96 -h 96 -faces 1 >/dev/null)
+wait_addr() { # logfile pattern -> echoes addr, empty on timeout
+    for _ in $(seq 1 50); do
+        a=$(sed -n "s|.*on http://||p" "$1")
+        [ -n "$a" ] && { echo "$a"; return; }
+        sleep 0.1
+    done
+}
+"$out/hdface" serve -snapshot "$out/face.hdfs" -addr 127.0.0.1:0 \
+    -delta-only -replica-id r0 > "$out/rep0.log" 2>&1 &
+rep0_pid=$!
+"$out/hdface" serve -snapshot "$out/face.hdfs" -addr 127.0.0.1:0 \
+    -delta-only -replica-id r1 > "$out/rep1.log" 2>&1 &
+rep1_pid=$!
+addr0=$(wait_addr "$out/rep0.log"); addr1=$(wait_addr "$out/rep1.log")
+[ -n "$addr0" ] && [ -n "$addr1" ] \
+    || { echo "fleet replicas never bound" >&2; cat "$out"/rep*.log >&2; exit 1; }
+"$out/hdface" route -replicas "http://$addr0,http://$addr1" -addr 127.0.0.1:0 \
+    -probe-interval 50ms -merge-interval 1s > "$out/route.log" 2>&1 &
+route_pid=$!
+raddr=$(wait_addr "$out/route.log")
+[ -n "$raddr" ] || { echo "router never bound" >&2; cat "$out/route.log" >&2; exit 1; }
+curl -sf --data-binary @"$out/probe.pgm" "http://$raddr/predict" | grep -q '"label"' \
+    || { echo "routed predict failed" >&2; exit 1; }
+curl -sf "http://$raddr/healthz" | grep -q '"status":"ok"' \
+    || { echo "router healthz not ok with both replicas up" >&2; exit 1; }
+kill -9 "$rep0_pid"
+degraded=""
+for _ in $(seq 1 50); do
+    if curl -s "http://$raddr/healthz" | grep -q '"status":"degraded"'; then
+        degraded=yes; break
+    fi
+    sleep 0.1
+done
+[ -n "$degraded" ] || { echo "router never reported degraded after SIGKILL" >&2; exit 1; }
+curl -sf --data-binary @"$out/probe.pgm" "http://$raddr/predict" | grep -q '"label"' \
+    || { echo "routed predict failed after replica kill" >&2; exit 1; }
+kill -TERM "$route_pid"
+wait "$route_pid" || { echo "router exited non-zero" >&2; cat "$out/route.log" >&2; exit 1; }
+grep -q "drained; bye" "$out/route.log" \
+    || { echo "router did not drain cleanly" >&2; cat "$out/route.log" >&2; exit 1; }
+kill -TERM "$rep1_pid" 2>/dev/null || true
+wait "$rep1_pid" 2>/dev/null || true
 rm -rf "$out"
 
 echo "OK"
