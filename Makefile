@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-online bench-detect bench-fleet check fmt vet
+.PHONY: build test bench bench-online bench-detect bench-fleet bench-stream check fmt vet
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,11 @@ bench-detect:
 # scaling, availability under a killed replica, split-feedback merge.
 bench-fleet:
 	$(GO) run ./cmd/hdface-bench -exp fleetbench -out results
+
+# Regenerate the streaming tracking benchmark (results/BENCH_stream.json):
+# throughput, per-frame latency, identity F1 and the determinism gate.
+bench-stream:
+	$(GO) run ./cmd/hdface-bench -exp streambench -out results
 
 # Full hygiene gate: gofmt -l, go vet, go test -race (see scripts/check.sh).
 check:

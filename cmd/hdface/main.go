@@ -5,6 +5,7 @@
 //	hdface detect -scene scene.pgm -model face.hdc -out overlay.pgm
 //	hdface scene  -out scene.pgm            # render a test scene
 //	hdface serve  -snapshot face.hdfs -addr :8466
+//	hdface stream -addr localhost:8466 -scenario crossing -n 20
 //	hdface route  -replicas http://h1:8466,http://h2:8466 -addr :8465
 //	hdface top    -addr localhost:8466
 //	hdface models -registry models/ [-promote N | -rollback]
@@ -436,6 +437,9 @@ func cmdServe(args []string) error {
 	sloTarget := fs.Duration("slo-target", 250*time.Millisecond, "per-request latency goal of the /debug/slo objects")
 	sloObjective := fs.Float64("slo-objective", 0.99, "fraction of requests that must meet -slo-target")
 	sloWindow := fs.Duration("slo-window", time.Minute, "sliding window the SLOs and latency quantiles evaluate over")
+	frameDeadline := fs.Duration("frame-deadline", 250*time.Millisecond, "default per-frame /stream anytime budget")
+	emotionModel := fs.String("emotion-model", "", "hdc emotion classifier for /stream per-track emotion summaries (train -dataset emotion -model ...)")
+	minTrackScore := fs.Float64("min-track-score", 0, "drop /stream detections scoring below this before tracking")
 	of := obscli.Register(fs)
 	fs.Parse(args)
 
@@ -477,6 +481,19 @@ func cmdServe(args []string) error {
 		defer trainer.Close()
 	}
 
+	var emotion *hdc.Model
+	if *emotionModel != "" {
+		f, err := os.Open(*emotionModel)
+		if err != nil {
+			return err
+		}
+		emotion, err = hdc.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("emotion model %s: %w", *emotionModel, err)
+		}
+	}
+
 	s, err := serve.New(serve.Config{
 		Pipeline:      p,
 		Registry:      reg,
@@ -490,6 +507,9 @@ func cmdServe(args []string) error {
 		SLOTarget:     *sloTarget,
 		SLOObjective:  *sloObjective,
 		SLOWindow:     *sloWindow,
+		FrameDeadline: *frameDeadline,
+		MinTrackScore: *minTrackScore,
+		Emotion:       emotion,
 	})
 	if err != nil {
 		return err
@@ -582,7 +602,7 @@ func cmdModels(args []string) error {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: hdface <train|eval|detect|scene|features|serve|route|top|models> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: hdface <train|eval|detect|scene|features|serve|stream|route|top|models> [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -599,6 +619,8 @@ func main() {
 		err = cmdFeatures(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "stream":
+		err = cmdStream(os.Args[2:])
 	case "route":
 		err = cmdRoute(os.Args[2:])
 	case "top":

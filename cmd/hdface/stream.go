@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hdface/internal/dataset"
+	"hdface/internal/imgproc"
+	"hdface/internal/serve"
+)
+
+// cmdStream feeds a video (a PGM frame sequence) to a serving daemon's
+// POST /stream endpoint and relays the NDJSON tracking events to stdout —
+// per-frame boxes with stable track IDs, then the stream summary. Frames
+// come from a file glob or from a synthetic scenario generator, the same
+// one the streambench experiment uses.
+func cmdStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8466", "serving daemon address (host:port or URL)")
+	glob := fs.String("frames", "", "glob of PGM frames to stream in sorted path order (empty = synthetic scenario)")
+	scenario := fs.String("scenario", "clean", "synthetic scenario: clean, entryexit, crossing or jitter")
+	n := fs.Int("n", 20, "synthetic frame count")
+	subjects := fs.Int("subjects", 2, "synthetic subject count")
+	seed := fs.Uint64("seed", 1, "synthetic scenario seed")
+	frameDeadline := fs.Duration("frame-deadline", 0, "per-frame anytime budget (0 = server default)")
+	summaryOnly := fs.Bool("summary-only", false, "print only the final summary event")
+	fs.Parse(args)
+
+	pgms, err := streamFrames(*glob, *scenario, *n, *subjects, *seed)
+	if err != nil {
+		return err
+	}
+
+	u := *addr
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	u += "/stream"
+	if *frameDeadline > 0 {
+		u += "?frame_deadline=" + frameDeadline.String()
+	}
+
+	// Frames upload through a pipe so the client never holds the whole
+	// clip in one request buffer; events flow back while frames go out.
+	pr, pw := io.Pipe()
+	go func() {
+		for _, f := range pgms {
+			if err := serve.WriteFrame(pw, f); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		serve.CloseFrames(pw)
+		pw.Close()
+	}()
+	resp, err := http.Post(u, "application/octet-stream", pr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("stream rejected: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if *summaryOnly {
+			var probe struct {
+				Type string `json:"type"`
+			}
+			if json.Unmarshal(sc.Bytes(), &probe) == nil && probe.Type != "summary" {
+				continue
+			}
+		}
+		fmt.Fprintln(os.Stdout, sc.Text())
+	}
+	return sc.Err()
+}
+
+// streamFrames assembles the PGM frame list from a glob or a scenario.
+func streamFrames(glob, scenario string, n, subjects int, seed uint64) ([][]byte, error) {
+	if glob != "" {
+		paths, err := filepath.Glob(glob)
+		if err != nil {
+			return nil, err
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("no frames match %q", glob)
+		}
+		sort.Strings(paths)
+		var pgms [][]byte
+		for _, p := range paths {
+			img, err := imgproc.LoadPGM(p)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p, err)
+			}
+			var buf bytes.Buffer
+			if err := img.WritePGM(&buf); err != nil {
+				return nil, err
+			}
+			pgms = append(pgms, buf.Bytes())
+		}
+		return pgms, nil
+	}
+	spec := dataset.ScenarioSpec{Frames: n, Subjects: subjects, Seed: seed}
+	switch scenario {
+	case "clean":
+	case "entryexit":
+		spec.EntryExit = true
+	case "crossing":
+		spec.Crossing = true
+	case "jitter":
+		spec.Jitter = 3
+	default:
+		return nil, fmt.Errorf("scenario %q: want clean, entryexit, crossing or jitter", scenario)
+	}
+	var pgms [][]byte
+	for _, fr := range dataset.GenerateScenario(spec) {
+		var buf bytes.Buffer
+		if err := fr.Image.WritePGM(&buf); err != nil {
+			return nil, err
+		}
+		pgms = append(pgms, buf.Bytes())
+	}
+	return pgms, nil
+}

@@ -1,0 +1,68 @@
+package dataset
+
+import "testing"
+
+func TestScenarioDeterministic(t *testing.T) {
+	spec := ScenarioSpec{Frames: 6, Subjects: 2, Seed: 9, EntryExit: true, Jitter: 2}
+	a := GenerateScenario(spec)
+	b := GenerateScenario(spec)
+	if len(a) != 6 {
+		t.Fatalf("frames %d", len(a))
+	}
+	for f := range a {
+		if a[f].Boxes == nil || len(a[f].Boxes) != 2 {
+			t.Fatalf("frame %d: boxes %v", f, a[f].Boxes)
+		}
+		if a[f].Image.W != b[f].Image.W || string(a[f].Image.Pix) != string(b[f].Image.Pix) {
+			t.Fatalf("frame %d: pixels differ between identical specs", f)
+		}
+		for s := range a[f].Boxes {
+			if a[f].Boxes[s] != b[f].Boxes[s] {
+				t.Fatalf("frame %d subject %d: boxes differ", f, s)
+			}
+		}
+	}
+}
+
+func TestScenarioEntryExitAbsences(t *testing.T) {
+	frames := GenerateScenario(ScenarioSpec{Frames: 20, Subjects: 2, Seed: 3, EntryExit: true})
+	// Subject 1 enters late: absent (zero box) at frame 0.
+	if frames[0].Boxes[1] != ([4]int{}) {
+		t.Fatalf("subject 1 present at frame 0: %v", frames[0].Boxes[1])
+	}
+	// Subject 0 leaves early: absent at the last frame.
+	if frames[19].Boxes[0] != ([4]int{}) {
+		t.Fatalf("subject 0 present at frame 19: %v", frames[19].Boxes[0])
+	}
+	// Both present mid-clip.
+	mid := frames[10].Boxes
+	if mid[0] == ([4]int{}) || mid[1] == ([4]int{}) {
+		t.Fatalf("mid-clip absences: %v", mid)
+	}
+}
+
+func TestScenarioCrossingOccludes(t *testing.T) {
+	frames := GenerateScenario(ScenarioSpec{Frames: 21, Subjects: 2, Seed: 5, Crossing: true})
+	// Start apart, fully overlapping mid-clip.
+	d0 := frames[0].Boxes
+	if iouBoxes(d0[0], d0[1]) > 0 {
+		t.Fatalf("subjects overlap at frame 0: %v", d0)
+	}
+	mid := frames[10].Boxes
+	if iouBoxes(mid[0], mid[1]) < 0.5 {
+		t.Fatalf("subjects not occluding mid-clip: %v", mid)
+	}
+}
+
+// iouBoxes is a test-local IoU (the real one lives in track/detect).
+func iouBoxes(a, b [4]int) float64 {
+	ix0, iy0 := max(a[0], b[0]), max(a[1], b[1])
+	ix1, iy1 := min(a[2], b[2]), min(a[3], b[3])
+	if ix1 <= ix0 || iy1 <= iy0 {
+		return 0
+	}
+	inter := float64((ix1 - ix0) * (iy1 - iy0))
+	areaA := float64((a[2] - a[0]) * (a[3] - a[1]))
+	areaB := float64((b[2] - b[0]) * (b[3] - b[1]))
+	return inter / (areaA + areaB - inter)
+}

@@ -187,6 +187,7 @@ func All() []Runner {
 		{"dse", "FPGA lane-budget design-space exploration", DSE},
 		{"detectbench", "detection sweep perf baseline (BENCH_detect.json)", DetectBench},
 		{"servebench", "serving daemon load benchmark (BENCH_serve.json)", ServeBench},
+		{"streambench", "streaming tracking benchmark (BENCH_stream.json)", StreamBench},
 		{"faultsweep", "bit-error chaos harness with self-repair (BENCH_fault.json)", FaultSweep},
 		{"onlinebench", "online learning drift-recovery benchmark (BENCH_online.json)", OnlineBench},
 		{"fleetbench", "fault-tolerant serving fleet benchmark (BENCH_fleet.json)", FleetBench},

@@ -104,6 +104,7 @@ type errorJSON struct {
 }
 
 // Handler returns the server's HTTP surface: POST /predict, POST /detect,
+// POST /stream (NDJSON tracking over a PGM frame sequence — see stream.go),
 // POST /feedback, GET /models, POST /models/promote, POST /models/rollback,
 // GET /healthz, GET /metrics, the introspection pair GET /debug/traces
 // and GET /debug/slo, and the fleet feedback plane (GET /delta,
@@ -112,6 +113,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/detect", s.handleDetect)
+	mux.HandleFunc("/stream", s.handleStream)
 	mux.HandleFunc("/feedback", s.handleFeedback)
 	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/models/promote", s.handlePromote)

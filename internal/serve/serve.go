@@ -27,12 +27,14 @@ import (
 
 	"hdface"
 	"hdface/internal/detect"
+	"hdface/internal/hdc"
 	"hdface/internal/hv"
 	"hdface/internal/imgproc"
 	"hdface/internal/obs"
 	"hdface/internal/obs/trace"
 	"hdface/internal/online"
 	"hdface/internal/registry"
+	"hdface/internal/track"
 )
 
 // Serving observability, exported through /metrics alongside the pipeline's
@@ -106,6 +108,24 @@ type Config struct {
 	// SLOWindow is the sliding window the SLOs and rolling quantiles are
 	// evaluated over (default one minute).
 	SLOWindow time.Duration
+	// FrameDeadline is the default per-frame anytime budget of POST /stream
+	// (default 250ms, capped by MaxDeadline): a frame that blows it returns
+	// the best-so-far boxes flagged degraded instead of stalling the stream.
+	FrameDeadline time.Duration
+	// Track tunes the per-stream tracker. Zero fields take the track
+	// package defaults, except MaxDist which defaults to 1.5×DetectWin (the
+	// positional gate must scale with the detection geometry).
+	Track track.Config
+	// MinTrackScore drops sweep boxes scoring below it before tracking
+	// (0 keeps every detection). /detect responses are unaffected: the
+	// floor exists because a spurious low-margin box costs a stream a
+	// phantom identity, not just one wrong rectangle.
+	MinTrackScore float64
+	// Emotion optionally enables per-track emotion-over-time summaries on
+	// /stream: each track's appearance hypervectors are temporally bundled
+	// (majority merge across frames) and the bundle is scored against this
+	// classifier every frame. Must match the pipeline's dimensionality.
+	Emotion *hdc.Model
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -158,6 +178,19 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SLOWindow <= 0 {
 		c.SLOWindow = time.Minute
 	}
+	if c.FrameDeadline <= 0 {
+		c.FrameDeadline = 250 * time.Millisecond
+	}
+	if c.FrameDeadline > c.MaxDeadline {
+		c.FrameDeadline = c.MaxDeadline
+	}
+	if c.Track.MaxDist == 0 {
+		c.Track.MaxDist = 1.5 * float64(c.DetectWin)
+	}
+	if c.Emotion != nil && c.Emotion.D != c.Pipeline.Config().D {
+		return c, fmt.Errorf("serve: emotion model dimensionality %d != pipeline %d",
+			c.Emotion.D, c.Pipeline.Config().D)
+	}
 	return c, nil
 }
 
@@ -167,6 +200,7 @@ const (
 	kindPredict jobKind = iota
 	kindDetect
 	kindFeedback
+	kindStream
 )
 
 // result carries a finished job back to its handler. Exactly one of the
@@ -180,6 +214,8 @@ type result struct {
 	boxes []detect.Box
 	stats detect.SweepStats
 
+	event *StreamEvent // stream only: the finished frame's NDJSON event
+
 	err error
 }
 
@@ -192,6 +228,12 @@ type job struct {
 	// admission, so time spent queued counts against the deadline.
 	ctx  context.Context
 	resp chan result // buffered (cap 1): the dispatcher never blocks on it
+
+	// stream is the per-connection tracking state for kindStream frames.
+	// Only the dispatcher touches it while the frame runs; the handler
+	// submits the next frame only after reading this one's result, so
+	// ownership alternates without locks.
+	stream *streamState
 
 	// tr is the request's trace (nil when tracing is off); enq and deq
 	// bracket the admission queue so the dispatcher can attribute queue
@@ -226,9 +268,10 @@ type Server struct {
 	recentQ  []string
 
 	// Per-endpoint latency SLOs, evaluated over Config.SLOWindow and
-	// served by /debug/slo.
+	// served by /debug/slo. sloStream is per-frame, against FrameDeadline.
 	sloPredict *obs.SLO
 	sloDetect  *obs.SLO
+	sloStream  *obs.SLO
 }
 
 // New validates the configuration, seeds the registry if needed and starts
@@ -277,6 +320,7 @@ func New(cfg Config) (*Server, error) {
 		recent:     make(map[string]*hv.Vector),
 		sloPredict: obs.NewSLO("predict", cfg.SLOTarget, cfg.SLOObjective, cfg.SLOWindow),
 		sloDetect:  obs.NewSLO("detect", cfg.SLOTarget, cfg.SLOObjective, cfg.SLOWindow),
+		sloStream:  obs.NewSLO("stream", cfg.FrameDeadline, cfg.SLOObjective, cfg.SLOWindow),
 	}
 	if s.trainer != nil {
 		s.trainer.Start()
@@ -380,6 +424,8 @@ func (s *Server) runOther(j *job) {
 		s.runDetect(j)
 	case kindFeedback:
 		s.runFeedback(j)
+	case kindStream:
+		s.runStream(j)
 	}
 }
 

@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hdface"
+	"hdface/internal/dataset"
+	"hdface/internal/detect"
+	"hdface/internal/hdc"
+	"hdface/internal/hv"
+	"hdface/internal/track"
+)
+
+// streamBody packs scenario frames into the /stream wire format.
+func streamBody(t *testing.T, frames []dataset.SequenceFrame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, fr := range frames {
+		if err := WriteFrame(&buf, pgmBytes(t, fr.Image)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := CloseFrames(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// postStream sends a frame stream and decodes every NDJSON event.
+func postStream(t *testing.T, url string, body []byte) []StreamEvent {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var events []StreamEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("decode event %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func streamServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.FrameDeadline == 0 {
+		// A deadline the sweep cannot blow even under the race detector:
+		// a degraded frame keeps best-so-far boxes, which would make the
+		// determinism assertions timing-dependent.
+		cfg.FrameDeadline = 20 * time.Second
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func TestStreamEndToEnd(t *testing.T) {
+	p := trainedPipeline(t, 2)
+	_, ts := streamServer(t, Config{Pipeline: p, DetectParams: detectParamsForTest()})
+	frames := dataset.GenerateScenario(dataset.ScenarioSpec{Frames: 8, Subjects: 2, Seed: 11})
+	events := postStream(t, ts.URL+"/stream", streamBody(t, frames))
+
+	if len(events) != 9 {
+		t.Fatalf("got %d events, want 8 frames + summary", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Type != "summary" || last.Summary == nil {
+		t.Fatalf("final event %+v is not a summary", last)
+	}
+	if last.Summary.Schema != StreamSchema || last.Summary.Frames != 8 {
+		t.Fatalf("summary %+v", last.Summary)
+	}
+	sawTrack := false
+	for i, ev := range events[:8] {
+		if ev.Type != "frame" || ev.Frame != i {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+		if len(ev.Tracks) > 0 {
+			sawTrack = true
+		}
+	}
+	if !sawTrack {
+		t.Fatal("no frame ever produced a track")
+	}
+	if len(last.Summary.Tracks) == 0 {
+		t.Fatal("summary lists no tracks")
+	}
+	for _, tr := range last.Summary.Tracks {
+		if tr.Observations <= 0 || tr.LastFrame < tr.FirstFrame {
+			t.Fatalf("track summary %+v", tr)
+		}
+	}
+	if last.Summary.FPS <= 0 || last.Summary.P99MS <= 0 {
+		t.Fatalf("summary rates %+v", last.Summary)
+	}
+}
+
+// detectParamsForTest keeps sweeps cheap: single scale, coarse stride.
+func detectParamsForTest() detect.Params {
+	return detect.Params{Scales: []float64{1}, Stride: 8}
+}
+
+func TestStreamDeterministicReplay(t *testing.T) {
+	p := trainedPipeline(t, 2)
+	_, ts := streamServer(t, Config{Pipeline: p, DetectParams: detectParamsForTest()})
+	frames := dataset.GenerateScenario(dataset.ScenarioSpec{Frames: 6, Subjects: 2, Seed: 13})
+	body := streamBody(t, frames)
+
+	key := func(events []StreamEvent) string {
+		var b bytes.Buffer
+		for _, ev := range events {
+			if ev.Type != "frame" {
+				continue
+			}
+			fmt.Fprintf(&b, "%d:", ev.Frame)
+			for _, tr := range ev.Tracks {
+				fmt.Fprintf(&b, "%d@%v/%.6f;", tr.ID, tr.Box, tr.Score)
+			}
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	a := key(postStream(t, ts.URL+"/stream", body))
+	b := key(postStream(t, ts.URL+"/stream", body))
+	if a != b {
+		t.Fatalf("identical streams diverged:\n%s\nvs\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("no frame events")
+	}
+}
+
+func TestStreamBadFrameContinues(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	_, ts := streamServer(t, Config{Pipeline: p, DetectParams: detectParamsForTest()})
+	frames := dataset.GenerateScenario(dataset.ScenarioSpec{Frames: 2, Subjects: 1, Seed: 7})
+
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, pgmBytes(t, frames[0].Image)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, []byte("not a pgm at all")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, pgmBytes(t, frames[1].Image)); err != nil {
+		t.Fatal(err)
+	}
+	if err := CloseFrames(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := postStream(t, ts.URL+"/stream", buf.Bytes())
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want frame, error, frame, summary", len(events))
+	}
+	if events[0].Type != "frame" || events[0].Frame != 0 {
+		t.Fatalf("event 0: %+v", events[0])
+	}
+	if events[1].Type != "error" || events[1].Code != http.StatusBadRequest || events[1].Frame != 1 {
+		t.Fatalf("event 1: %+v", events[1])
+	}
+	if events[2].Type != "frame" || events[2].Frame != 2 {
+		t.Fatalf("event 2: %+v", events[2])
+	}
+	sum := events[3].Summary
+	if sum == nil || sum.Frames != 2 || sum.Errors != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func TestStreamTinyDeadlineDegrades(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	_, ts := streamServer(t, Config{Pipeline: p, DetectParams: detectParamsForTest()})
+	frames := dataset.GenerateScenario(dataset.ScenarioSpec{Frames: 3, Subjects: 1, Seed: 19})
+	events := postStream(t, ts.URL+"/stream?frame_deadline=1ns", streamBody(t, frames))
+	degraded := 0
+	for _, ev := range events {
+		if ev.Type == "frame" && ev.Degraded {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatalf("no frame degraded under a 1ns budget: %+v", events)
+	}
+	if sum := events[len(events)-1].Summary; sum == nil || sum.Degraded != degraded {
+		t.Fatalf("summary degraded count mismatch: %+v", sum)
+	}
+}
+
+func TestStreamEmotionSummaries(t *testing.T) {
+	p := trainedPipeline(t, 2)
+	emo := trainEmotionModel(t, p)
+	_, ts := streamServer(t, Config{Pipeline: p, DetectParams: detectParamsForTest(), Emotion: emo})
+	frames := dataset.GenerateScenario(dataset.ScenarioSpec{Frames: 6, Subjects: 1, Seed: 23})
+	events := postStream(t, ts.URL+"/stream", streamBody(t, frames))
+
+	sawEmotion := false
+	for _, ev := range events {
+		if ev.Type != "frame" {
+			continue
+		}
+		for _, tr := range ev.Tracks {
+			if tr.Emotion != "" {
+				sawEmotion = true
+			}
+		}
+	}
+	if !sawEmotion {
+		t.Fatal("no frame track carried an emotion label")
+	}
+	sum := events[len(events)-1].Summary
+	if sum == nil {
+		t.Fatal("no summary")
+	}
+	labelled := false
+	for _, tr := range sum.Tracks {
+		if tr.Dominant != "" && len(tr.Emotions) > 0 {
+			labelled = true
+			n := 0
+			for _, c := range tr.Emotions {
+				n += c
+			}
+			if n != tr.Observations {
+				t.Fatalf("track %d: %d emotion votes over %d observations", tr.ID, n, tr.Observations)
+			}
+		}
+	}
+	if !labelled {
+		t.Fatalf("no summarised track carries emotions: %+v", sum.Tracks)
+	}
+}
+
+func TestStreamMethodAndConfigErrors(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	_, ts := streamServer(t, Config{Pipeline: p, DetectParams: detectParamsForTest()})
+	resp, err := http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /stream: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/stream?frame_deadline=banana", "", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad frame_deadline: %d", resp.StatusCode)
+	}
+	// An emotion model of the wrong dimensionality is a config error.
+	if _, err := New(Config{Pipeline: p, Emotion: trainEmotionModelD(t, p, 256)}); err == nil {
+		t.Fatal("mismatched emotion model accepted")
+	}
+}
+
+func TestStreamErrEventMapping(t *testing.T) {
+	det := &track.DetectionError{Index: 3, Reason: "detection without feature"}
+	ev := streamErrEvent(fmt.Errorf("step: %w", det))
+	if ev.Type != "error" || ev.Code != http.StatusBadRequest {
+		t.Fatalf("tracker error mapped to %+v", ev)
+	}
+	ev = streamErrEvent(errors.New("disk on fire"))
+	if ev.Code != http.StatusInternalServerError {
+		t.Fatalf("server error mapped to %+v", ev)
+	}
+}
+
+func TestStreamFramingProtocol(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	_, ts := streamServer(t, Config{Pipeline: p, DetectParams: detectParamsForTest()})
+	// A corrupt length prefix ends the stream with a 400-class event.
+	events := postStream(t, ts.URL+"/stream", []byte("xyz\n"))
+	if len(events) != 2 || events[0].Type != "error" || events[0].Code != http.StatusBadRequest {
+		t.Fatalf("events %+v", events)
+	}
+	if events[1].Type != "summary" || events[1].Summary.Frames != 0 {
+		t.Fatalf("summary %+v", events[1])
+	}
+	// A truncated frame body likewise.
+	events = postStream(t, ts.URL+"/stream", []byte("100\nshort"))
+	if len(events) != 2 || events[0].Type != "error" {
+		t.Fatalf("truncated frame events %+v", events)
+	}
+}
+
+// trainEmotionModel fits a 7-class emotion classifier in the pipeline's
+// feature space so /stream can label temporal bundles. It runs before the
+// server exists, so using the pipeline directly here is safe.
+func trainEmotionModel(t *testing.T, p *hdface.Pipeline) *hdc.Model {
+	t.Helper()
+	r := hv.NewRNG(97)
+	var feats []*hv.Vector
+	var labels []int
+	for e := 0; e < int(dataset.NumEmotions); e++ {
+		for i := 0; i < 3; i++ {
+			img := dataset.RenderFace(48, 48, dataset.Emotion(e), r)
+			feats = append(feats, p.Feature(img))
+			labels = append(labels, e)
+		}
+	}
+	m, err := hdc.Train(feats, labels, int(dataset.NumEmotions), hdc.TrainOpts{Epochs: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// trainEmotionModelD returns an (untrained) emotion-shaped model of the
+// given dimensionality, for config-validation tests.
+func trainEmotionModelD(t *testing.T, _ *hdface.Pipeline, d int) *hdc.Model {
+	t.Helper()
+	return hdc.NewModel(d, int(dataset.NumEmotions))
+}

@@ -1,0 +1,131 @@
+package track
+
+import (
+	"testing"
+
+	"hdface/internal/hv"
+)
+
+// TestLongSequenceInvariants drives the tracker through hundreds of frames
+// of randomized entry/exit traffic and asserts the structural invariants a
+// long-lived streaming service depends on:
+//
+//   - each track's Frames are strictly increasing;
+//   - a retired track is never resurrected (never re-touched, never back in
+//     Active, frame list frozen);
+//   - All() is exactly Active ∪ Retired with no duplicate tracks and no
+//     duplicate IDs.
+//
+// Run under -race via scripts/check.sh.
+func TestLongSequenceInvariants(t *testing.T) {
+	const (
+		frames   = 400
+		slots    = 6
+		d        = 512
+		maxSpeed = 6
+	)
+	r := hv.NewRNG(4242)
+	type walker struct {
+		sample       func() *hv.Vector
+		x, y, dx, dy int
+		left         int // frames until this identity leaves
+	}
+	var live []*walker
+	spawn := func() *walker {
+		proto := hv.NewRand(r, d)
+		return &walker{
+			sample: func() *hv.Vector {
+				v := proto.Clone()
+				v.Xor(v, hv.NewRandBiased(r, d, 0.08))
+				return v
+			},
+			x: r.Intn(400), y: r.Intn(400),
+			dx: r.Intn(2*maxSpeed+1) - maxSpeed, dy: r.Intn(2*maxSpeed+1) - maxSpeed,
+			left: 5 + r.Intn(60),
+		}
+	}
+
+	tk := New(Config{MaxDist: 64}, 77)
+	retiredLen := map[int]int{} // retired track ID -> frozen len(Frames)
+	for f := 0; f < frames; f++ {
+		// Random entry/exit churn.
+		for len(live) < slots && r.Intn(3) == 0 {
+			live = append(live, spawn())
+		}
+		var dets []Detection
+		keep := live[:0]
+		for _, w := range live {
+			if w.left--; w.left > 0 {
+				keep = append(keep, w)
+			}
+			// Random per-frame dropouts simulate detector misses.
+			if r.Intn(8) == 0 {
+				continue
+			}
+			dets = append(dets, Detection{
+				Box:     [4]int{w.x, w.y, w.x + 48, w.y + 48},
+				Feature: w.sample(),
+			})
+			w.x += w.dx
+			w.y += w.dy
+		}
+		live = keep
+
+		touched, err := tk.StepErr(dets)
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		for _, tr := range touched {
+			if _, was := retiredLen[tr.ID]; was {
+				t.Fatalf("frame %d: retired track %d was touched again", f, tr.ID)
+			}
+		}
+
+		// Frames strictly increasing per track.
+		for _, tr := range tk.All() {
+			for i := 1; i < len(tr.Frames); i++ {
+				if tr.Frames[i] <= tr.Frames[i-1] {
+					t.Fatalf("frame %d: track %d has non-increasing frames %v", f, tr.ID, tr.Frames)
+				}
+			}
+		}
+
+		// Retired tracks stay retired and frozen.
+		activeIDs := map[int]bool{}
+		for _, tr := range tk.Active() {
+			if activeIDs[tr.ID] {
+				t.Fatalf("frame %d: duplicate active ID %d", f, tr.ID)
+			}
+			activeIDs[tr.ID] = true
+		}
+		for _, tr := range tk.Retired() {
+			if activeIDs[tr.ID] {
+				t.Fatalf("frame %d: track %d is both active and retired", f, tr.ID)
+			}
+			if n, was := retiredLen[tr.ID]; was {
+				if len(tr.Frames) != n {
+					t.Fatalf("frame %d: retired track %d grew from %d to %d observations",
+						f, tr.ID, n, len(tr.Frames))
+				}
+			} else {
+				retiredLen[tr.ID] = len(tr.Frames)
+			}
+		}
+
+		// All() = active ∪ retired, no duplicates.
+		if len(tk.All()) != len(tk.Active())+len(tk.Retired()) {
+			t.Fatalf("frame %d: All()=%d != active %d + retired %d",
+				f, len(tk.All()), len(tk.Active()), len(tk.Retired()))
+		}
+		seen := map[int]bool{}
+		for _, tr := range tk.All() {
+			if seen[tr.ID] {
+				t.Fatalf("frame %d: duplicate ID %d in All()", f, tr.ID)
+			}
+			seen[tr.ID] = true
+		}
+	}
+	if len(tk.Retired()) == 0 {
+		t.Fatal("scenario never retired a track; entry/exit churn too weak to exercise the invariants")
+	}
+}

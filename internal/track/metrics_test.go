@@ -76,6 +76,66 @@ func TestEvaluateDetectsIDSwitch(t *testing.T) {
 	}
 }
 
+func TestIDF1PerfectAndSwapped(t *testing.T) {
+	truth := GroundTruth{
+		[][4]int{boxAt(0, 0), boxAt(100, 0)},
+		[][4]int{boxAt(8, 0), boxAt(92, 0)},
+		[][4]int{boxAt(16, 0), boxAt(84, 0)},
+	}
+	// Perfect: one ID per subject, every frame covered.
+	var perfect []Obs
+	for f, subjects := range truth {
+		for s, b := range subjects {
+			perfect = append(perfect, Obs{ID: s, Frame: f, Box: b})
+		}
+	}
+	if rep := IDF1(perfect, truth, 0.5); rep.F1() != 1 {
+		t.Fatalf("perfect tracking scored %s", rep)
+	}
+	// Identity swap at frame 2: IDs trade subjects, so two observations and
+	// two ground-truth appearances fall outside the global assignment.
+	swapped := append([]Obs(nil), perfect[:4]...)
+	swapped = append(swapped,
+		Obs{ID: 1, Frame: 2, Box: truth[2][0]},
+		Obs{ID: 0, Frame: 2, Box: truth[2][1]})
+	rep := IDF1(swapped, truth, 0.5)
+	if rep.IDTP != 4 || rep.IDFP != 2 || rep.IDFN != 2 {
+		t.Fatalf("swap scored %s", rep)
+	}
+	if f1 := rep.F1(); f1 <= 0.6 || f1 >= 0.7 {
+		t.Fatalf("swap F1 %v, want 2/3", f1)
+	}
+}
+
+func TestIDF1FragmentationAndFalseTracks(t *testing.T) {
+	truth := GroundTruth{
+		[][4]int{boxAt(0, 0)},
+		[][4]int{boxAt(0, 0)},
+		[][4]int{{}}, // subject absent
+	}
+	obs := []Obs{
+		{ID: 0, Frame: 0, Box: boxAt(0, 0)},
+		{ID: 1, Frame: 1, Box: boxAt(0, 0)},   // fragmented: new ID, only one can count
+		{ID: 2, Frame: 2, Box: boxAt(200, 0)}, // pure false track
+	}
+	rep := IDF1(obs, truth, 0.5)
+	if rep.IDTP != 1 || rep.IDFP != 2 || rep.IDFN != 1 {
+		t.Fatalf("scored %s", rep)
+	}
+}
+
+func TestObservationsFlattening(t *testing.T) {
+	r := hv.NewRNG(51)
+	_, sample := ident(r, 512)
+	tk := New(Config{}, 52)
+	tk.Step([]Detection{{Box: boxAt(0, 0), Feature: sample()}})
+	tk.Step([]Detection{{Box: boxAt(8, 0), Feature: sample()}})
+	obs := Observations(tk)
+	if len(obs) != 2 || obs[0].Frame != 0 || obs[1].Frame != 1 || obs[0].ID != obs[1].ID {
+		t.Fatalf("observations %+v", obs)
+	}
+}
+
 func TestEvaluateAbsentSubject(t *testing.T) {
 	tk := New(Config{}, 47)
 	truth := GroundTruth{[][4]int{{}}} // subject absent (zero box)

@@ -86,6 +86,25 @@ grep -q '"merge_matches_single": true' "$out/BENCH_fleet.json" \
     || { echo "fleet merge accuracy diverged from the single trainer" >&2; exit 1; }
 rm -rf "$out"
 
+echo "== stream bench smoke =="
+# The streaming tracker's two headline contracts: replaying a stream
+# assigns byte-identical track IDs, and identity F1 on the clean scenario
+# clears 0.9.
+out=$(mktemp -d)
+go run ./cmd/hdface-bench -exp streambench -quick -out "$out" >/dev/null
+test -s "$out/BENCH_stream.json" || { echo "BENCH_stream.json missing" >&2; exit 1; }
+grep -q '"deterministic": true' "$out/BENCH_stream.json" \
+    || { echo "stream replays assigned different track IDs" >&2; exit 1; }
+awk '
+    /"name":/ { name = $2; gsub(/[",]/, "", name) }
+    /"idf1":/ { gsub(/,/, "", $2); if (name == "clean") clean = $2 + 0 }
+    END {
+        if (clean == "") { print "clean scenario missing from BENCH_stream.json" > "/dev/stderr"; exit 1 }
+        if (clean < 0.9) { printf "clean identity F1 %.3f below 0.9\n", clean > "/dev/stderr"; exit 1 }
+    }
+' "$out/BENCH_stream.json"
+rm -rf "$out"
+
 echo "== serve daemon smoke =="
 # End-to-end over the real binary: train a tiny snapshot, boot the daemon on
 # an ephemeral port, round-trip /predict and /metrics, then SIGTERM and
@@ -133,6 +152,42 @@ curl -sf "http://$addr/debug/slo" | grep -q '"schema":"hdface-slo/v1"' \
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "serve daemon exited non-zero" >&2; cat "$out/serve.log" >&2; exit 1; }
 grep -q "drained; bye" "$out/serve.log" || { echo "no clean drain" >&2; cat "$out/serve.log" >&2; exit 1; }
+rm -rf "$out"
+
+echo "== streaming daemon smoke =="
+# End-to-end over the real binaries: a serve daemon fed an occlusion
+# crossing by the real stream client. The stream must complete (20 frames,
+# summary event) and some track must carry its identity across the
+# crossing — a positive max_gap means it coasted the occlusion and was
+# re-matched afterwards instead of being reborn under a new ID.
+out=$(mktemp -d)
+go build -o "$out/hdface" ./cmd/hdface
+(cd "$out" && ./hdface train -dataset face2 -d 1024 -n 32 -test 8 \
+    -model face.hdc -snapshot face.hdfs -seed 7 >/dev/null)
+"$out/hdface" serve -snapshot "$out/face.hdfs" -addr 127.0.0.1:0 -stride 8 \
+    > "$out/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|.*on http://||p' "$out/serve.log")
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$out/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve daemon never bound" >&2; cat "$out/serve.log" >&2; exit 1; }
+"$out/hdface" stream -addr "$addr" -scenario crossing -n 20 -seed 7 \
+    > "$out/stream.ndjson" || { echo "stream client failed" >&2; exit 1; }
+summary=$(tail -1 "$out/stream.ndjson")
+echo "$summary" | grep -q '"schema":"hdface-stream/v1"' \
+    || { echo "stream summary missing schema: $summary" >&2; exit 1; }
+echo "$summary" | grep -q '"frames":20' \
+    || { echo "stream did not process all 20 frames: $summary" >&2; exit 1; }
+echo "$summary" | grep -q '"observations":20' \
+    || { echo "no track persisted across every frame: $summary" >&2; exit 1; }
+echo "$summary" | grep -q '"max_gap":[1-9]' \
+    || { echo "no track survived the occlusion crossing: $summary" >&2; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "serve daemon exited non-zero" >&2; cat "$out/serve.log" >&2; exit 1; }
 rm -rf "$out"
 
 echo "== registry hot-swap smoke =="
