@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-online bench-detect bench-fleet bench-stream check fmt vet
+.PHONY: build test bench bench-online bench-detect bench-fleet bench-stream bench-tenant check fmt vet
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ bench-fleet:
 # throughput, per-frame latency, identity F1 and the determinism gate.
 bench-stream:
 	$(GO) run ./cmd/hdface-bench -exp streambench -out results
+
+# Regenerate the multi-tenant model store benchmark (results/BENCH_tenant.json):
+# bytes/model, 1k-version open time, cold-materialize and hot-swap latency,
+# steady-state serving over 100+ tenants, lazy-vs-eager byte identity.
+bench-tenant:
+	$(GO) run ./cmd/hdface-bench -exp tenantbench -out results
 
 # Full hygiene gate: gofmt -l, go vet, go test -race (see scripts/check.sh).
 check:

@@ -41,6 +41,7 @@ import (
 	"hdface/internal/online"
 	"hdface/internal/registry"
 	"hdface/internal/serve"
+	"hdface/internal/tenant"
 )
 
 func fatal(err error) {
@@ -440,6 +441,10 @@ func cmdServe(args []string) error {
 	frameDeadline := fs.Duration("frame-deadline", 250*time.Millisecond, "default per-frame /stream anytime budget")
 	emotionModel := fs.String("emotion-model", "", "hdc emotion classifier for /stream per-track emotion summaries (train -dataset emotion -model ...)")
 	minTrackScore := fs.Float64("min-track-score", 0, "drop /stream detections scoring below this before tracking")
+	tenantDir := fs.String("tenants", "", "multi-tenant model store directory ('mem' keeps the store in memory; empty disables multi-tenancy)")
+	tenantBudgetMB := fs.Int("tenant-budget-mb", 256, "byte budget (MiB) for materialized tenant models; least recently used demote to compact blobs")
+	tenantRetain := fs.Int("tenant-retain", 4, "max versions kept per tenant")
+	tenantBatch := fs.Int("tenant-batch", 16, "feedback samples that trigger a per-tenant refinement round")
 	of := obscli.Register(fs)
 	fs.Parse(args)
 
@@ -481,6 +486,29 @@ func cmdServe(args []string) error {
 		defer trainer.Close()
 	}
 
+	var tenants *tenant.Store
+	if *tenantDir != "" {
+		dir := *tenantDir
+		if dir == "mem" {
+			dir = ""
+		}
+		tenants, err = tenant.Open(tenant.Config{
+			Dir:           dir,
+			BudgetBytes:   int64(*tenantBudgetMB) << 20,
+			Retain:        *tenantRetain,
+			FeedbackBatch: *tenantBatch,
+			TrainOpts:     cfg.Train,
+		})
+		if err != nil {
+			return err
+		}
+		if bc, ok := tenants.BaseConfig(); ok {
+			if err := registry.Compatible(bc, cfg); err != nil {
+				return fmt.Errorf("tenant store %s serves a different pipeline: %w", *tenantDir, err)
+			}
+		}
+	}
+
 	var emotion *hdc.Model
 	if *emotionModel != "" {
 		f, err := os.Open(*emotionModel)
@@ -510,6 +538,7 @@ func cmdServe(args []string) error {
 		FrameDeadline: *frameDeadline,
 		MinTrackScore: *minTrackScore,
 		Emotion:       emotion,
+		Tenants:       tenants,
 	})
 	if err != nil {
 		return err
@@ -525,6 +554,10 @@ func cmdServe(args []string) error {
 	}
 	fmt.Printf("serving %s %s pipeline (D=%d) on http://%s\n",
 		trained, cfg.Mode, cfg.D, ln.Addr())
+	if tenants != nil {
+		st := tenants.Stats()
+		fmt.Printf("multi-tenancy on: %d tenant(s), %d version(s) resident\n", st.Tenants, st.Versions)
+	}
 
 	srv := &http.Server{Handler: s.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -561,12 +594,20 @@ func cmdModels(args []string) error {
 	promote := fs.Uint64("promote", 0, "promote this version to live")
 	rollback := fs.Bool("rollback", false, "roll back to the previously live version")
 	retain := fs.Int("retain", 0, "retention bound applied while open (<=0 keeps all)")
+	migrate := fs.Bool("migrate-v2", false, "rewrite v1 snapshot files to the compact seeds-only v2 format in place (run offline — no daemon on the directory)")
 	fs.Parse(args)
 	if *regDir == "" {
 		return fmt.Errorf("models: -registry is required")
 	}
 	if *promote != 0 && *rollback {
 		return fmt.Errorf("models: -promote and -rollback are mutually exclusive")
+	}
+	if *migrate {
+		migrated, skipped, err := registry.MigrateV2(*regDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("migrated %d version(s) to compact v2 (%d already compact)\n", migrated, skipped)
 	}
 	reg, err := registry.Open(*regDir, *retain)
 	if err != nil {

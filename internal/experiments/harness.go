@@ -191,6 +191,7 @@ func All() []Runner {
 		{"faultsweep", "bit-error chaos harness with self-repair (BENCH_fault.json)", FaultSweep},
 		{"onlinebench", "online learning drift-recovery benchmark (BENCH_online.json)", OnlineBench},
 		{"fleetbench", "fault-tolerant serving fleet benchmark (BENCH_fleet.json)", FleetBench},
+		{"tenantbench", "compact multi-tenant model store benchmark (BENCH_tenant.json)", TenantBench},
 		{"verify", "reproduction gate: assert the structural claims", Verify},
 	}
 }

@@ -1,0 +1,214 @@
+package hdc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func trainedCompactModel(t testing.TB, d int) *Model {
+	t.Helper()
+	feats, labels, _ := makeClusters(d, 2, 48, 0.2, 71)
+	m, err := Train(feats, labels, 2, TrainOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Finalize(9)
+	return m
+}
+
+// TestCompactRoundTrip pins the two halves of the compact-form contract:
+// the binarised memory is bit-exact, and the dequantised accumulators stay
+// within the int16 quantisation error of the originals.
+func TestCompactRoundTrip(t *testing.T) {
+	m := trainedCompactModel(t, 257) // odd D exercises tail-word masking
+	var buf bytes.Buffer
+	if err := m.SaveCompact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), CompactSize(m.D, m.K); got != want {
+		t.Fatalf("encoded size %d, CompactSize says %d", got, want)
+	}
+	got, err := LoadCompact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.D != m.D || got.K != m.K {
+		t.Fatalf("geometry changed: %d/%d -> %d/%d", m.D, m.K, got.D, got.K)
+	}
+	for c := range m.Bin {
+		mw, gw := m.Bin[c].Words(), got.Bin[c].Words()
+		for i := range mw {
+			if mw[i] != gw[i] {
+				t.Fatalf("class %d word %d not bit-exact: %#x vs %#x", c, i, mw[i], gw[i])
+			}
+		}
+	}
+	for c, acc := range m.Classes {
+		maxAbs := 0.0
+		for _, a := range acc {
+			if ab := math.Abs(a); ab > maxAbs {
+				maxAbs = ab
+			}
+		}
+		tol := maxAbs/compactQMax + 1e-12 // one quantisation step
+		for i, a := range acc {
+			if diff := math.Abs(got.Classes[c][i] - a); diff > tol {
+				t.Fatalf("class %d dim %d: |%g - %g| = %g > %g", c, i, got.Classes[c][i], a, diff, tol)
+			}
+		}
+	}
+	// A second encode of the round-tripped model must be byte-identical:
+	// quantisation is idempotent (q*scale re-quantises to q).
+	var buf2 bytes.Buffer
+	if err := got.SaveCompact(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("compact encode is not idempotent across a round-trip")
+	}
+}
+
+// TestCompactPredictAgreement checks the quantised accumulators still score
+// like the originals on easy clusters, and that Hamming classification (the
+// serving path) is exactly preserved.
+func TestCompactPredictAgreement(t *testing.T) {
+	feats, labels, _ := makeClusters(512, 2, 64, 0.2, 72)
+	m, err := Train(feats, labels, 2, TrainOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Finalize(9)
+	var buf bytes.Buffer
+	if err := m.SaveCompact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCompact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range feats {
+		if pm, pg := m.Predict(f), got.Predict(f); pm != pg {
+			t.Fatalf("cosine prediction diverged on sample %d: %d vs %d", i, pm, pg)
+		}
+		if hm, hg := m.PredictBinary(f), got.PredictBinary(f); hm != hg {
+			t.Fatalf("hamming prediction diverged on sample %d: %d vs %d", i, hm, hg)
+		}
+		_ = labels[i]
+	}
+}
+
+func TestCompactRejects(t *testing.T) {
+	m := trainedCompactModel(t, 64)
+	var buf bytes.Buffer
+	if err := m.SaveCompact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("HDCX\x40\x00\x00\x00\x02\x00\x00\x00\x03"),
+		"truncated":   valid[:len(valid)-3],
+		"header only": valid[:13],
+		"oversized D": append([]byte("HDC2\xff\xff\xff\xff\x02\x00\x00\x00\x03"), valid[13:]...),
+		"zero K":      append([]byte("HDC2\x40\x00\x00\x00\x00\x00\x00\x00\x03"), valid[13:]...),
+		"bad flags":   append([]byte("HDC2\x40\x00\x00\x00\x02\x00\x00\x00\xff"), valid[13:]...),
+	}
+	for name, data := range cases {
+		if _, err := LoadCompact(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+
+	// NaN scale must be rejected.
+	nan := append([]byte(nil), valid...)
+	for i := 13; i < 13+8; i++ {
+		nan[i] = 0xff
+	}
+	if _, err := LoadCompact(bytes.NewReader(nan)); err == nil {
+		t.Error("NaN scale accepted")
+	}
+
+	// Unfinalized (no Bin) models round-trip without the bin section.
+	m2 := &Model{D: 64, K: 2, Classes: [][]float64{make([]float64, 64), make([]float64, 64)}}
+	var buf2 bytes.Buffer
+	if err := m2.SaveCompact(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCompact(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bin != nil {
+		t.Error("Bin materialised out of nowhere")
+	}
+
+	// Non-finite accumulators must be rejected at save time.
+	m2.Classes[0][0] = math.Inf(1)
+	if err := m2.SaveCompact(&bytes.Buffer{}); err == nil {
+		t.Error("Inf accumulator accepted by SaveCompact")
+	}
+}
+
+// FuzzLoadCompact hardens the compact decoder the same way FuzzLoad hardens
+// the gob path: arbitrary bytes must decode into a structurally valid model
+// or error — never panic, never allocate beyond the bounded header geometry.
+func FuzzLoadCompact(f *testing.F) {
+	feats, labels, _ := makeClusters(96, 2, 4, 0.2, 51)
+	m, err := Train(feats, labels, 2, TrainOpts{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	m.Finalize(1)
+	var buf bytes.Buffer
+	if err := m.SaveCompact(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	corrupt := append([]byte(nil), valid...)
+	corrupt[10] ^= 0xff
+	f.Add(corrupt)
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)-1] ^= 0x80
+	f.Add(flip)
+	// Hostile headers: absurd geometry must be rejected before any
+	// payload-proportional allocation.
+	f.Add(append([]byte("HDC2\xff\xff\xff\xff\x02\x00\x00\x00\x03"), valid[13:]...))
+	f.Add([]byte("HDC2\x00\x00\x00\x00\x00\x00\x00\x00\x03"))
+	f.Add(append([]byte("HDC2\x04\x00\x00\x00\xff\xff\xff\xff\x03"), valid[13:]...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := LoadCompact(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got.D <= 0 || got.D > maxCompactD || got.K < 2 || got.K > maxCompactK {
+			t.Fatalf("decoded out-of-bounds geometry: D=%d K=%d", got.D, got.K)
+		}
+		if len(got.Classes) != got.K {
+			t.Fatal("decoded ragged model")
+		}
+		for _, c := range got.Classes {
+			if len(c) != got.D {
+				t.Fatal("decoded ragged class accumulator")
+			}
+			for _, a := range c {
+				if math.IsNaN(a) || math.IsInf(a, 0) {
+					t.Fatal("decoded non-finite accumulator")
+				}
+			}
+		}
+		if got.Bin != nil && len(got.Bin) != got.K {
+			t.Fatal("decoded ragged binarised classes")
+		}
+		for _, v := range got.Bin {
+			if v.D() != got.D {
+				t.Fatal("decoded bin dimension mismatch")
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ package registry
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -80,6 +81,7 @@ type Registry struct {
 	mu       sync.Mutex
 	dir      string // "" = in-memory only
 	retain   int    // max versions kept; <=0 = unlimited
+	compact  bool   // persist new versions as hdface-model/v2
 	cfg      hdface.Config
 	haveCfg  bool
 	versions map[uint64]*Version
@@ -94,9 +96,25 @@ type Registry struct {
 // must be repaired by an operator, never silently served around. retain
 // bounds how many versions are kept on disk (<= 0 keeps all).
 func Open(dir string, retain int) (*Registry, error) {
+	return open(dir, retain, false)
+}
+
+// OpenCompact is Open, but new versions are persisted in the compact
+// hdface-model/v2 format (quantised accumulators + exact binarised memory,
+// ~8x smaller than v1 at D=2048). Existing files of either format are
+// loaded; GC and rollback treat both identically since they share the
+// version naming scheme. Note the quantisation means a version re-loaded
+// after a restart dequantises to q*scale — the binarised serving path is
+// unaffected, cosine scores move by at most one part in 32767.
+func OpenCompact(dir string, retain int) (*Registry, error) {
+	return open(dir, retain, true)
+}
+
+func open(dir string, retain int, compact bool) (*Registry, error) {
 	r := &Registry{
 		dir:      dir,
 		retain:   retain,
+		compact:  compact,
 		versions: make(map[uint64]*Version),
 	}
 	if dir == "" {
@@ -123,7 +141,7 @@ func Open(dir string, retain int) (*Registry, error) {
 		if err != nil {
 			return nil, fmt.Errorf("registry: %w", err)
 		}
-		cfg, m, err := hdface.DecodeSnapshot(bytes.NewReader(data))
+		cfg, m, err := hdface.DecodeSnapshotAuto(bytes.NewReader(data))
 		if err != nil {
 			return nil, fmt.Errorf("registry: version %d: %w", id, err)
 		}
@@ -244,21 +262,49 @@ func (r *Registry) Put(cfg hdface.Config, m *hdc.Model) (uint64, error) {
 	return id, nil
 }
 
-// Get returns a stored version.
-func (r *Registry) Get(id uint64) (*Version, bool) {
+// ErrUnknownVersion reports a version ID the registry never allocated.
+var ErrUnknownVersion = errors.New("registry: unknown version")
+
+// GoneError reports a version that once existed but has since been deleted
+// by retention GC — the race a caller hits when it holds an ID across a Put
+// burst. It is distinguishable from ErrUnknownVersion so callers can tell
+// "retry with a fresher ID" from "this ID is garbage".
+type GoneError struct{ ID uint64 }
+
+func (e *GoneError) Error() string {
+	return fmt.Sprintf("registry: version %d was deleted by retention GC", e.ID)
+}
+
+// lookupLocked resolves an ID to a version or a typed error: *GoneError for
+// an allocated-then-GC'd ID, ErrUnknownVersion otherwise. Caller holds mu.
+func (r *Registry) lookupLocked(id uint64) (*Version, error) {
+	if v, ok := r.versions[id]; ok {
+		return v, nil
+	}
+	if id >= 1 && id <= r.nextID {
+		return nil, &GoneError{ID: id}
+	}
+	return nil, fmt.Errorf("%w: %d", ErrUnknownVersion, id)
+}
+
+// Get returns a stored version. A nil error guarantees a non-nil version;
+// otherwise the error is *GoneError when the ID was valid but the version
+// lost the race against retention GC, or wraps ErrUnknownVersion when the
+// ID was never allocated.
+func (r *Registry) Get(id uint64) (*Version, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	v, ok := r.versions[id]
-	return v, ok
+	return r.lookupLocked(id)
 }
 
 // Promote makes version id live. The swap is atomic: in-flight readers
 // keep the version they already loaded, new readers see the promoted one.
+// Promoting a GC'd version reports *GoneError, like Get.
 func (r *Registry) Promote(id uint64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.versions[id]; !ok {
-		return fmt.Errorf("registry: Promote: no version %d", id)
+	if _, err := r.lookupLocked(id); err != nil {
+		return fmt.Errorf("registry: Promote: %w", err)
 	}
 	var from uint64
 	if cur := r.live.Load(); cur != nil {
@@ -409,10 +455,62 @@ func (r *Registry) gcLocked() {
 // writeVersion persists one version atomically (temp + rename).
 func (r *Registry) writeVersion(id uint64, cfg hdface.Config, m *hdc.Model) error {
 	var buf bytes.Buffer
-	if err := hdface.EncodeSnapshot(&buf, cfg, m); err != nil {
+	var err error
+	if r.compact {
+		err = hdface.EncodeSnapshotV2(&buf, cfg, m)
+	} else {
+		err = hdface.EncodeSnapshot(&buf, cfg, m)
+	}
+	if err != nil {
 		return fmt.Errorf("registry: encode version %d: %w", id, err)
 	}
 	return r.writeAtomic(fmt.Sprintf(versionPattern, id), buf.Bytes())
+}
+
+// MigrateV2 rewrites every hdface-model/v1 version file under dir in the
+// compact v2 format, atomically (temp + rename) and in place, returning how
+// many files were migrated and how many were already compact. It must not
+// race an open registry on the same dir — run it offline or before Open.
+// Models are re-encoded exactly as stored: binarised memory bit-for-bit,
+// float accumulators quantised to int16 steps.
+func MigrateV2(dir string) (migrated, skipped int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("registry: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "v") || !strings.HasSuffix(name, ".hdfs") {
+			continue
+		}
+		if _, err := parseVersionName(name); err != nil {
+			return migrated, skipped, fmt.Errorf("registry: bad version file %q: %w", name, err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return migrated, skipped, fmt.Errorf("registry: %w", err)
+		}
+		if _, _, compact, err := hdface.SnapshotInfo(bytes.NewReader(data)); err != nil {
+			return migrated, skipped, fmt.Errorf("registry: %s: %w", name, err)
+		} else if compact {
+			skipped++
+			continue
+		}
+		cfg, m, err := hdface.DecodeSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return migrated, skipped, fmt.Errorf("registry: %s: %w", name, err)
+		}
+		var buf bytes.Buffer
+		if err := hdface.EncodeSnapshotV2(&buf, cfg, m); err != nil {
+			return migrated, skipped, fmt.Errorf("registry: %s: %w", name, err)
+		}
+		w := &Registry{dir: dir}
+		if err := w.writeAtomic(name, buf.Bytes()); err != nil {
+			return migrated, skipped, err
+		}
+		migrated++
+	}
+	return migrated, skipped, nil
 }
 
 // writeHistory persists the LIVE promote history atomically.

@@ -144,8 +144,8 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	if live := r2.Live(); live == nil || live.ID != v2 {
 		t.Fatalf("reloaded live = %v, want %d", live, v2)
 	}
-	got, ok := r2.Get(v1)
-	if !ok {
+	got, err := r2.Get(v1)
+	if err != nil {
 		t.Fatalf("version %d lost across reload", v1)
 	}
 	for c := range m1.Classes {
@@ -302,8 +302,8 @@ func TestOpenRejectsBitFlippedVersion(t *testing.T) {
 		if err != nil {
 			continue // rejected: good
 		}
-		v, ok := r2.Get(1)
-		if !ok || v.Model == nil || v.Model.D <= 0 || v.Model.K < 2 {
+		v, err := r2.Get(1)
+		if err != nil || v.Model == nil || v.Model.D <= 0 || v.Model.K < 2 {
 			t.Fatalf("offset %d: corruption accepted as invalid model", off)
 		}
 	}
@@ -383,8 +383,8 @@ func FuzzOpen(f *testing.F) {
 		if err != nil {
 			return
 		}
-		v, ok := reg.Get(1)
-		if !ok {
+		v, err := reg.Get(1)
+		if err != nil {
 			t.Fatal("Open succeeded but silently dropped the version")
 		}
 		if v.Model == nil || v.Model.D <= 0 || v.Model.K < 2 {

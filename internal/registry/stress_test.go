@@ -1,7 +1,7 @@
 package registry
 
 import (
-	"strings"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -57,8 +57,9 @@ func TestGCRacesPromoteRollback(t *testing.T) {
 				if err := r.Promote(id); err != nil {
 					// The only legitimate failure mode: the candidate
 					// was GC'd between Put and Promote by a competing
-					// promoter's churn.
-					if !strings.Contains(err.Error(), "no version") {
+					// promoter's churn — reported as a typed *GoneError.
+					var gone *GoneError
+					if !errors.As(err, &gone) {
 						t.Errorf("promoter %d: Promote(%d): %v", p, id, err)
 						return
 					}
@@ -81,7 +82,7 @@ func TestGCRacesPromoteRollback(t *testing.T) {
 				// the whole point. (Once further promotes push it out of
 				// the trimmed history it may be collected; only flag the
 				// miss if it is still the live version.)
-				if _, ok := r.Get(id); !ok {
+				if _, err := r.Get(id); err != nil {
 					if lv := r.Live(); lv != nil && lv.ID == id {
 						t.Errorf("live rollback target %d GC'd", id)
 						return
@@ -107,7 +108,7 @@ func TestGCRacesPromoteRollback(t *testing.T) {
 					// slot may swap and the old version legally collect
 					// (in-flight readers keep their pointer), so only
 					// flag the miss when v is still the live version.
-					if _, ok := r.Get(v.ID); !ok && r.Live() == v {
+					if _, err := r.Get(v.ID); err != nil && r.Live() == v {
 						t.Errorf("live version %d missing from store", v.ID)
 						return
 					}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"hdface/internal/obs/trace"
 	"hdface/internal/online"
 	"hdface/internal/registry"
+	"hdface/internal/tenant"
 )
 
 // PredictResponse is the /predict reply: the argmax label, the per-class
@@ -26,6 +28,10 @@ type PredictResponse struct {
 	Scores       []float64 `json:"scores"`
 	ModelVersion uint64    `json:"model_version"`
 	RequestID    string    `json:"request_id,omitempty"`
+	// Tenant names the tenant whose live model scored the request (empty
+	// for the registry's single-tenant path); ModelVersion is then a
+	// version in that tenant's private lineage.
+	Tenant string `json:"tenant,omitempty"`
 	// TraceID names the request's trace in /debug/traces (also echoed in
 	// the X-Hdface-Trace response header).
 	TraceID string `json:"trace_id,omitempty"`
@@ -49,14 +55,21 @@ type DetectResponse struct {
 	Windows      int64     `json:"windows"`
 	Levels       int       `json:"levels"`
 	ModelVersion uint64    `json:"model_version"`
+	// Tenant names the tenant whose live model scored the sweep (empty
+	// for the registry's single-tenant path).
+	Tenant string `json:"tenant,omitempty"`
 	// TraceID names the request's trace in /debug/traces, where the
 	// per-level sweep spans explain a degraded or slow response.
 	TraceID string `json:"trace_id,omitempty"`
 }
 
-// FeedbackResponse is the /feedback reply.
+// FeedbackResponse is the /feedback reply. For a tenant'd sample,
+// NewVersion is non-zero when the sample completed a feedback batch and a
+// refinement round promoted a new version of that tenant's model.
 type FeedbackResponse struct {
-	Status string `json:"status"`
+	Status     string `json:"status"`
+	Tenant     string `json:"tenant,omitempty"`
+	NewVersion uint64 `json:"new_version,omitempty"`
 }
 
 // ModelsResponse is the GET /models reply.
@@ -81,17 +94,20 @@ type DeltaInfo struct {
 // admission queue reaches saturatedAt occupancy, then "saturated" — still
 // serving, but a router should prefer other replicas.
 type HealthResponse struct {
-	Status      string     `json:"status"`
-	Mode        string     `json:"mode"`
-	D           int        `json:"d"`
-	Trained     bool       `json:"trained"`
-	QueueDepth  int        `json:"queue_depth"`
-	QueueCap    int        `json:"queue_cap"`
-	Saturation  float64    `json:"saturation"`
-	LiveVersion uint64     `json:"live_version"`
-	Versions    int        `json:"versions"`
-	Online      bool       `json:"online"`
-	Delta       *DeltaInfo `json:"delta,omitempty"`
+	Status      string  `json:"status"`
+	Mode        string  `json:"mode"`
+	D           int     `json:"d"`
+	Trained     bool    `json:"trained"`
+	QueueDepth  int     `json:"queue_depth"`
+	QueueCap    int     `json:"queue_cap"`
+	Saturation  float64 `json:"saturation"`
+	LiveVersion uint64  `json:"live_version"`
+	Versions    int     `json:"versions"`
+	Online      bool    `json:"online"`
+	// Tenants counts tenants resident in the tenant store (0 when
+	// multi-tenancy is disabled).
+	Tenants int        `json:"tenants,omitempty"`
+	Delta   *DeltaInfo `json:"delta,omitempty"`
 }
 
 // saturatedAt is the queue occupancy above which /healthz reports
@@ -107,14 +123,20 @@ type errorJSON struct {
 // POST /stream (NDJSON tracking over a PGM frame sequence — see stream.go),
 // POST /feedback, GET /models, POST /models/promote, POST /models/rollback,
 // GET /healthz, GET /metrics, the introspection pair GET /debug/traces
-// and GET /debug/slo, and the fleet feedback plane (GET /delta,
-// GET /models/export, POST /models/push — see fleet.go).
+// and GET /debug/slo, the fleet feedback plane (GET /delta,
+// GET /models/export, POST /models/push — see fleet.go), and — when a
+// tenant store is configured — GET /tenants plus POST /tenants/seed.
+// /predict, /detect, /stream and /feedback all accept a tenant ID via the
+// X-Hdface-Tenant header or ?tenant= query parameter to score against
+// (and learn into) that tenant's private model lineage.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/detect", s.handleDetect)
 	mux.HandleFunc("/stream", s.handleStream)
 	mux.HandleFunc("/feedback", s.handleFeedback)
+	mux.HandleFunc("/tenants", s.handleTenants)
+	mux.HandleFunc("/tenants/seed", s.handleTenantSeed)
 	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/models/promote", s.handlePromote)
 	mux.HandleFunc("/models/rollback", s.handleRollback)
@@ -250,6 +272,51 @@ func (s *Server) submit(w http.ResponseWriter, j *job) (result, bool) {
 	return <-j.resp, true
 }
 
+// TenantHeader names the request header carrying a tenant ID. The
+// ?tenant= query parameter is the equivalent for clients that cannot set
+// headers; the header wins when both are present.
+const TenantHeader = "X-Hdface-Tenant"
+
+// tenantOf extracts and validates the request's tenant ID. ok=false means
+// an error response was already written; an empty ID with ok=true is the
+// single-tenant (registry) path.
+func (s *Server) tenantOf(w http.ResponseWriter, r *http.Request) (string, bool) {
+	id := r.Header.Get(TenantHeader)
+	if id == "" {
+		id = r.URL.Query().Get("tenant")
+	}
+	if id == "" {
+		return "", true
+	}
+	if s.cfg.Tenants == nil {
+		writeErr(w, http.StatusNotImplemented, "multi-tenancy is disabled")
+		return "", false
+	}
+	if err := tenant.ValidID(id); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return "", false
+	}
+	return id, true
+}
+
+// tenantErrCode maps tenant-store errors to HTTP statuses: an unknown
+// tenant is the caller's 404, a tenant with no live model mirrors the
+// registry's 409, a bad sample is a 400, the tenant limit is the server
+// refusing to store more lineages.
+func tenantErrCode(err error) int {
+	switch {
+	case errors.Is(err, tenant.ErrUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, tenant.ErrNoLive):
+		return http.StatusConflict
+	case errors.Is(err, tenant.ErrBadFeedback):
+		return http.StatusBadRequest
+	case errors.Is(err, tenant.ErrTooMany):
+		return http.StatusInsufficientStorage
+	}
+	return http.StatusInternalServerError
+}
+
 // startTrace mints (or inherits, via the X-Hdface-Trace request header) a
 // trace for one request and echoes its ID in the response header so callers
 // can correlate the reply with /debug/traces. The returned finish closure
@@ -273,9 +340,19 @@ func (s *Server) startTrace(w http.ResponseWriter, r *http.Request, kind string,
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	if s.reg.Live() == nil {
+	ten, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	if ten == "" && s.reg.Live() == nil {
 		writeErr(w, http.StatusConflict, "no live model")
 		return
+	}
+	if ten != "" {
+		if _, err := s.cfg.Tenants.Live(ten); err != nil {
+			writeErr(w, tenantErrCode(err), "%v", err)
+			return
+		}
 	}
 	img, ok := s.readImage(w, r)
 	if !ok {
@@ -283,7 +360,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	obsPredictReqs.Inc()
 	tr, finish := s.startTrace(w, r, "predict", s.sloPredict)
-	j := &job{kind: kindPredict, img: img, resp: make(chan result, 1), tr: tr, enq: time.Now()}
+	j := &job{kind: kindPredict, img: img, tenant: ten, resp: make(chan result, 1), tr: tr, enq: time.Now()}
 	res, ok := s.submit(w, j)
 	if !ok {
 		finish(true)
@@ -292,7 +369,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	obsLatency.Observe(time.Since(start).Seconds())
 	if res.err != nil {
 		finish(true)
-		writeErr(w, http.StatusInternalServerError, "predict: %v", res.err)
+		code := http.StatusInternalServerError
+		if ten != "" {
+			code = tenantErrCode(res.err)
+		}
+		writeErr(w, code, "predict: %v", res.err)
 		return
 	}
 	finish(false)
@@ -301,15 +382,26 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Scores:       res.scores,
 		ModelVersion: res.version,
 		RequestID:    res.reqID,
+		Tenant:       res.tenant,
 		TraceID:      tr.ID(),
 	})
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	if s.reg.Live() == nil {
+	ten, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	if ten == "" && s.reg.Live() == nil {
 		writeErr(w, http.StatusConflict, "no live model")
 		return
+	}
+	if ten != "" {
+		if _, err := s.cfg.Tenants.Live(ten); err != nil {
+			writeErr(w, tenantErrCode(err), "%v", err)
+			return
+		}
 	}
 	img, ok := s.readImage(w, r)
 	if !ok {
@@ -332,7 +424,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	// queue degrades instead of consuming its full budget late.
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
-	j := &job{kind: kindDetect, img: img, ctx: ctx, resp: make(chan result, 1), tr: tr, enq: time.Now()}
+	j := &job{kind: kindDetect, img: img, tenant: ten, ctx: ctx, resp: make(chan result, 1), tr: tr, enq: time.Now()}
 	res, ok := s.submit(w, j)
 	if !ok {
 		finish(true)
@@ -341,7 +433,11 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	obsLatency.Observe(time.Since(start).Seconds())
 	if res.err != nil {
 		finish(true)
-		writeErr(w, http.StatusInternalServerError, "detect: %v", res.err)
+		code := http.StatusInternalServerError
+		if ten != "" {
+			code = tenantErrCode(res.err)
+		}
+		writeErr(w, code, "detect: %v", res.err)
 		return
 	}
 	finish(false)
@@ -355,6 +451,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		Windows:      res.stats.Windows,
 		Levels:       res.stats.Levels,
 		ModelVersion: res.version,
+		Tenant:       res.tenant,
 		TraceID:      tr.ID(),
 	})
 }
@@ -368,19 +465,26 @@ type feedbackJSON struct {
 // handleFeedback ingests one labelled sample for online learning. Two
 // forms: a PGM body with ?label=N (the image's feature is extracted on the
 // dispatcher), or a JSON {"request_id","label"} correction referencing a
-// recent /predict (the stored feature is reused — no image resend, no
-// dispatcher round-trip).
+// recent /predict (the stored feature is reused — no image resend; for the
+// single-tenant path, no dispatcher round-trip either). A tenant'd sample
+// joins that tenant's private batch in the tenant store instead of the
+// shared online trainer, and the reply reports the new version when the
+// sample completed a refinement round.
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
-	if s.trainer == nil {
-		writeErr(w, http.StatusNotImplemented, "online learning is disabled")
-		return
-	}
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST feedback")
 		return
 	}
+	ten, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	if ten == "" && s.trainer == nil {
+		writeErr(w, http.StatusNotImplemented, "online learning is disabled")
+		return
+	}
 	live := s.reg.Live()
-	if live == nil {
+	if ten == "" && live == nil {
 		writeErr(w, http.StatusConflict, "no live model")
 		return
 	}
@@ -390,13 +494,26 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "decode feedback: %v", err)
 			return
 		}
-		if fb.Label < 0 || fb.Label >= live.Model.K {
-			writeErr(w, http.StatusBadRequest, "label %d outside [0, %d)", fb.Label, live.Model.K)
-			return
-		}
 		f, ok := s.lookupRecent(fb.RequestID)
 		if !ok {
 			writeErr(w, http.StatusNotFound, "request_id %q unknown or expired", fb.RequestID)
+			return
+		}
+		if ten != "" {
+			// The tenant store validates the label against the tenant's own
+			// model and serialises the (possibly round-triggering) update
+			// under the tenant's lock — no dispatcher involvement.
+			promoted, err := s.cfg.Tenants.Feedback(ten, f, fb.Label)
+			if err != nil {
+				writeErr(w, tenantErrCode(err), "%v", err)
+				return
+			}
+			obsFeedbackReqs.Inc()
+			writeJSON(w, http.StatusAccepted, FeedbackResponse{Status: "accepted", Tenant: ten, NewVersion: promoted})
+			return
+		}
+		if fb.Label < 0 || fb.Label >= live.Model.K {
+			writeErr(w, http.StatusBadRequest, "label %d outside [0, %d)", fb.Label, live.Model.K)
 			return
 		}
 		if err := s.trainer.Enqueue(online.Sample{Feature: f, Label: fb.Label}); err != nil {
@@ -413,7 +530,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "label %q: want an integer class", labelStr)
 		return
 	}
-	if label < 0 || label >= live.Model.K {
+	if ten == "" && (label < 0 || label >= live.Model.K) {
 		writeErr(w, http.StatusBadRequest, "label %d outside [0, %d)", label, live.Model.K)
 		return
 	}
@@ -421,17 +538,87 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	j := &job{kind: kindFeedback, img: img, label: label, resp: make(chan result, 1)}
+	j := &job{kind: kindFeedback, img: img, tenant: ten, label: label, resp: make(chan result, 1)}
 	res, ok := s.submit(w, j)
 	if !ok {
 		return
 	}
 	if res.err != nil {
+		if ten != "" {
+			writeErr(w, tenantErrCode(res.err), "%v", res.err)
+			return
+		}
 		s.shed(w, "feedback: %v", res.err)
 		return
 	}
 	obsFeedbackReqs.Inc()
-	writeJSON(w, http.StatusAccepted, FeedbackResponse{Status: "accepted"})
+	writeJSON(w, http.StatusAccepted, FeedbackResponse{Status: "accepted", Tenant: res.tenant, NewVersion: res.promoted})
+}
+
+// TenantsResponse is the GET /tenants reply: every tenant in ID order
+// plus store-wide residency totals.
+type TenantsResponse struct {
+	Tenants []tenant.Info `json:"tenants"`
+	Stats   tenant.Stats  `json:"stats"`
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Tenants == nil {
+		writeErr(w, http.StatusNotImplemented, "multi-tenancy is disabled")
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET /tenants")
+		return
+	}
+	infos := s.cfg.Tenants.Tenants()
+	if infos == nil {
+		infos = []tenant.Info{}
+	}
+	writeJSON(w, http.StatusOK, TenantsResponse{Tenants: infos, Stats: s.cfg.Tenants.Stats()})
+}
+
+// TenantSeedResponse is the POST /tenants/seed reply.
+type TenantSeedResponse struct {
+	Tenant string `json:"tenant"`
+	// Version is the first version of the tenant's new lineage; Base is
+	// the registry version it was copied from.
+	Version uint64 `json:"version"`
+	Base    uint64 `json:"base_version"`
+}
+
+// handleTenantSeed creates (or re-seeds) a tenant from the registry's live
+// model: POST /tenants/seed?tenant=ID. This is how a tenant is born — its
+// lineage starts as a copy of the shared base model and diverges through
+// its own /feedback stream.
+func (s *Server) handleTenantSeed(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Tenants == nil {
+		writeErr(w, http.StatusNotImplemented, "multi-tenancy is disabled")
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST /tenants/seed?tenant=ID")
+		return
+	}
+	ten, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	if ten == "" {
+		writeErr(w, http.StatusBadRequest, "tenant ID required (X-Hdface-Tenant header or ?tenant=)")
+		return
+	}
+	live := s.reg.Live()
+	if live == nil {
+		writeErr(w, http.StatusConflict, "no live model to seed from")
+		return
+	}
+	id, err := s.cfg.Tenants.Seed(ten, s.cfg.Pipeline.Config(), live.Model)
+	if err != nil {
+		writeErr(w, tenantErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TenantSeedResponse{Tenant: ten, Version: id, Base: live.ID})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -495,6 +682,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Saturation: float64(depth) / float64(cap(s.queue)),
 		Versions:   len(s.reg.List()),
 		Online:     s.trainer != nil,
+	}
+	if s.cfg.Tenants != nil {
+		h.Tenants = s.cfg.Tenants.Len()
 	}
 	if h.Saturation >= saturatedAt {
 		h.Status = "saturated"

@@ -34,6 +34,7 @@ import (
 	"hdface/internal/obs/trace"
 	"hdface/internal/online"
 	"hdface/internal/registry"
+	"hdface/internal/tenant"
 	"hdface/internal/track"
 )
 
@@ -49,6 +50,7 @@ var (
 	obsBatchImgs    = obs.NewCounter("hdface_serve_batched_images_total", "images dispatched inside predict micro-batches")
 	obsQueueDepth   = obs.NewGauge("hdface_serve_queue_depth", "jobs waiting in the admission queue")
 	obsScorerSwaps  = obs.NewCounter("hdface_serve_scorer_rebuilds_total", "detect scorers rebuilt after a model swap")
+	obsTenantReqs   = obs.NewCounter("hdface_serve_tenant_requests_total", "requests scored against a tenant model")
 	obsLatency      = obs.NewHistogram("hdface_serve_request_seconds", "request latency from admission to response",
 		[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10})
 	// obsWinLatency is the windowed complement of obsLatency: the same
@@ -126,6 +128,14 @@ type Config struct {
 	// (majority merge across frames) and the bundle is scored against this
 	// classifier every frame. Must match the pipeline's dimensionality.
 	Emotion *hdc.Model
+	// Tenants optionally enables multi-tenant serving: a request naming a
+	// tenant (X-Hdface-Tenant header or ?tenant=) scores against that
+	// tenant's live model from this store instead of the registry's live
+	// version, and its feedback feeds that tenant's private lineage. The
+	// store must be compatible with the pipeline — every tenant shares the
+	// pipeline's bases, only class memory differs. nil disables tenant
+	// routing (tenant'd requests get 501).
+	Tenants *tenant.Store
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -191,6 +201,13 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("serve: emotion model dimensionality %d != pipeline %d",
 			c.Emotion.D, c.Pipeline.Config().D)
 	}
+	if c.Tenants != nil {
+		if bc, ok := c.Tenants.BaseConfig(); ok {
+			if err := registry.Compatible(bc, c.Pipeline.Config()); err != nil {
+				return c, fmt.Errorf("serve: tenant store/pipeline mismatch: %w", err)
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -210,11 +227,16 @@ type result struct {
 	scores  []float64
 	version uint64 // model version that produced label/scores/boxes
 	reqID   string // predict only; "" when feedback is disabled
+	tenant  string // tenant the version belongs to; "" = registry live
 
 	boxes []detect.Box
 	stats detect.SweepStats
 
 	event *StreamEvent // stream only: the finished frame's NDJSON event
+
+	// promoted is the version a tenant feedback round just made live
+	// (0 when the sample only joined the batch).
+	promoted uint64
 
 	err error
 }
@@ -224,6 +246,9 @@ type job struct {
 	img  *imgproc.Image
 	// label is the feedback correction for kindFeedback.
 	label int
+	// tenant routes the job to a tenant's live model instead of the
+	// registry's ("" = registry live, the single-tenant path).
+	tenant string
 	// ctx carries the request's detect budget; it starts ticking at
 	// admission, so time spent queued counts against the deadline.
 	ctx  context.Context
@@ -260,6 +285,11 @@ type Server struct {
 	scorerVer uint64
 	scorer    detect.WindowScorer
 	scorerErr error
+
+	// Per-tenant detect scorer cache, keyed by tenant ID and invalidated
+	// when the tenant's live version moves. Dispatcher-goroutine only,
+	// bounded by tenantScorerCap.
+	tenantScorers map[string]*tenantScorer
 
 	// Recent predict features for request-ID feedback corrections.
 	reqSeq   atomic.Uint64
@@ -312,15 +342,16 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:        cfg,
-		reg:        reg,
-		trainer:    cfg.Online,
-		queue:      make(chan *job, cfg.MaxQueue),
-		done:       make(chan struct{}),
-		recent:     make(map[string]*hv.Vector),
-		sloPredict: obs.NewSLO("predict", cfg.SLOTarget, cfg.SLOObjective, cfg.SLOWindow),
-		sloDetect:  obs.NewSLO("detect", cfg.SLOTarget, cfg.SLOObjective, cfg.SLOWindow),
-		sloStream:  obs.NewSLO("stream", cfg.FrameDeadline, cfg.SLOObjective, cfg.SLOWindow),
+		cfg:           cfg,
+		reg:           reg,
+		trainer:       cfg.Online,
+		queue:         make(chan *job, cfg.MaxQueue),
+		done:          make(chan struct{}),
+		recent:        make(map[string]*hv.Vector),
+		tenantScorers: make(map[string]*tenantScorer),
+		sloPredict:    obs.NewSLO("predict", cfg.SLOTarget, cfg.SLOObjective, cfg.SLOWindow),
+		sloDetect:     obs.NewSLO("detect", cfg.SLOTarget, cfg.SLOObjective, cfg.SLOWindow),
+		sloStream:     obs.NewSLO("stream", cfg.FrameDeadline, cfg.SLOObjective, cfg.SLOWindow),
 	}
 	if s.trainer != nil {
 		s.trainer.Start()
@@ -430,11 +461,15 @@ func (s *Server) runOther(j *job) {
 }
 
 // runPredicts extracts the whole batch through the pipeline's parallel
-// feature path and scores each image against the live model. The live
-// pointer is read once, so every response in a batch is attributable to
-// exactly one version even if a promote lands mid-batch. Per-image content
-// reseeding makes the outputs independent of batch composition, so this is
-// exactly equivalent to len(batch) separate scoring calls.
+// feature path and scores each image against its model: the tenant's live
+// version for tenant'd jobs, the registry's otherwise. The registry live
+// pointer is read once, so every single-tenant response in a batch is
+// attributable to exactly one version even if a promote lands mid-batch;
+// tenant jobs resolve their own tenant's slot and batch freely with
+// everyone else — feature extraction is tenant-agnostic (shared bases),
+// only the class-memory lookup differs. Per-image content reseeding makes
+// the outputs independent of batch composition, so this is exactly
+// equivalent to len(batch) separate scoring calls.
 func (s *Server) runPredicts(batch []*job) {
 	obsBatches.Inc()
 	obsBatchImgs.Add(int64(len(batch)))
@@ -444,14 +479,18 @@ func (s *Server) runPredicts(batch []*job) {
 	// queue wait. This is the split that tells an operator whether to
 	// raise MaxBatch or shrink FlushInterval.
 	infStart := time.Now()
+	anyTenant := false
 	for _, j := range batch {
 		if j.tr != nil {
 			j.tr.AddSpan("queue_wait", j.enq, j.deq)
 			j.tr.AddSpan("batch_wait", j.deq, infStart)
 		}
+		if j.tenant != "" {
+			anyTenant = true
+		}
 	}
 	live := s.reg.Live()
-	if live == nil {
+	if live == nil && !anyTenant {
 		for _, j := range batch {
 			j.resp <- result{err: fmt.Errorf("no live model")}
 		}
@@ -471,7 +510,24 @@ func (s *Server) runPredicts(batch []*job) {
 	}
 	extractEnd := time.Now()
 	for i, j := range batch {
-		scores := live.Model.Scores(feats[i])
+		var model *hdc.Model
+		var version uint64
+		if j.tenant != "" {
+			v, m, err := s.cfg.Tenants.Model(j.tenant)
+			if err != nil {
+				j.resp <- result{err: err}
+				continue
+			}
+			model, version = m, v.ID
+			obsTenantReqs.Inc()
+		} else {
+			if live == nil {
+				j.resp <- result{err: fmt.Errorf("no live model")}
+				continue
+			}
+			model, version = live.Model, live.ID
+		}
+		scores := model.Scores(feats[i])
 		best := 0
 		for c, sc := range scores {
 			if sc > scores[best] {
@@ -479,16 +535,18 @@ func (s *Server) runPredicts(batch []*job) {
 			}
 		}
 		reqID := ""
-		if s.trainer != nil {
+		// Tenant jobs remember their feature even without a trainer: a
+		// request-ID /feedback correction routes to the tenant store.
+		if s.trainer != nil || j.tenant != "" {
 			reqID = s.remember(feats[i])
 		}
 		if j.tr != nil {
 			sp := j.tr.AddSpan("inference", infStart, time.Now())
 			sp.SetAttrInt("batch_size", int64(len(batch)))
-			sp.SetAttrInt("model_version", int64(live.ID))
+			sp.SetAttrInt("model_version", int64(version))
 			sp.AddSpan("extract", infStart, extractEnd)
 		}
-		j.resp <- result{label: best, scores: scores, version: live.ID, reqID: reqID}
+		j.resp <- result{label: best, scores: scores, version: version, reqID: reqID, tenant: j.tenant}
 	}
 }
 
@@ -516,7 +574,9 @@ func (s *Server) lookupRecent(id string) (*hv.Vector, bool) {
 }
 
 // runFeedback extracts the image's feature on the dispatcher (the pipeline
-// is not goroutine-safe) and hands the sample to the trainer.
+// is not goroutine-safe) and hands the sample to the trainer — or, for a
+// tenant'd job, to the tenant's private feedback batch (which may trigger
+// a synchronous per-tenant refinement round right here).
 func (s *Server) runFeedback(j *job) {
 	if j.tr != nil {
 		j.tr.AddSpan("queue_wait", j.enq, time.Now())
@@ -524,6 +584,11 @@ func (s *Server) runFeedback(j *job) {
 	sp := j.tr.StartSpan("extract")
 	f := s.cfg.Pipeline.Feature(j.img)
 	sp.End()
+	if j.tenant != "" {
+		promoted, err := s.cfg.Tenants.Feedback(j.tenant, f, j.label)
+		j.resp <- result{promoted: promoted, tenant: j.tenant, err: err}
+		return
+	}
 	j.resp <- result{err: s.trainer.Enqueue(online.Sample{Feature: f, Label: j.label})}
 }
 
@@ -534,12 +599,7 @@ func (s *Server) runDetect(j *job) {
 	if j.tr != nil {
 		j.tr.AddSpan("queue_wait", j.enq, time.Now())
 	}
-	live := s.reg.Live()
-	if live == nil {
-		j.resp <- result{err: fmt.Errorf("no live model")}
-		return
-	}
-	scorer, err := s.detectScorer(live, j.tr)
+	scorer, version, err := s.scorerFor(j)
 	if err != nil {
 		j.resp <- result{err: err}
 		return
@@ -549,15 +609,36 @@ func (s *Server) runDetect(j *job) {
 	ctx := trace.NewContext(j.ctx, j.tr)
 	boxes, stats, err := detect.Sweep(ctx, j.img, scorer, s.cfg.DetectParams)
 	if j.tr != nil {
-		j.tr.SetAttr("model_version", strconv.FormatUint(live.ID, 10))
+		j.tr.SetAttr("model_version", strconv.FormatUint(version, 10))
 	}
-	j.resp <- result{boxes: boxes, stats: stats, version: live.ID, err: err}
+	j.resp <- result{boxes: boxes, stats: stats, version: version, tenant: j.tenant, err: err}
+}
+
+// scorerFor resolves the job's scoring model — the tenant's live version
+// or the registry's — and its cached window scorer. Dispatcher goroutine
+// only (scorer builds fork pipeline state).
+func (s *Server) scorerFor(j *job) (detect.WindowScorer, uint64, error) {
+	if j.tenant == "" {
+		live := s.reg.Live()
+		if live == nil {
+			return nil, 0, fmt.Errorf("no live model")
+		}
+		sc, err := s.detectScorer(live, j.tr)
+		return sc, live.ID, err
+	}
+	v, m, err := s.cfg.Tenants.Model(j.tenant)
+	if err != nil {
+		return nil, 0, err
+	}
+	obsTenantReqs.Inc()
+	sc, err := s.tenantDetectScorer(j.tenant, v.ID, m, j.tr)
+	return sc, v.ID, err
 }
 
 // detectScorer returns a sweep scorer for the given live version,
 // rebuilding the cached one after a swap. DetectScorer forks pipeline
 // state, so it must run on the dispatcher goroutine — and does: the only
-// caller is runDetect.
+// caller is scorerFor.
 func (s *Server) detectScorer(live *registry.Version, tr *trace.Trace) (detect.WindowScorer, error) {
 	// Version IDs start at 1, so the zero scorerVer always misses first.
 	if s.scorerVer != live.ID {
@@ -568,4 +649,37 @@ func (s *Server) detectScorer(live *registry.Version, tr *trace.Trace) (detect.W
 		obsScorerSwaps.Inc()
 	}
 	return s.scorer, s.scorerErr
+}
+
+// tenantScorer is one cached per-tenant sweep scorer, valid while the
+// tenant's live version stays ver.
+type tenantScorer struct {
+	ver    uint64
+	scorer detect.WindowScorer
+	err    error
+}
+
+// tenantScorerCap bounds the per-tenant scorer cache: with thousands of
+// tenants resident the scorers (which hold forked pipeline state) must
+// not grow without bound the way compact blobs may.
+const tenantScorerCap = 256
+
+// tenantDetectScorer returns the tenant's cached sweep scorer, rebuilding
+// it after that tenant's live version moved. Dispatcher goroutine only.
+func (s *Server) tenantDetectScorer(id string, ver uint64, m *hdc.Model, tr *trace.Trace) (detect.WindowScorer, error) {
+	if c := s.tenantScorers[id]; c != nil && c.ver == ver {
+		return c.scorer, c.err
+	}
+	if len(s.tenantScorers) >= tenantScorerCap {
+		// Wholesale reset: a full cache means detect traffic churned past
+		// the working set, and rebuilding a scorer costs milliseconds —
+		// cheaper than tracking per-entry recency on the hot path.
+		clear(s.tenantScorers)
+	}
+	sp := tr.StartSpan("scorer_build")
+	sc, err := s.cfg.Pipeline.DetectScorer(m, s.cfg.DetectWin)
+	sp.End()
+	obsScorerSwaps.Inc()
+	s.tenantScorers[id] = &tenantScorer{ver: ver, scorer: sc, err: err}
+	return sc, err
 }

@@ -248,12 +248,7 @@ func (s *Server) runStream(j *job) {
 	if j.tr != nil {
 		j.tr.AddSpan("queue_wait", j.enq, time.Now())
 	}
-	live := s.reg.Live()
-	if live == nil {
-		j.resp <- result{err: fmt.Errorf("no live model")}
-		return
-	}
-	scorer, err := s.detectScorer(live, j.tr)
+	scorer, version, err := s.scorerFor(j)
 	if err != nil {
 		j.resp <- result{err: err}
 		return
@@ -288,7 +283,7 @@ func (s *Server) runStream(j *job) {
 	touched, serr := st.tracker.StepErr(dets)
 	if serr != nil {
 		sp.End()
-		j.resp <- result{event: streamErrEvent(serr), stats: stats, version: live.ID}
+		j.resp <- result{event: streamErrEvent(serr), stats: stats, version: version}
 		return
 	}
 	evTracks := make([]StreamTrackJSON, 0, len(touched))
@@ -317,7 +312,7 @@ func (s *Server) runStream(j *job) {
 	sort.Slice(evTracks, func(a, b int) bool { return evTracks[a].ID < evTracks[b].ID })
 	sp.End()
 	if j.tr != nil {
-		j.tr.SetAttr("model_version", strconv.FormatUint(live.ID, 10))
+		j.tr.SetAttr("model_version", strconv.FormatUint(version, 10))
 	}
 	j.resp <- result{
 		event: &StreamEvent{
@@ -327,7 +322,7 @@ func (s *Server) runStream(j *job) {
 			Windows:  stats.Windows,
 		},
 		stats:   stats,
-		version: live.ID,
+		version: version,
 	}
 }
 
@@ -399,9 +394,19 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "POST a length-prefixed PGM frame stream")
 		return
 	}
-	if s.reg.Live() == nil {
+	ten, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	if ten == "" && s.reg.Live() == nil {
 		writeErr(w, http.StatusConflict, "no live model")
 		return
+	}
+	if ten != "" {
+		if _, err := s.cfg.Tenants.Live(ten); err != nil {
+			writeErr(w, tenantErrCode(err), "%v", err)
+			return
+		}
 	}
 	frameDeadline := s.cfg.FrameDeadline
 	if q := r.URL.Query().Get("frame_deadline"); q != "" {
@@ -460,7 +465,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), frameDeadline)
-		j := &job{kind: kindStream, img: img, ctx: ctx, resp: make(chan result, 1),
+		j := &job{kind: kindStream, img: img, tenant: ten, ctx: ctx, resp: make(chan result, 1),
 			tr: tr, enq: time.Now(), stream: st}
 		if !s.enqueue(j) {
 			cancel()

@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hdface/internal/dataset"
+	"hdface/internal/hv"
+	"hdface/internal/tenant"
+)
+
+// postPGMTenant posts a PGM body with the tenant carried in the header.
+func postPGMTenant(t *testing.T, url, ten string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "image/x-portable-graymap")
+	if ten != "" {
+		req.Header.Set(TenantHeader, ten)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestServeTenants is the end-to-end multi-tenancy contract: tenants are
+// seeded from the registry's live model over HTTP, requests naming a
+// tenant are attributed to that tenant's own version lineage, per-tenant
+// feedback rounds promote new versions for that tenant only, and requests
+// for different tenants batch freely with single-tenant traffic. Run with
+// -race.
+func TestServeTenants(t *testing.T) {
+	p := trainedPipeline(t, 2)
+	store, err := tenant.Open(tenant.Config{FeedbackBatch: 3, Retain: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Pipeline: p, Tenants: store, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	r := hv.NewRNG(7)
+	face := pgmBytes(t, dataset.RenderFace(48, 48, dataset.Neutral, r))
+	nonface := pgmBytes(t, dataset.RenderNonFace(48, 48, r))
+
+	// Tenant'd request before the tenant exists: the caller's 404.
+	code, body := postPGMTenant(t, ts.URL+"/predict", "acme", face)
+	if code != http.StatusNotFound {
+		t.Fatalf("predict for unknown tenant = %d %s, want 404", code, body)
+	}
+	// Malformed tenant IDs never reach the store.
+	if code, body = postPGMTenant(t, ts.URL+"/predict", "../escape", face); code != http.StatusBadRequest {
+		t.Fatalf("predict for bad tenant ID = %d %s, want 400", code, body)
+	}
+
+	// Seed two tenants from the registry's live model: one via the query
+	// parameter, one via the header.
+	resp, err := http.Post(ts.URL+"/tenants/seed?tenant=acme", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seeded TenantSeedResponse
+	if err := json.NewDecoder(resp.Body).Decode(&seeded); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || seeded.Tenant != "acme" || seeded.Version != 1 || seeded.Base != 1 {
+		t.Fatalf("seed acme = %d %+v", resp.StatusCode, seeded)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/tenants/seed", nil)
+	req.Header.Set(TenantHeader, "globex")
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed globex = %d", resp.StatusCode)
+	}
+
+	// A tenant'd predict is attributed to the tenant's lineage and is
+	// deterministic: identical requests produce identical bodies.
+	var first PredictResponse
+	code, body = postPGMTenant(t, ts.URL+"/predict", "acme", face)
+	if code != http.StatusOK {
+		t.Fatalf("tenant predict = %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Tenant != "acme" || first.ModelVersion != 1 {
+		t.Fatalf("tenant predict attribution = %+v, want tenant acme version 1", first)
+	}
+	if first.RequestID == "" {
+		t.Fatal("tenant predict returned no request ID for feedback")
+	}
+	var again PredictResponse
+	_, body2 := postPGMTenant(t, ts.URL+"/predict", "acme", face)
+	if err := json.Unmarshal(body2, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Scores, again.Scores) || first.Label != again.Label {
+		t.Fatalf("tenant predict not deterministic: %+v vs %+v", first, again)
+	}
+
+	// ?tenant= query routing is equivalent to the header.
+	code, body = postPGM(t, ts.URL+"/predict?tenant=globex", face)
+	var viaQuery PredictResponse
+	if err := json.Unmarshal(body, &viaQuery); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || viaQuery.Tenant != "globex" {
+		t.Fatalf("query-routed predict = %d %+v", code, viaQuery)
+	}
+
+	// Mixed traffic: tenant acme, tenant globex and single-tenant requests
+	// race through the micro-batcher; every response must carry its own
+	// attribution. Run with -race.
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		ten := []string{"", "acme", "globex"}[g]
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(ten string) {
+				defer wg.Done()
+				code, body := postPGMTenant(t, ts.URL+"/predict", ten, face)
+				if code != http.StatusOK {
+					t.Errorf("mixed predict tenant=%q = %d %s", ten, code, body)
+					return
+				}
+				var pr PredictResponse
+				if err := json.Unmarshal(body, &pr); err != nil {
+					t.Error(err)
+					return
+				}
+				if pr.Tenant != ten {
+					t.Errorf("mixed predict attributed to %q, want %q", pr.Tenant, ten)
+				}
+			}(ten)
+		}
+	}
+	wg.Wait()
+
+	// Per-tenant feedback: the third PGM sample completes acme's batch and
+	// a refinement round promotes version 2 — for acme alone.
+	for i := 0; i < 2; i++ {
+		sample := face
+		label := "1"
+		if i == 1 {
+			sample, label = nonface, "0"
+		}
+		code, body = postPGMTenant(t, ts.URL+"/feedback?label="+label, "acme", sample)
+		var fr FeedbackResponse
+		if err := json.Unmarshal(body, &fr); err != nil {
+			t.Fatal(err)
+		}
+		if code != http.StatusAccepted || fr.NewVersion != 0 {
+			t.Fatalf("feedback %d = %d %+v, want accepted with no round yet", i, code, fr)
+		}
+	}
+	// The last sample of the batch goes through the request-ID correction
+	// form: the feature remembered by the tenant'd predict above.
+	fbBody, _ := json.Marshal(map[string]any{"request_id": first.RequestID, "label": 1})
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/feedback", bytes.NewReader(fbBody))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TenantHeader, "acme")
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	var round FeedbackResponse
+	if err := json.NewDecoder(resp.Body).Decode(&round); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || round.NewVersion != 2 || round.Tenant != "acme" {
+		t.Fatalf("round-completing feedback = %d %+v, want accepted new_version=2", resp.StatusCode, round)
+	}
+
+	// acme now serves its refined version 2; globex is untouched on 1 —
+	// and the single-tenant path still serves registry version 1.
+	for _, want := range []struct {
+		ten string
+		ver uint64
+	}{{"acme", 2}, {"globex", 1}, {"", 1}} {
+		_, body := postPGMTenant(t, ts.URL+"/predict", want.ten, face)
+		var pr PredictResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		if pr.ModelVersion != want.ver || pr.Tenant != want.ten {
+			t.Fatalf("post-round predict tenant=%q = %+v, want version %d", want.ten, pr, want.ver)
+		}
+	}
+
+	// A tenant'd detect sweeps with the tenant's model and says so.
+	scene := dataset.GenerateScene(96, 96, 48, 1, 5).Image
+	code, body = postPGMTenant(t, ts.URL+"/detect", "acme", pgmBytes(t, scene))
+	var dr DetectResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || dr.Tenant != "acme" || dr.ModelVersion != 2 {
+		t.Fatalf("tenant detect = %d %+v, want tenant acme version 2", code, dr)
+	}
+
+	// GET /tenants reflects both lineages; /healthz counts them.
+	resp, err = http.Get(ts.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl TenantsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(tl.Tenants) != 2 || tl.Tenants[0].ID != "acme" || tl.Tenants[1].ID != "globex" {
+		t.Fatalf("GET /tenants = %+v, want [acme globex]", tl.Tenants)
+	}
+	if tl.Tenants[0].LiveVersion != 2 || tl.Tenants[1].LiveVersion != 1 {
+		t.Fatalf("tenant live versions = %d/%d, want 2/1",
+			tl.Tenants[0].LiveVersion, tl.Tenants[1].LiveVersion)
+	}
+	if tl.Tenants[0].Rounds != 1 || tl.Tenants[1].Rounds != 0 {
+		t.Fatalf("tenant rounds = %d/%d, want 1/0", tl.Tenants[0].Rounds, tl.Tenants[1].Rounds)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Tenants != 2 {
+		t.Fatalf("healthz tenants = %d, want 2", h.Tenants)
+	}
+}
+
+// TestServeTenantsDisabled pins the opt-in contract: without a tenant
+// store, tenant'd requests get 501 and the tenant endpoints refuse.
+func TestServeTenantsDisabled(t *testing.T) {
+	p := trainedPipeline(t, 1)
+	s, err := New(Config{Pipeline: p, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	r := hv.NewRNG(3)
+	face := pgmBytes(t, dataset.RenderFace(48, 48, dataset.Neutral, r))
+	if code, body := postPGMTenant(t, ts.URL+"/predict", "acme", face); code != http.StatusNotImplemented {
+		t.Fatalf("tenant predict without a store = %d %s, want 501", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("GET /tenants without a store = %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestServeTenantStream runs a tenant'd tracking stream end to end: every
+// frame event must be attributed to the tenant's model version.
+func TestServeTenantStream(t *testing.T) {
+	p := trainedPipeline(t, 2)
+	store, err := tenant.Open(tenant.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Pipeline: p, Tenants: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/tenants/seed?tenant=acme", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed = %d", resp.StatusCode)
+	}
+
+	var frames bytes.Buffer
+	for i := 0; i < 3; i++ {
+		scene := dataset.GenerateScene(96, 96, 48, 1, uint64(20+i)).Image
+		var pgm bytes.Buffer
+		if err := scene.WritePGM(&pgm); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrame(&frames, pgm.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := CloseFrames(&frames); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/stream?tenant=acme", "application/octet-stream", &frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant stream = %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	sawFrame, sawSummary := false, false
+	for dec.More() {
+		var ev StreamEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Type {
+		case "frame":
+			sawFrame = true
+			if ev.ModelVersion != 1 {
+				t.Fatalf("frame %d attributed to version %d, want 1", ev.Frame, ev.ModelVersion)
+			}
+		case "error":
+			t.Fatalf("frame %d: %s", ev.Frame, ev.Error)
+		case "summary":
+			sawSummary = true
+		}
+	}
+	if !sawFrame || !sawSummary {
+		t.Fatalf("stream ended without frames (%v) or summary (%v)", sawFrame, sawSummary)
+	}
+}

@@ -1,0 +1,110 @@
+package tenant
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// lruList tracks materialized versions most-recently-used-first and
+// enforces the byte budget. Eviction demotes a version back to its compact
+// blob by clearing the published model pointer — readers that already
+// loaded the pointer keep a valid immutable model; the next reader pays a
+// re-materialization. The list is intrusive (links live on Version), so
+// touch/insert/remove are O(1) under one short mutex.
+type lruList struct {
+	mu         sync.Mutex
+	budget     int64
+	head, tail *Version // head = most recently used
+	count      int
+	bytes      int64
+	evictions  atomic.Int64
+}
+
+// touch moves v to the head. A version evicted between the caller's
+// pointer load and the touch is left alone.
+func (l *lruList) touch(v *Version) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !v.inLRU || l.head == v {
+		return
+	}
+	l.unlink(v)
+	l.pushFront(v)
+}
+
+// insert links a freshly materialized version at the head and evicts from
+// the tail while over budget. The incoming version is never evicted, even
+// when it alone exceeds the budget — a model in active use must stay.
+func (l *lruList) insert(v *Version) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if v.inLRU {
+		return
+	}
+	l.pushFront(v)
+	l.count++
+	l.bytes += v.matBytes
+	for l.bytes > l.budget && l.tail != nil && l.tail != v {
+		l.evictLocked(l.tail)
+	}
+	obsMaterialized.Set(float64(l.bytes))
+}
+
+// remove forgets v (version deleted by retention GC). Safe to call for
+// versions that were never materialized.
+func (l *lruList) remove(v *Version) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !v.inLRU {
+		return
+	}
+	l.unlink(v)
+	l.count--
+	l.bytes -= v.matBytes
+	v.mat.Store(nil)
+	obsMaterialized.Set(float64(l.bytes))
+}
+
+// evictLocked demotes one version; caller holds l.mu.
+func (l *lruList) evictLocked(v *Version) {
+	l.unlink(v)
+	l.count--
+	l.bytes -= v.matBytes
+	v.mat.Store(nil)
+	l.evictions.Add(1)
+	obsEvictions.Inc()
+}
+
+func (l *lruList) stats() (int, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count, l.bytes
+}
+
+func (l *lruList) pushFront(v *Version) {
+	v.inLRU = true
+	v.lruPrev = nil
+	v.lruNext = l.head
+	if l.head != nil {
+		l.head.lruPrev = v
+	}
+	l.head = v
+	if l.tail == nil {
+		l.tail = v
+	}
+}
+
+func (l *lruList) unlink(v *Version) {
+	if v.lruPrev != nil {
+		v.lruPrev.lruNext = v.lruNext
+	} else {
+		l.head = v.lruNext
+	}
+	if v.lruNext != nil {
+		v.lruNext.lruPrev = v.lruPrev
+	} else {
+		l.tail = v.lruPrev
+	}
+	v.lruPrev, v.lruNext = nil, nil
+	v.inLRU = false
+}

@@ -105,6 +105,35 @@ awk '
 ' "$out/BENCH_stream.json"
 rm -rf "$out"
 
+echo "== tenant bench smoke =="
+# The compact store's two headline contracts: a resident model version
+# costs at most 64KB at D=2048 (seeds-only snapshot — bases are
+# rematerialized, never stored), and promoting a new version is
+# sub-millisecond at p99 (one atomic pointer store plus a LIVE-file
+# rename; scoring never waits). Byte identity pins the holographic claim:
+# the lazily materialized compact blob scores bit-for-bit like the eager
+# v1 float snapshot on the binary Hamming path.
+out=$(mktemp -d)
+go run ./cmd/hdface-bench -exp tenantbench -quick -out "$out" >/dev/null
+test -s "$out/BENCH_tenant.json" || { echo "BENCH_tenant.json missing" >&2; exit 1; }
+grep -q '"lazy_eager_byte_identical": true' "$out/BENCH_tenant.json" \
+    || { echo "lazy v2 materialization diverged from eager v1 decode" >&2; exit 1; }
+awk '
+    /"d":/               { gsub(/,/, "", $2); d = $2 + 0 }
+    /"bytes_per_model":/ { gsub(/,/, "", $2); bpm = $2 + 0 }
+    /"hot_swap_p99_ms":/ { gsub(/,/, "", $2); swap = $2 + 0 }
+    END {
+        if (d != 2048) { printf "tenant bench ran at D=%d, want 2048\n", d > "/dev/stderr"; exit 1 }
+        if (bpm == 0 || bpm > 65536) {
+            printf "bytes/model %d outside (0, 64KB] at D=2048\n", bpm > "/dev/stderr"; exit 1
+        }
+        if (swap == 0 || swap >= 1.0) {
+            printf "hot-swap p99 %.3fms not sub-millisecond\n", swap > "/dev/stderr"; exit 1
+        }
+    }
+' "$out/BENCH_tenant.json"
+rm -rf "$out"
+
 echo "== serve daemon smoke =="
 # End-to-end over the real binary: train a tiny snapshot, boot the daemon on
 # an ephemeral port, round-trip /predict and /metrics, then SIGTERM and
@@ -219,6 +248,17 @@ kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "serve daemon exited non-zero" >&2; cat "$out/serve.log" >&2; exit 1; }
 "$out/hdface" models -registry "$out/reg" | grep -q '^\* v1$' \
     || { echo "persisted registry lost the live version" >&2; exit 1; }
+# Offline v1 -> compact v2 migration: the daemon above persisted v1 float
+# snapshots; -migrate-v2 must rewrite them in place, the registry must
+# still load with the same live version, and a second run must be a no-op.
+"$out/hdface" models -registry "$out/reg" -migrate-v2 \
+    | grep -q 'migrated 1 version(s) to compact v2 (0 already compact)' \
+    || { echo "v1->v2 migration did not convert the snapshot" >&2; exit 1; }
+"$out/hdface" models -registry "$out/reg" | grep -q '^\* v1$' \
+    || { echo "migrated registry lost the live version" >&2; exit 1; }
+"$out/hdface" models -registry "$out/reg" -migrate-v2 \
+    | grep -q 'migrated 0 version(s) to compact v2 (1 already compact)' \
+    || { echo "v1->v2 migration was not idempotent" >&2; exit 1; }
 rm -rf "$out"
 
 echo "== fleet router smoke =="

@@ -25,6 +25,13 @@ import (
 // own magic (see hdc.Model.Save), so both layers can evolve independently.
 const snapshotMagic = "hdface-model/v1\n"
 
+// snapshotMagicV2 marks the compact container: same config header as v1, but
+// the classifier payload is the quantised+binarised hdc compact form
+// ("HDC2") instead of the gob float form. Both magics are 16 bytes, so a
+// reader can sniff the version from a fixed-size prefix. v2 is the
+// multi-tenant store's native format — a trained D=2048 model is ~8.5 KB.
+const snapshotMagicV2 = "hdface-model/v2\n"
+
 // maxSnapshotConfigBytes bounds the gob-encoded Config blob. The real
 // encoding is well under a kilobyte; anything larger is hostile.
 const maxSnapshotConfigBytes = 1 << 16
@@ -47,7 +54,24 @@ func (p *Pipeline) SaveSnapshot(w io.Writer) error {
 // persists versions this way, since only the trained class memory differs
 // between versions of the same config. model may be nil (untrained).
 func EncodeSnapshot(w io.Writer, cfg Config, model *hdc.Model) error {
-	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+	return encodeSnapshot(w, cfg, model, false)
+}
+
+// EncodeSnapshotV2 writes the compact hdface-model/v2 form: identical config
+// header, quantised+binarised class memory. The binarised memory round-trips
+// bit-exactly (so Hamming/fused scoring is byte-identical to the v1 float
+// path); the float accumulators round-trip within one int16 quantisation
+// step. model may be nil (untrained).
+func EncodeSnapshotV2(w io.Writer, cfg Config, model *hdc.Model) error {
+	return encodeSnapshot(w, cfg, model, true)
+}
+
+func encodeSnapshot(w io.Writer, cfg Config, model *hdc.Model, compact bool) error {
+	magic := snapshotMagic
+	if compact {
+		magic = snapshotMagicV2
+	}
+	if _, err := io.WriteString(w, magic); err != nil {
 		return fmt.Errorf("hdface: snapshot magic: %w", err)
 	}
 	var cfgBuf bytes.Buffer
@@ -71,7 +95,13 @@ func EncodeSnapshot(w io.Writer, cfg Config, model *hdc.Model) error {
 		return fmt.Errorf("hdface: snapshot model flag: %w", err)
 	}
 	if model != nil {
-		if err := model.Save(w); err != nil {
+		var err error
+		if compact {
+			err = model.SaveCompact(w)
+		} else {
+			err = model.Save(w)
+		}
+		if err != nil {
 			return fmt.Errorf("hdface: snapshot model: %w", err)
 		}
 	}
@@ -98,50 +128,127 @@ func LoadSnapshot(r io.Reader) (*Pipeline, error) {
 // to load per-version class memory cheaply: every version under one
 // registry dir shares a config, so a single Pipeline serves them all.
 func DecodeSnapshot(r io.Reader) (Config, *hdc.Model, error) {
-	var cfg Config
+	compact, err := readSnapshotMagic(r)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	if compact {
+		return Config{}, nil, fmt.Errorf("hdface: hdface-model/v2 snapshot where v1 expected")
+	}
+	return decodeSnapshotBody(r, false)
+}
+
+// DecodeSnapshotV2 reads and validates an hdface-model/v2 compact blob.
+func DecodeSnapshotV2(r io.Reader) (Config, *hdc.Model, error) {
+	compact, err := readSnapshotMagic(r)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	if !compact {
+		return Config{}, nil, fmt.Errorf("hdface: hdface-model/v1 snapshot where v2 expected")
+	}
+	return decodeSnapshotBody(r, true)
+}
+
+// DecodeSnapshotAuto sniffs the 16-byte magic and decodes either container
+// version. The registry and tenant store load through this, so a directory
+// can mix v1 and v2 files during migration.
+func DecodeSnapshotAuto(r io.Reader) (Config, *hdc.Model, error) {
+	compact, err := readSnapshotMagic(r)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	return decodeSnapshotBody(r, compact)
+}
+
+// SnapshotInfo reads only the header of either container version: magic,
+// validated config and model-presence flag, stopping before the class-memory
+// payload. The tenant store uses it to index thousands of blobs at open
+// without materialising any of them; Compact reports whether the payload is
+// the v2 compact form.
+func SnapshotInfo(r io.Reader) (cfg Config, hasModel bool, compact bool, err error) {
+	compact, err = readSnapshotMagic(r)
+	if err != nil {
+		return Config{}, false, false, err
+	}
+	cfg, flag, err := decodeSnapshotHeader(r)
+	if err != nil {
+		return Config{}, false, false, err
+	}
+	return cfg, flag == 1, compact, nil
+}
+
+// readSnapshotMagic consumes the fixed-size magic prefix and reports whether
+// the container is the v2 compact form.
+func readSnapshotMagic(r io.Reader) (compact bool, err error) {
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		return cfg, nil, fmt.Errorf("hdface: snapshot magic: %w", err)
+		return false, fmt.Errorf("hdface: snapshot magic: %w", err)
 	}
-	if string(magic) != snapshotMagic {
-		return cfg, nil, fmt.Errorf("hdface: not an hdface-model/v1 snapshot (magic %q)", magic)
+	switch string(magic) {
+	case snapshotMagic:
+		return false, nil
+	case snapshotMagicV2:
+		return true, nil
+	default:
+		return false, fmt.Errorf("hdface: not an hdface-model snapshot (magic %q)", magic)
 	}
+}
+
+// decodeSnapshotHeader reads the length-prefixed config gob and the model
+// flag, validating both.
+func decodeSnapshotHeader(r io.Reader) (Config, byte, error) {
+	var cfg Config
 	var cfgLen uint32
 	if err := binary.Read(r, binary.LittleEndian, &cfgLen); err != nil {
-		return cfg, nil, fmt.Errorf("hdface: snapshot config length: %w", err)
+		return cfg, 0, fmt.Errorf("hdface: snapshot config length: %w", err)
 	}
 	if cfgLen == 0 || cfgLen > maxSnapshotConfigBytes {
-		return cfg, nil, fmt.Errorf("hdface: snapshot config length %d outside (0, %d]", cfgLen, maxSnapshotConfigBytes)
+		return cfg, 0, fmt.Errorf("hdface: snapshot config length %d outside (0, %d]", cfgLen, maxSnapshotConfigBytes)
 	}
 	cfgBytes := make([]byte, cfgLen)
 	if _, err := io.ReadFull(r, cfgBytes); err != nil {
-		return cfg, nil, fmt.Errorf("hdface: snapshot config: %w", err)
+		return cfg, 0, fmt.Errorf("hdface: snapshot config: %w", err)
 	}
 	if err := gob.NewDecoder(bytes.NewReader(cfgBytes)).Decode(&cfg); err != nil {
-		return Config{}, nil, fmt.Errorf("hdface: snapshot config: %w", err)
+		return Config{}, 0, fmt.Errorf("hdface: snapshot config: %w", err)
 	}
 	if err := validateSnapshotConfig(cfg); err != nil {
-		return Config{}, nil, err
+		return Config{}, 0, err
 	}
 	var flag [1]byte
 	if _, err := io.ReadFull(r, flag[:]); err != nil {
-		return Config{}, nil, fmt.Errorf("hdface: snapshot model flag: %w", err)
+		return Config{}, 0, fmt.Errorf("hdface: snapshot model flag: %w", err)
 	}
-	switch flag[0] {
-	case 0:
+	if flag[0] > 1 {
+		return Config{}, 0, fmt.Errorf("hdface: snapshot model flag %d invalid", flag[0])
+	}
+	return cfg, flag[0], nil
+}
+
+// decodeSnapshotBody decodes the container after its magic has been
+// consumed.
+func decodeSnapshotBody(r io.Reader, compact bool) (Config, *hdc.Model, error) {
+	cfg, flag, err := decodeSnapshotHeader(r)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	if flag == 0 {
 		return cfg, nil, nil
-	case 1:
-		m, err := hdc.Load(r)
-		if err != nil {
-			return Config{}, nil, fmt.Errorf("hdface: snapshot model: %w", err)
-		}
-		if m.D != cfg.D {
-			return Config{}, nil, fmt.Errorf("hdface: snapshot model D=%d does not match config D=%d", m.D, cfg.D)
-		}
-		return cfg, m, nil
-	default:
-		return Config{}, nil, fmt.Errorf("hdface: snapshot model flag %d invalid", flag[0])
 	}
+	var m *hdc.Model
+	if compact {
+		m, err = hdc.LoadCompact(r)
+	} else {
+		m, err = hdc.Load(r)
+	}
+	if err != nil {
+		return Config{}, nil, fmt.Errorf("hdface: snapshot model: %w", err)
+	}
+	if m.D != cfg.D {
+		return Config{}, nil, fmt.Errorf("hdface: snapshot model D=%d does not match config D=%d", m.D, cfg.D)
+	}
+	return cfg, m, nil
 }
 
 // validateSnapshotConfig bounds every field a snapshot can set before the

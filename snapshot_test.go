@@ -12,6 +12,7 @@ import (
 	"hdface"
 	"hdface/internal/dataset"
 	"hdface/internal/detect"
+	"hdface/internal/hdc"
 )
 
 // spliceConfig rewrites the config section of a valid snapshot with the gob
@@ -207,5 +208,84 @@ func TestSnapshotRejectsHostileInput(t *testing.T) {
 	mismatched := spliceConfig(t, ob.Bytes(), hdface.Config{D: 512, Workers: 1})
 	if _, err := hdface.LoadSnapshot(bytes.NewReader(mismatched)); err == nil {
 		t.Error("model/config D mismatch accepted")
+	}
+}
+
+// TestSnapshotV2RoundTrip pins the compact container contract: the config
+// survives exactly, the binarised class memory is bit-exact (so a fused
+// Hamming detection sweep is byte-identical to the v1 float path), and the
+// auto-sniffing decoder plus header peek handle both versions.
+func TestSnapshotV2RoundTrip(t *testing.T) {
+	p := trainedDetectPipeline(t, 1024)
+	var v1, v2 bytes.Buffer
+	if err := hdface.EncodeSnapshot(&v1, p.Config(), p.Model()); err != nil {
+		t.Fatal(err)
+	}
+	if err := hdface.EncodeSnapshotV2(&v2, p.Config(), p.Model()); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len() {
+		t.Fatalf("compact snapshot %dB not smaller than v1 %dB", v2.Len(), v1.Len())
+	}
+
+	// Strict decoders refuse the other container version.
+	if _, _, err := hdface.DecodeSnapshot(bytes.NewReader(v2.Bytes())); err == nil {
+		t.Fatal("v1 decoder accepted a v2 blob")
+	}
+	if _, _, err := hdface.DecodeSnapshotV2(bytes.NewReader(v1.Bytes())); err == nil {
+		t.Fatal("v2 decoder accepted a v1 blob")
+	}
+
+	cfgV1, mV1, err := hdface.DecodeSnapshotAuto(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgV2, mV2, err := hdface.DecodeSnapshotAuto(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfgV1, cfgV2) {
+		t.Fatalf("configs diverge across container versions: %+v vs %+v", cfgV1, cfgV2)
+	}
+	for c := range mV1.Bin {
+		if !reflect.DeepEqual(mV1.Bin[c].Words(), mV2.Bin[c].Words()) {
+			t.Fatalf("class %d binarised memory not bit-exact across versions", c)
+		}
+	}
+
+	// Header peek sees the config without touching the class memory.
+	cfg, hasModel, compact, err := hdface.SnapshotInfo(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasModel || !compact || !reflect.DeepEqual(cfg, cfgV2) {
+		t.Fatalf("SnapshotInfo(v2) = (%+v, %v, %v)", cfg, hasModel, compact)
+	}
+	if _, _, compact, err = hdface.SnapshotInfo(bytes.NewReader(v1.Bytes())); err != nil || compact {
+		t.Fatalf("SnapshotInfo(v1): compact=%v err=%v", compact, err)
+	}
+
+	// The serving hot path (fused Hamming sweep) must be byte-identical
+	// between an eager v1 load and a compact v2 load, at any worker count.
+	scene := dataset.GenerateScene(128, 128, 48, 1, 34).Image
+	sweep := func(m2 *hdc.Model, workers int) []detect.Box {
+		scorer, err := p.DetectScorer(m2, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scorer.Hamming = true
+		scorer.Fused = true
+		params := detect.Params{Win: 48, Stride: 24, Scales: []float64{1, 2}, NMSIoU: 0.3, Workers: workers}
+		boxes, _, err := detect.Sweep(context.Background(), scene, scorer, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return boxes
+	}
+	want := sweep(mV1, 1)
+	for _, workers := range []int{1, 2, 4} {
+		if got := sweep(mV2, workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: v2 sweep differs from v1:\n got %+v\nwant %+v", workers, got, want)
+		}
 	}
 }
